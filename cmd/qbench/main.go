@@ -1,0 +1,147 @@
+// Command qbench regenerates the experiments of the paper's evaluation
+// section: the accuracy/compactness trade-off sweeps of Figs. 2–5 and the
+// normalization-scheme comparison of Section V-B. It prints a per-run
+// summary plus ASCII series and optionally writes tidy CSV files.
+//
+// Usage examples:
+//
+//	qbench -fig 3                       # Grover trade-off (Fig. 3a/b/c)
+//	qbench -fig 5 -phasebits 4 -skdepth 2   # heavier GSE (Fig. 5)
+//	qbench -fig norms                   # Algorithm 2 vs Algorithm 3
+//	qbench -fig all -out results/       # everything, with CSVs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "3", "figure to regenerate: 2, 3, 4, 5, norms, all")
+		outDir    = flag.String("out", "", "directory for CSV output (optional)")
+		grover    = flag.Int("grover", 0, "override Grover qubit count (paper: 15)")
+		bwtDepth  = flag.Int("bwtdepth", 0, "override BWT tree depth")
+		bwtSteps  = flag.Int("bwtsteps", 0, "override BWT walk steps")
+		phaseBits = flag.Int("phasebits", 0, "override GSE phase register size")
+		skDepth   = flag.Int("skdepth", -1, "override GSE Solovay–Kitaev depth")
+		netLen    = flag.Int("netlen", 0, "override synthesizer net length")
+		stride    = flag.Int("stride", 0, "override sampling stride")
+		noError   = flag.Bool("noerror", false, "skip the per-sample accuracy metric (faster)")
+		nodeCap   = flag.Int("nodecap", 0, "override node cap for numeric runs")
+		epsFlag   = flag.String("eps", "", "comma-separated ε list (default: paper sweep)")
+		width     = flag.Int("width", 60, "ASCII chart width")
+		numNorm   = flag.String("numnorm", "max", "numeric normalization: max (stabilized [29]) or left (classic)")
+	)
+	flag.Parse()
+	numNormLeft := false
+	switch *numNorm {
+	case "max":
+	case "left":
+		numNormLeft = true
+	default:
+		fatal(fmt.Errorf("bad -numnorm %q (want max or left)", *numNorm))
+	}
+
+	p := bench.DefaultParams()
+	if *grover > 0 {
+		p.GroverQubits = *grover
+	}
+	if *bwtDepth > 0 {
+		p.BWTDepth = *bwtDepth
+	}
+	if *bwtSteps > 0 {
+		p.BWTSteps = *bwtSteps
+	}
+	if *phaseBits > 0 {
+		p.GSEPhaseBits = *phaseBits
+	}
+	if *skDepth >= 0 {
+		p.GSESKDepth = *skDepth
+	}
+	if *netLen > 0 {
+		p.SynthNetLen = *netLen
+	}
+	if *stride > 0 {
+		p.Stride = *stride
+	}
+	if *noError {
+		p.MeasureError = false
+	}
+	if *nodeCap > 0 {
+		p.NodeCap = *nodeCap
+	}
+	p.NumNormLeft = numNormLeft
+	if *epsFlag != "" {
+		var eps []float64
+		for _, part := range strings.Split(*epsFlag, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad -eps entry %q: %v", part, err))
+			}
+			eps = append(eps, v)
+		}
+		p.EpsList = eps
+	}
+
+	figs := []string{*fig}
+	if *fig == "all" {
+		figs = []string{"2", "3", "4", "5", "norms"}
+	}
+	for _, f := range figs {
+		if err := runOne(f, p, *outDir, *width); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func runOne(fig string, p bench.FigureParams, outDir string, width int) error {
+	var (
+		res *bench.Result
+		err error
+	)
+	if fig == "norms" {
+		res, err = bench.NormSchemeComparison(bench.BWTCircuit(p), p.Stride)
+	} else {
+		res, err = bench.Figure(fig, p)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(bench.Summary(res))
+	fmt.Println(bench.Series(res, "nodes", width))
+	if fig != "2" && fig != "norms" {
+		fmt.Println(bench.Series(res, "error", width))
+		fmt.Println(bench.Series(res, "time", width))
+	}
+	if fig == "norms" || fig == "5" {
+		fmt.Println(bench.Series(res, "bits", width))
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(outDir, res.Name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := bench.WriteCSV(f, res); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qbench:", err)
+	os.Exit(1)
+}

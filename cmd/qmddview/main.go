@@ -1,0 +1,134 @@
+// Command qmddview renders the QMDD of a state or circuit unitary as
+// Graphviz DOT, for inspecting the diagrams the way the paper's Fig. 1 does.
+//
+// Usage examples:
+//
+//	qmddview -state -alg ghz -n 3                # GHZ state diagram
+//	qmddview -file c.qasm -out circuit.dot       # circuit unitary
+//	qmddview -state -alg grover -n 4 -repr num -eps 1e-10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/alg"
+	"repro/internal/algorithms"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/ddio"
+	"repro/internal/num"
+	"repro/internal/qasm"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		algName  = flag.String("alg", "ghz", "built-in workload: grover, bwt, ghz, bell")
+		file     = flag.String("file", "", "OpenQASM 2.0 circuit file")
+		repr     = flag.String("repr", "alg", "number representation: alg or num")
+		eps      = flag.Float64("eps", 0, "tolerance for -repr num")
+		normFlag = flag.String("norm", "left", "normalization scheme: left, max, gcd")
+		n        = flag.Int("n", 3, "qubit count for built-ins")
+		state    = flag.Bool("state", true, "render the final state (false: the circuit unitary)")
+		out      = flag.String("out", "", "output file (default stdout)")
+		save     = flag.String("save", "", "also serialize the diagram to this file (ddio format)")
+	)
+	flag.Parse()
+
+	c, err := buildCircuit(*algName, *file, *n)
+	if err != nil {
+		fatal(err)
+	}
+	norm, err := core.ParseNormScheme(*normFlag)
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *repr {
+	case "alg":
+		m := core.NewManager[alg.Q](alg.Ring{}, norm)
+		err = render(m, c, *state, w, *save, ddio.AlgCodec{})
+	case "num":
+		m := core.NewManager[complex128](num.NewRing(*eps), norm)
+		err = render(m, c, *state, w, *save, ddio.NumCodec{})
+	default:
+		err = fmt.Errorf("unknown representation %q", *repr)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func buildCircuit(algName, file string, n int) (*circuit.Circuit, error) {
+	if file != "" {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return qasm.Parse(string(src), file)
+	}
+	switch algName {
+	case "grover":
+		return algorithms.Grover(n, uint64(1)<<uint(n)-2, 0), nil
+	case "bwt":
+		return algorithms.BWT(n, 8), nil
+	case "ghz":
+		c := circuit.New("ghz", n)
+		c.H(0)
+		for q := 1; q < n; q++ {
+			c.CX(q-1, q)
+		}
+		return c, nil
+	case "bell":
+		c := circuit.New("bell", 2)
+		c.H(0).CX(0, 1)
+		return c, nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", algName)
+}
+
+func render[T any](m *core.Manager[T], c *circuit.Circuit, state bool, w *os.File, save string, codec ddio.Codec[T]) error {
+	var e core.Edge[T]
+	if state {
+		s := sim.New(m, c.N)
+		if err := s.Run(c, nil); err != nil {
+			return err
+		}
+		e = s.State
+	} else {
+		u, err := sim.BuildUnitary(m, c)
+		if err != nil {
+			return err
+		}
+		e = u
+	}
+	if save != "" {
+		f, err := os.Create(save)
+		if err != nil {
+			return err
+		}
+		if err := ddio.Write(f, m, codec, e, c.N); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return m.DOT(w, e, c.Name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qmddview:", err)
+	os.Exit(1)
+}

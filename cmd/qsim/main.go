@@ -1,0 +1,253 @@
+// Command qsim simulates a quantum circuit on a QMDD using either the
+// state-of-the-art numerical representation (complex128 with tolerance ε) or
+// the paper's exact algebraic representation over Q[ω].
+//
+// Usage examples:
+//
+//	qsim -alg grover -n 10                         # exact algebraic run
+//	qsim -alg grover -n 10 -repr num -eps 1e-10    # numerical run
+//	qsim -alg gse -phasebits 4 -skdepth 1          # Clifford+T-compiled GSE
+//	qsim -file circuit.qasm -repr num -eps 0       # OpenQASM input
+//	qsim -alg bwt -depth 8 -steps 100 -norm gcd    # GCD normalization
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/cmplx"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/alg"
+	"repro/internal/algorithms"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/num"
+	"repro/internal/qasm"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+func main() {
+	var (
+		algName   = flag.String("alg", "", "built-in workload: grover, bwt, gse, ghz")
+		file      = flag.String("file", "", "OpenQASM 2.0 circuit file (alternative to -alg)")
+		repr      = flag.String("repr", "alg", "number representation: alg (exact) or num (float64)")
+		eps       = flag.Float64("eps", 0, "comparison tolerance ε for -repr num")
+		normFlag  = flag.String("norm", "left", "normalization scheme: left, max, gcd")
+		n         = flag.Int("n", 8, "grover: data qubits")
+		marked    = flag.Uint64("marked", 0, "grover: marked element (default 2^n−2)")
+		depth     = flag.Int("depth", 6, "bwt: welded tree depth")
+		steps     = flag.Int("steps", 50, "bwt: walk steps")
+		phaseBits = flag.Int("phasebits", 3, "gse: phase register size")
+		trotter   = flag.Int("trotter", 2, "gse: Trotter steps")
+		skDepth   = flag.Int("skdepth", 1, "gse: Solovay–Kitaev recursion depth")
+		netLen    = flag.Int("netlen", 10, "gse: synthesizer base-net word length")
+		samples   = flag.Int("samples", 0, "draw this many measurement samples")
+		seed      = flag.Int64("seed", 1, "sampling RNG seed")
+		topK      = flag.Int("top", 8, "print the K most probable outcomes")
+		stats     = flag.Bool("stats", false, "print manager statistics")
+		verify    = flag.Bool("verify", false, "cross-check against the dense array simulator (n ≤ 16)")
+		expand    = flag.Bool("expand", false, "expand multi-controlled gates over ancillas before simulating")
+		writeQASM = flag.String("writeqasm", "", "write the (possibly expanded) circuit to this OpenQASM file")
+	)
+	flag.Parse()
+
+	c, err := buildCircuit(*algName, *file, buildOpts{
+		n: *n, marked: *marked, depth: *depth, steps: *steps,
+		phaseBits: *phaseBits, trotter: *trotter, skDepth: *skDepth, netLen: *netLen,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *expand {
+		c, err = circuit.ExpandMultiControls(c)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("circuit %s: %d qubits, %d gates %v\n", c.Name, c.N, c.Len(), c.CountByName())
+	if *writeQASM != "" {
+		f, err := os.Create(*writeQASM)
+		if err != nil {
+			fatal(err)
+		}
+		if err := qasm.Write(f, c); err != nil {
+			f.Close()
+			fatal(fmt.Errorf("%w (hint: -expand rewrites multi-controlled gates into QASM-expressible form)", err))
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *writeQASM)
+	}
+
+	norm, err := core.ParseNormScheme(*normFlag)
+	if err != nil {
+		fatal(err)
+	}
+	switch *repr {
+	case "alg":
+		m := core.NewManager[alg.Q](alg.Ring{}, norm)
+		runAndReport(m, c, *samples, *seed, *topK, *stats, true, *verify)
+	case "num":
+		m := core.NewManager[complex128](num.NewRing(*eps), norm)
+		runAndReport(m, c, *samples, *seed, *topK, *stats, false, *verify)
+	default:
+		fatal(fmt.Errorf("unknown representation %q (want alg or num)", *repr))
+	}
+}
+
+// verifyDense cross-checks all QMDD amplitudes against the flat-array
+// simulator and prints the maximum deviation.
+func verifyDense[T any](m *core.Manager[T], s *sim.Simulator[T], c *circuit.Circuit) {
+	if c.N > 16 {
+		fmt.Println("verify: skipped (more than 16 qubits)")
+		return
+	}
+	ref := dense.New(c.N)
+	if err := ref.Run(c); err != nil {
+		fmt.Println("verify: dense simulator cannot run this circuit:", err)
+		return
+	}
+	maxDev := 0.0
+	for i := range ref.Amp {
+		got := m.R.Complex128(m.Amplitude(s.State, c.N, uint64(i)))
+		d := cmplx.Abs(got - ref.Amp[i])
+		if d > maxDev {
+			maxDev = d
+		}
+	}
+	fmt.Printf("verify: max amplitude deviation from dense simulation: %.3e\n", maxDev)
+}
+
+type buildOpts struct {
+	n         int
+	marked    uint64
+	depth     int
+	steps     int
+	phaseBits int
+	trotter   int
+	skDepth   int
+	netLen    int
+}
+
+func buildCircuit(algName, file string, o buildOpts) (*circuit.Circuit, error) {
+	switch {
+	case file != "":
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return qasm.Parse(string(src), file)
+	case algName == "grover":
+		marked := o.marked
+		if marked == 0 {
+			marked = uint64(1)<<uint(o.n) - 2
+		}
+		return algorithms.Grover(o.n, marked, 0), nil
+	case algName == "bwt":
+		return algorithms.BWT(o.depth, o.steps), nil
+	case algName == "gse":
+		raw := algorithms.GSE(algorithms.GSEConfig{
+			Hamiltonian: algorithms.H2Hamiltonian(),
+			PhaseBits:   o.phaseBits,
+			Time:        0.75,
+			Trotter:     o.trotter,
+			PrepareX:    []int{0},
+		})
+		s := synth.New(o.netLen)
+		ct, synthErr, err := algorithms.CompileCliffordT(raw, s, o.skDepth)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("gse: compiled to Clifford+T, accumulated synthesis error bound %.3g\n", synthErr)
+		return ct, nil
+	case algName == "ghz":
+		c := circuit.New("ghz", o.n)
+		c.H(0)
+		for q := 1; q < o.n; q++ {
+			c.CX(q-1, q)
+		}
+		return c, nil
+	}
+	return nil, fmt.Errorf("choose a workload with -alg {grover,bwt,gse,ghz} or -file <qasm>")
+}
+
+func runAndReport[T any](m *core.Manager[T], c *circuit.Circuit, samples int, seed int64, topK int, stats, exact, verify bool) {
+	s := sim.New(m, c.N)
+	start := time.Now()
+	if err := s.Run(c, nil); err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("simulated in %v; state QMDD has %d nodes; ‖ψ‖ = %.12f\n",
+		elapsed, s.State.NodeCount(), m.Norm2(s.State))
+	if exact {
+		fmt.Printf("max coefficient bit width: %d; trivial-weight fraction: %.2f\n",
+			m.MaxWeightBitLen(s.State), m.TrivialWeightFraction(s.State))
+	}
+	if verify {
+		verifyDense(m, s, c)
+	}
+
+	if topK > 0 {
+		printTop(m, s, c.N, topK)
+	}
+	if samples > 0 {
+		rng := rand.New(rand.NewSource(seed))
+		counts := map[uint64]int{}
+		for i := 0; i < samples; i++ {
+			if idx, ok := m.Sample(s.State, c.N, rng); ok {
+				counts[idx]++
+			}
+		}
+		fmt.Printf("measurement samples (%d shots):\n", samples)
+		printCounts(counts, c.N)
+	}
+	if stats {
+		st := m.Stats()
+		fmt.Printf("manager: %d unique nodes, %d/%d unique hits, %d/%d CT hits\n",
+			st.UniqueNodes, st.UniqueHits, st.UniqueLookups, st.CTHits, st.CTLookups)
+	}
+}
+
+func printTop[T any](m *core.Manager[T], s *sim.Simulator[T], n, k int) {
+	// Sparse traversal: touches only the state's support, so this works for
+	// any qubit count as long as the diagram is compact.
+	idxs, probs := m.TopOutcomes(s.State, n, k)
+	fmt.Printf("most probable outcomes (support %d):\n", m.SupportSize(s.State, n))
+	for i, idx := range idxs {
+		if probs[i] < 1e-12 {
+			break
+		}
+		fmt.Printf("  |%0*b⟩  %.6f\n", n, idx, probs[i])
+	}
+}
+
+func printCounts(counts map[uint64]int, n int) {
+	type kv struct {
+		idx uint64
+		c   int
+	}
+	var all []kv
+	for i, c := range counts {
+		all = append(all, kv{i, c})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].c > all[j].c })
+	for i, o := range all {
+		if i >= 10 {
+			fmt.Printf("  … and %d more outcomes\n", len(all)-10)
+			break
+		}
+		fmt.Printf("  |%0*b⟩  %d\n", n, o.idx, o.c)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qsim:", err)
+	os.Exit(1)
+}

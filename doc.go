@@ -1,0 +1,10 @@
+// Package repro reproduces "Accuracy and Compactness in Decision Diagrams
+// for Quantum Computation" (Zulehner, Niemann, Drechsler, Wille — DATE
+// 2019): QMDDs whose edge weights are exact algebraic numbers from the ring
+// D[ω] = Z[i, 1/√2] instead of floating-point approximations, eliminating
+// the accuracy/compactness trade-off of numerical decision diagrams.
+//
+// The root package only anchors the module documentation and the
+// figure-level benchmarks (bench_test.go); the implementation lives under
+// internal/ — see README.md and DESIGN.md for the map.
+package repro

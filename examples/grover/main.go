@@ -1,0 +1,53 @@
+// Grover search on an exact algebraic QMDD: simulate a 10-qubit database
+// search end to end, sample measurement outcomes, and compare the success
+// probability with the closed-form prediction — all without a single
+// floating-point comparison inside the representation.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/alg"
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func main() {
+	const n = 10
+	marked := uint64(618) // the needle in the 1024-entry haystack
+
+	c := algorithms.Grover(n, marked, 0)
+	fmt.Printf("Grover over %d qubits: %d iterations, %d gates\n",
+		n, algorithms.GroverIterations(n), c.Len())
+
+	m := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
+	s := sim.New(m, n)
+	if err := s.Run(c, nil); err != nil {
+		panic(err)
+	}
+
+	p := m.Probability(s.State, n, marked)
+	fmt.Printf("P(|%010b⟩) = %.9f (analytic %.9f)\n",
+		marked, p, algorithms.GroverSuccessProbability(n, algorithms.GroverIterations(n)))
+	fmt.Printf("state QMDD: %d nodes for a 2^%d-dimensional vector\n", s.State.NodeCount(), n)
+
+	// The Grover state has exactly two distinct amplitude values, which the
+	// exact representation exposes literally:
+	aMarked := m.Amplitude(s.State, n, marked)
+	aOther := m.Amplitude(s.State, n, 0)
+	fmt.Printf("marked amplitude:   %v\n", aMarked)
+	fmt.Printf("unmarked amplitude: %v\n", aOther)
+
+	rng := rand.New(rand.NewSource(7))
+	hits := 0
+	const shots = 1000
+	for i := 0; i < shots; i++ {
+		idx, ok := m.Sample(s.State, n, rng)
+		if ok && idx == marked {
+			hits++
+		}
+	}
+	fmt.Printf("sampling: found the marked element in %d/%d shots\n", hits, shots)
+}

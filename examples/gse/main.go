@@ -1,0 +1,91 @@
+// GSE end to end: estimate the ground-state energy of molecular hydrogen by
+// quantum phase estimation, compiled to Clifford+T with the Solovay–Kitaev
+// synthesizer and simulated on the exact algebraic QMDD — the paper's
+// "hard case" workload, where exactness is preserved but the D[ω]
+// coefficients grow wide.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/alg"
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+func main() {
+	h := algorithms.H2Hamiltonian()
+	const (
+		phaseBits = 3
+		tEvol     = 0.75
+	)
+	raw := algorithms.GSE(algorithms.GSEConfig{
+		Hamiltonian: h,
+		PhaseBits:   phaseBits,
+		Time:        tEvol,
+		Trotter:     1,
+		PrepareX:    []int{0}, // Hartree–Fock reference |10⟩
+	})
+	fmt.Printf("raw QPE circuit: %d qubits, %d gates (with arbitrary rotations)\n",
+		raw.N, raw.Len())
+
+	s := synth.New(13)
+	ct, synthErr, err := algorithms.CompileCliffordT(raw, s, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Clifford+T compiled: %d gates, synthesis error bound %.3g\n",
+		ct.Len(), synthErr)
+
+	m := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
+	simulator := sim.New(m, ct.N)
+	if err := simulator.Run(ct, nil); err != nil {
+		panic(err)
+	}
+	fmt.Printf("exact simulation done: %d state nodes, max coefficient width %d bits\n\n",
+		simulator.State.NodeCount(), m.MaxWeightBitLen(simulator.State))
+
+	// Marginal distribution of the phase register.
+	bins := 1 << phaseBits
+	sysDim := uint64(1) << uint(h.Qubits)
+	probs := make([]float64, bins)
+	total := uint64(1) << uint(ct.N)
+	for i := uint64(0); i < total; i++ {
+		probs[i/sysDim] += m.Probability(simulator.State, ct.N, i)
+	}
+	fmt.Println("phase-register distribution → energy estimate:")
+	best := 0
+	for b, p := range probs {
+		if p > probs[best] {
+			best = b
+		}
+		if p > 0.02 {
+			fmt.Printf("  bin %2d (E ≈ %+.3f): %s %.3f\n",
+				b, energyOf(b, bins, tEvol), bar(p), p)
+		}
+	}
+	fmt.Printf("\npeak bin %d → E ≈ %.3f Hartree (exact ground energy of this Hamiltonian: −1.851)\n",
+		best, energyOf(best, bins, tEvol))
+}
+
+// energyOf converts a phase-register bin back to an energy: the QPE phase is
+// φ = −E·t/2π (mod 1).
+func energyOf(bin, bins int, t float64) float64 {
+	phase := float64(bin) / float64(bins)
+	if phase > 0.5 {
+		phase -= 1
+	}
+	return -phase * 2 * math.Pi / t
+}
+
+func bar(p float64) string {
+	n := int(p * 40)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

@@ -1,0 +1,46 @@
+package alg
+
+import (
+	"math"
+	"math/big"
+)
+
+// Constructive density: the paper leans on D[ω] being a dense subset of ℂ
+// ("any quantum state and operation can be approximated to an arbitrary
+// precision"). ApproximateComplex realizes that claim: it returns the
+// element of the sub-lattice (1/√2^k)·Z[i] nearest to c, whose distance to
+// c is at most 1/√2^{k·... } — precisely, half a lattice diagonal,
+// (1/√2)^{k+1} ... bounded by (1/√2)^k (see ApproxErrorBound).
+
+// ApproximateComplex returns a D[ω] value within ApproxErrorBound(k) of c,
+// using denominator exponent at most k (k ≥ 0). Larger k gives finer
+// approximations: the error halves every two steps of k.
+func ApproximateComplex(c complex128, k int) D {
+	if k < 0 {
+		k = 0
+	}
+	// Scale by √2^k and round the real and imaginary parts to integers:
+	// the value (x + i·y)/√2^k lies in D[ω] since i = ω².
+	scale := math.Pow(math.Sqrt2, float64(k))
+	x := math.Round(real(c) * scale)
+	y := math.Round(imag(c) * scale)
+	w := NewZomegaBig(big.NewInt(0), bigFromFloat(y), big.NewInt(0), bigFromFloat(x))
+	return CanonD(w, k)
+}
+
+func bigFromFloat(f float64) *big.Int {
+	bf := new(big.Float).SetFloat64(f)
+	i, _ := bf.Int(nil)
+	return i
+}
+
+// ApproxErrorBound returns the guaranteed approximation radius of
+// ApproximateComplex with exponent k: half the diagonal of a lattice cell,
+// (1/√2)·(1/√2)^k = (1/√2)^{k+1}·√2 = (1/√2)^k... precisely
+// √2/2 · (1/√2)^k.
+func ApproxErrorBound(k int) float64 {
+	if k < 0 {
+		k = 0
+	}
+	return math.Sqrt2 / 2 * math.Pow(1/math.Sqrt2, float64(k))
+}

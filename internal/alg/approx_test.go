@@ -1,0 +1,74 @@
+package alg
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// TestApproximateComplexWithinBound: every approximation respects the
+// advertised error radius, and the radius shrinks as k grows — the paper's
+// density claim, constructively.
+func TestApproximateComplexWithinBound(t *testing.T) {
+	r := rand.New(rand.NewSource(210))
+	for trial := 0; trial < 300; trial++ {
+		c := complex(r.NormFloat64(), r.NormFloat64())
+		for _, k := range []int{0, 2, 5, 10, 20, 40} {
+			d := ApproximateComplex(c, k)
+			if err := cmplx.Abs(d.Complex128() - c); err > ApproxErrorBound(k)+1e-12 {
+				t.Fatalf("k=%d: |approx − c| = %v > bound %v (c = %v)",
+					k, err, ApproxErrorBound(k), c)
+			}
+		}
+	}
+}
+
+// TestApproximationConverges: the error actually decreases geometrically.
+func TestApproximationConverges(t *testing.T) {
+	c := complex(0.12345678901234, -0.98765432109876)
+	prev := cmplx.Abs(ApproximateComplex(c, 0).Complex128() - c)
+	for k := 4; k <= 40; k += 4 {
+		cur := cmplx.Abs(ApproximateComplex(c, k).Complex128() - c)
+		if cur > prev+1e-15 {
+			t.Fatalf("error grew from %v to %v at k=%d", prev, cur, k)
+		}
+		prev = cur
+	}
+	if prev > 1e-5 {
+		t.Fatalf("error at k=40 still %v", prev)
+	}
+}
+
+// TestApproximateExactValues: values already on the lattice are recovered
+// exactly.
+func TestApproximateExactValues(t *testing.T) {
+	if !ApproximateComplex(0, 7).IsZero() {
+		t.Fatal("0 not approximated by 0")
+	}
+	if !ApproximateComplex(1, 0).IsOne() {
+		t.Fatal("1 not approximated by 1")
+	}
+	half := ApproximateComplex(complex(0.5, 0), 2)
+	if !half.Equal(DHalf) {
+		t.Fatalf("1/2 approximated by %v", half)
+	}
+	// Even exponents put the Gaussian integers on the lattice exactly.
+	i := ApproximateComplex(1i, 4)
+	if !i.Equal(DI) {
+		t.Fatalf("i approximated by %v", i)
+	}
+	// At odd k the lattice is scaled by an irrational factor, so i is only
+	// approximated — but still within the bound.
+	i3 := ApproximateComplex(1i, 3)
+	if d := i3.Complex128() - 1i; real(d)*real(d)+imag(d)*imag(d) > ApproxErrorBound(3)*ApproxErrorBound(3)+1e-12 {
+		t.Fatalf("odd-k approximation of i out of bound: %v", i3)
+	}
+}
+
+// TestApproximateNegativeK: negative exponents clamp to 0.
+func TestApproximateNegativeK(t *testing.T) {
+	d := ApproximateComplex(complex(3.4, -2.1), -5)
+	if err := cmplx.Abs(d.Complex128() - complex(3.4, -2.1)); err > ApproxErrorBound(0)+1e-12 {
+		t.Fatalf("clamped approximation off by %v", err)
+	}
+}

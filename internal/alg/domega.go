@@ -1,0 +1,191 @@
+package alg
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// D is an element of the ring D[ω] = Z[i, 1/√2]:
+//
+//	α = (1/√2)^K · (A·ω³ + B·ω² + C·ω + D)
+//
+// kept in the canonical form of Algorithm 1 of the paper: K is the smallest
+// denominator exponent, which holds iff A ≢ C (mod 2) or B ≢ D (mod 2)
+// (and the zero element is represented as (0,0,0,0) with K = 0). With K
+// fixed to its minimum the representation is unique, so two D values denote
+// the same complex number iff they are structurally equal.
+type D struct {
+	W Zomega
+	K int
+}
+
+// NewD builds the canonical representative of (1/√2)^k (aω³ + bω² + cω + d).
+func NewD(a, b, c, d int64, k int) D {
+	return CanonD(NewZomega(a, b, c, d), k)
+}
+
+// CanonD canonicalizes the pair (w, k) by Algorithm 1: while both parity
+// conditions hold, divide the coefficient vector by √2 and decrement k.
+// The loop terminates because each step halves the integer u-part of N(w).
+func CanonD(w Zomega, k int) D {
+	if w.IsZero() {
+		return D{ZomegaZero, 0}
+	}
+	for {
+		r, ok := w.DivSqrt2()
+		if !ok {
+			return D{w, k}
+		}
+		w = r
+		k--
+	}
+}
+
+// Convenient constants (treat as immutable).
+var (
+	DZero     = D{ZomegaZero, 0}
+	DOne      = D{ZomegaOne, 0}
+	DI        = D{ZomegaI, 0}
+	DOmegaVal = D{ZomegaW, 0}          // ω
+	DSqrt2    = CanonD(ZomegaSqrt2, 0) // √2, canonically (1, k = −1)
+	DInvSqrt2 = D{ZomegaOne, 1}        // 1/√2
+	DHalf     = D{ZomegaOne, 2}        // 1/2
+	DMinusOne = D{ZomegaOne.Neg(), 0}  // −1
+)
+
+// DFromInt returns the integer n as a D[ω] element.
+func DFromInt(n int64) D { return CanonD(NewZomega(0, 0, 0, n), 0) }
+
+// DOmegaPow returns ω^r (r taken mod 8).
+func DOmegaPow(r int) D { return CanonD(ZomegaOne.MulOmegaPow(r), 0) }
+
+// DInvSqrt2Pow returns (1/√2)^k for any k (negative k gives powers of √2).
+func DInvSqrt2Pow(k int) D { return CanonD(ZomegaOne, k) }
+
+// IsZero reports whether d == 0.
+func (d D) IsZero() bool { return d.W.IsZero() }
+
+// IsOne reports whether d == 1.
+func (d D) IsOne() bool { return d.K == 0 && d.W.IsOne() }
+
+// Equal reports value equality (structural equality of canonical forms).
+func (d D) Equal(y D) bool { return d.K == y.K && d.W.Equal(y.W) }
+
+// align raises both operands to a common denominator exponent
+// k = max(d.K, y.K) by multiplying the lower-k coefficient vector by √2.
+func align(d, y D) (Zomega, Zomega, int) {
+	k := d.K
+	if y.K > k {
+		k = y.K
+	}
+	wd, wy := d.W, y.W
+	for i := d.K; i < k; i++ {
+		wd = wd.MulSqrt2()
+	}
+	for i := y.K; i < k; i++ {
+		wy = wy.MulSqrt2()
+	}
+	return wd, wy, k
+}
+
+// Add returns d + y.
+func (d D) Add(y D) D {
+	if d.IsZero() {
+		return y
+	}
+	if y.IsZero() {
+		return d
+	}
+	wd, wy, k := align(d, y)
+	return CanonD(wd.Add(wy), k)
+}
+
+// Sub returns d − y.
+func (d D) Sub(y D) D { return d.Add(y.Neg()) }
+
+// Neg returns −d.
+func (d D) Neg() D { return D{d.W.Neg(), d.K} }
+
+// Mul returns d · y.
+func (d D) Mul(y D) D {
+	if d.IsZero() || y.IsZero() {
+		return DZero
+	}
+	return CanonD(d.W.Mul(y.W), d.K+y.K)
+}
+
+// Conj returns the complex conjugate (1/√2 is real, so K is unchanged).
+func (d D) Conj() D {
+	// Conjugation preserves the parity criterion (it only permutes/negates
+	// coefficients), so the result is already canonical.
+	return D{d.W.Conj(), d.K}
+}
+
+// MulSqrt2Pow returns d · √2^j for any j ∈ Z.
+func (d D) MulSqrt2Pow(j int) D {
+	if d.IsZero() {
+		return DZero
+	}
+	return CanonD(d.W, d.K-j)
+}
+
+// Norm returns the squared magnitude |d|² as an exact element of Z[√2]
+// scaled by 2^{-K}: it returns (n, k) with |d|² = n / 2^k where n ∈ Z[√2]
+// and k = d.K (not reduced; callers needing floats use Abs2).
+func (d D) Norm() (Zroot2, int) { return d.W.Norm(), d.K }
+
+// DivE divides d by y exactly in D[ω]. ok is false when y does not divide d
+// in D[ω] (e.g. division by 3): then the quotient would need an odd
+// denominator and only Q[ω] can express it.
+func (d D) DivE(y D) (q D, ok bool) {
+	if y.IsZero() {
+		return DZero, false
+	}
+	if d.IsZero() {
+		return DZero, true
+	}
+	// d / y = d·ȳ·conj2(N(y)) / fieldNorm(N(y)) scaled by √2 exponents.
+	n := y.W.Norm()
+	m := n.FieldNorm() // ±(odd or even) integer, nonzero
+	num := d.W.Mul(y.W.Conj()).Mul(n.Conj().Zomega())
+	k := d.K - y.K // the two extra factors ȳ·conj2(N(y)) carry no 1/√2
+	// Divide num by the integer m: strip powers of two into k, then the odd
+	// part must divide all coefficients exactly for ok to hold.
+	if m.Sign() < 0 {
+		num = num.Neg()
+		m = new(big.Int).Neg(m)
+	}
+	for m.Bit(0) == 0 {
+		m = new(big.Int).Rsh(m, 1)
+		k += 2 // dividing by 2 = multiplying by (1/√2)²
+	}
+	if m.Cmp(bigOne) != 0 {
+		rem := new(big.Int)
+		for _, coef := range []*big.Int{num.A, num.B, num.C, num.D} {
+			if rem.Mod(coef, m); rem.Sign() != 0 {
+				return DZero, false
+			}
+		}
+		num = num.DivExactInt(m)
+	}
+	return CanonD(num, k), true
+}
+
+// Key returns a canonical string key suitable for hash maps. Because the
+// representation is canonical, Key(x) == Key(y) iff x and y are the same
+// complex number.
+func (d D) Key() string {
+	return fmt.Sprintf("%s|%s|%s|%s|%d",
+		d.W.A.Text(36), d.W.B.Text(36), d.W.C.Text(36), d.W.D.Text(36), d.K)
+}
+
+// String renders d for human consumption.
+func (d D) String() string {
+	if d.K == 0 {
+		return d.W.String()
+	}
+	return fmt.Sprintf("(1/√2)^%d·%s", d.K, d.W.String())
+}
+
+// MaxBitLen returns the largest coefficient bit length (bit-width statistic).
+func (d D) MaxBitLen() int { return d.W.MaxBitLen() }

@@ -1,0 +1,121 @@
+package alg
+
+import "math/big"
+
+// Euclidean division and greatest common divisors in Z[ω].
+//
+// The paper establishes that Z[ω] is a Euclidean ring under
+// E(z) = |u² − 2v²| (with N(z) = u + v√2): division with remainder is
+// performed by computing z₁/z₂ exactly in Q[ω] and rounding each coefficient
+// to the nearest integer, which guarantees E(r) ≤ (9/16)·E(z₂) and hence
+// termination of the Euclidean algorithm. GCDs in D[ω] reduce to GCDs in
+// Z[ω] because every D[ω] element is associated (up to the unit 1/√2) to a
+// Z[ω] element.
+
+// QuoRem returns q, r with z1 = q·z2 + r and E(r) < E(z2). z2 must be
+// nonzero. The quotient is obtained by nearest-integer rounding of the exact
+// Q[ω] quotient; in the rare tie cases where rounding alone does not
+// contract, a small neighborhood of quotients is searched (the ring is
+// Euclidean, so a contracting quotient always exists nearby).
+func QuoRem(z1, z2 Zomega) (q, r Zomega) {
+	if z2.IsZero() {
+		panic("alg: division by zero in Z[ω]")
+	}
+	// z1/z2 = z1·z̄2·(u − v√2) / (u² − 2v²) with N(z2) = u + v√2.
+	n := z2.Norm()
+	m := n.FieldNorm()
+	num := z1.Mul(z2.Conj()).Mul(n.Conj().Zomega())
+	q = Zomega{
+		roundDiv(num.A, m),
+		roundDiv(num.B, m),
+		roundDiv(num.C, m),
+		roundDiv(num.D, m),
+	}
+	r = z1.Sub(q.Mul(z2))
+	e2 := z2.Euclid()
+	if r.Euclid().Cmp(e2) < 0 {
+		return q, r
+	}
+	// Repair search: try small offsets around q.
+	best, bestE := q, r.Euclid()
+	var delta Zomega
+	for da := int64(-1); da <= 1; da++ {
+		for db := int64(-1); db <= 1; db++ {
+			for dc := int64(-1); dc <= 1; dc++ {
+				for dd := int64(-1); dd <= 1; dd++ {
+					if da == 0 && db == 0 && dc == 0 && dd == 0 {
+						continue
+					}
+					delta = NewZomega(da, db, dc, dd)
+					cand := q.Add(delta)
+					re := z1.Sub(cand.Mul(z2)).Euclid()
+					if re.Cmp(bestE) < 0 {
+						best, bestE = cand, re
+					}
+				}
+			}
+		}
+	}
+	if bestE.Cmp(e2) >= 0 {
+		// Cannot happen for a Euclidean ring with the 9/16 bound; guard
+		// against silent non-termination anyway.
+		panic("alg: Euclidean division failed to contract")
+	}
+	q = best
+	r = z1.Sub(q.Mul(z2))
+	return q, r
+}
+
+// roundDiv returns round(a/m) with rounding to the nearest integer
+// (ties away from zero), for m ≠ 0.
+func roundDiv(a, m *big.Int) *big.Int {
+	num := new(big.Int).Lsh(a, 1) // 2a
+	if m.Sign() < 0 {
+		num.Neg(num)
+	}
+	absM := new(big.Int).Abs(m)
+	// round(x/m) = floor((2x + m) / (2m)) for positive m
+	num.Add(num, absM)
+	den := new(big.Int).Lsh(absM, 1)
+	q := new(big.Int).Div(num, den) // floor division
+	return q
+}
+
+// GCDZ returns a greatest common divisor of z1 and z2 in Z[ω] (unique only
+// up to units; see CanonicalAssociate for the normalization the GCD
+// normalization scheme applies on top).
+func GCDZ(z1, z2 Zomega) Zomega {
+	a, b := z1, z2
+	for !b.IsZero() {
+		_, r := QuoRem(a, b)
+		a, b = b, r
+	}
+	return a
+}
+
+// GCDD returns a greatest common divisor in D[ω] of a list of values,
+// skipping zeros. Each value is replaced by its associated Z[ω] core (the
+// canonical coefficient vector, which differs from the value by a power of
+// the unit 1/√2), so the result is a Z[ω] element embedded in D[ω]. The
+// zero value is returned when all inputs are zero.
+func GCDD(vals ...D) D {
+	var g Zomega
+	have := false
+	for _, v := range vals {
+		if v.IsZero() {
+			continue
+		}
+		if !have {
+			g, have = v.W, true
+			continue
+		}
+		g = GCDZ(g, v.W)
+		if g.Euclid().Cmp(bigOne) == 0 {
+			break // unit: gcd cannot shrink further
+		}
+	}
+	if !have {
+		return DZero
+	}
+	return CanonD(g, 0)
+}

@@ -1,0 +1,104 @@
+package alg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestQuoRemContracts(t *testing.T) {
+	r := rand.New(rand.NewSource(30))
+	for i := 0; i < 500; i++ {
+		z1, z2 := randZomega(r, 40), randZomega(r, 40)
+		if z2.IsZero() {
+			continue
+		}
+		q, rem := QuoRem(z1, z2)
+		if !q.Mul(z2).Add(rem).Equal(z1) {
+			t.Fatalf("q·z2 + r ≠ z1 for %v / %v", z1, z2)
+		}
+		if rem.Euclid().Cmp(z2.Euclid()) >= 0 {
+			t.Fatalf("E(r) = %v not < E(z2) = %v", rem.Euclid(), z2.Euclid())
+		}
+	}
+}
+
+func TestQuoRemExactDivision(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for i := 0; i < 200; i++ {
+		a, b := randZomega(r, 15), randZomega(r, 15)
+		if b.IsZero() {
+			continue
+		}
+		q, rem := QuoRem(a.Mul(b), b)
+		if !rem.IsZero() {
+			t.Fatalf("remainder %v for exact division", rem)
+		}
+		if !q.Equal(a) {
+			t.Fatalf("quotient %v, want %v", q, a)
+		}
+	}
+}
+
+func TestGCDZDividesBoth(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	for i := 0; i < 200; i++ {
+		z1, z2 := randZomega(r, 20), randZomega(r, 20)
+		if z1.IsZero() || z2.IsZero() {
+			continue
+		}
+		g := GCDZ(z1, z2)
+		if g.IsZero() {
+			t.Fatalf("gcd of nonzero elements is zero")
+		}
+		for _, z := range []Zomega{z1, z2} {
+			_, rem := QuoRem(z, g)
+			if !rem.IsZero() {
+				t.Fatalf("gcd %v does not divide %v", g, z)
+			}
+		}
+	}
+}
+
+func TestGCDZCommonFactor(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	for i := 0; i < 100; i++ {
+		g := randZomega(r, 6)
+		if g.IsZero() || g.Euclid().Cmp(bigOne) == 0 {
+			continue // skip zero and units: nothing to detect
+		}
+		a, b := randZomega(r, 8), randZomega(r, 8)
+		if a.IsZero() || b.IsZero() {
+			continue
+		}
+		got := GCDZ(a.Mul(g), b.Mul(g))
+		// g must divide the gcd of (ag, bg).
+		_, rem := QuoRem(got, g)
+		if !rem.IsZero() {
+			t.Fatalf("gcd(ag, bg) = %v is not a multiple of g = %v", got, g)
+		}
+	}
+}
+
+func TestGCDDAssociativity(t *testing.T) {
+	r := rand.New(rand.NewSource(34))
+	for i := 0; i < 100; i++ {
+		vals := []D{randD(r, 8, 2), randD(r, 8, 2), randD(r, 8, 2), randD(r, 8, 2)}
+		g := GCDD(vals...)
+		nonzero := false
+		for _, v := range vals {
+			if v.IsZero() {
+				continue
+			}
+			nonzero = true
+			if _, ok := v.DivE(g); !ok {
+				t.Fatalf("GCDD result %v does not divide %v", g, v)
+			}
+		}
+		if nonzero && g.IsZero() {
+			t.Fatal("GCDD of nonzero values is zero")
+		}
+	}
+	if !GCDD(DZero, DZero).IsZero() {
+		t.Fatal("GCDD of zeros should be zero")
+	}
+}

@@ -1,0 +1,179 @@
+package alg
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Q is an element of the cyclotomic number field Q[ω], the fraction field of
+// D[ω], in the unique representation the paper derives in Section IV-B:
+//
+//	q = N / E,  N ∈ D[ω] canonical,  E an odd positive integer,
+//	gcd(a, b, c, d, E) = 1.
+//
+// Every nonzero Q has a multiplicative inverse, which is what lets the
+// Q[ω]-inverse normalization scheme (Algorithm 2) divide by arbitrary edge
+// weights. Powers of 2 in denominators fold into the √2-exponent K of N
+// (1/2 = (1/√2)²), so E only ever carries the odd part.
+type Q struct {
+	N D
+	E *big.Int
+}
+
+// Convenient constants (treat as immutable).
+var (
+	QZero     = Q{DZero, big.NewInt(1)}
+	QOne      = Q{DOne, big.NewInt(1)}
+	QI        = Q{DI, big.NewInt(1)}
+	QInvSqrt2 = Q{DInvSqrt2, big.NewInt(1)}
+	QMinusOne = Q{DMinusOne, big.NewInt(1)}
+)
+
+// QFromD embeds a D[ω] element into Q[ω].
+func QFromD(d D) Q { return Q{d, big.NewInt(1)} }
+
+// QFromInt returns the integer n.
+func QFromInt(n int64) Q { return QFromD(DFromInt(n)) }
+
+// NewQ builds the canonical representative of
+// (1/√2)^k (aω³ + bω² + cω + d) / den for an arbitrary nonzero denominator.
+func NewQ(a, b, c, d int64, k int, den int64) Q {
+	return canonQ(NewZomega(a, b, c, d), k, big.NewInt(den))
+}
+
+// QFromParts builds the canonical representative of
+// (1/√2)^k·w / den for an arbitrary nonzero denominator (used e.g. by
+// deserialization).
+func QFromParts(w Zomega, k int, den *big.Int) Q { return canonQ(w, k, den) }
+
+// canonQ normalizes (w, k) / den: sign into the numerator, powers of two in
+// den into k, the remaining odd part reduced against the coefficient content.
+func canonQ(w Zomega, k int, den *big.Int) Q {
+	if den.Sign() == 0 {
+		panic("alg: zero denominator in Q[ω]")
+	}
+	if w.IsZero() {
+		return Q{DZero, big.NewInt(1)}
+	}
+	e := cp(den)
+	if e.Sign() < 0 {
+		e.Neg(e)
+		w = w.Neg()
+	}
+	for e.Bit(0) == 0 {
+		e.Rsh(e, 1)
+		k += 2 // dividing by 2 = multiplying by (1/√2)²
+	}
+	if e.Cmp(bigOne) != 0 {
+		g := new(big.Int).GCD(nil, nil, w.Content(), e)
+		if g.Cmp(bigOne) > 0 {
+			w = w.DivExactInt(g)
+			e.Quo(e, g)
+		}
+	}
+	// Dividing by an odd integer preserves coefficient parities, so the
+	// minimal-k reduction below interacts cleanly with the E-reduction above.
+	return Q{CanonD(w, k), e}
+}
+
+// reQ re-canonicalizes a (D, E) pair where the D part is already canonical
+// but the content/denominator reduction may still apply.
+func reQ(n D, e *big.Int) Q { return canonQ(n.W, n.K, e) }
+
+// IsZero reports whether q == 0.
+func (q Q) IsZero() bool { return q.N.IsZero() }
+
+// IsOne reports whether q == 1.
+func (q Q) IsOne() bool { return q.N.IsOne() && q.E.Cmp(bigOne) == 0 }
+
+// Equal reports value equality.
+func (q Q) Equal(y Q) bool { return q.E.Cmp(y.E) == 0 && q.N.Equal(y.N) }
+
+// Add returns q + y.
+func (q Q) Add(y Q) Q {
+	if q.IsZero() {
+		return y
+	}
+	if y.IsZero() {
+		return q
+	}
+	// q + y = (Nq·Ey + Ny·Eq) / (Eq·Ey)
+	a := CanonD(q.N.W.MulInt(y.E), q.N.K)
+	b := CanonD(y.N.W.MulInt(q.E), y.N.K)
+	s := a.Add(b)
+	return reQ(s, new(big.Int).Mul(q.E, y.E))
+}
+
+// Sub returns q − y.
+func (q Q) Sub(y Q) Q { return q.Add(y.Neg()) }
+
+// Neg returns −q.
+func (q Q) Neg() Q { return Q{q.N.Neg(), cp(q.E)} }
+
+// Mul returns q · y.
+func (q Q) Mul(y Q) Q {
+	if q.IsZero() || y.IsZero() {
+		return QZero
+	}
+	return reQ(q.N.Mul(y.N), new(big.Int).Mul(q.E, y.E))
+}
+
+// Conj returns the complex conjugate.
+func (q Q) Conj() Q { return Q{q.N.Conj(), cp(q.E)} }
+
+// Inv returns the multiplicative inverse 1/q, constructed as in the paper
+// (Section IV-B, Example 8): with N(w) = u + v√2,
+//
+//	w⁻¹ = w̄ · (u − v√2) / (u² − 2v²),
+//
+// and the √2-exponent and odd denominator move between numerator and
+// denominator as units / odd integers. Inv panics on zero.
+func (q Q) Inv() Q {
+	if q.IsZero() {
+		panic("alg: inverse of zero in Q[ω]")
+	}
+	w, k := q.N.W, q.N.K
+	n := w.Norm()
+	m := n.FieldNorm() // nonzero integer u² − 2v²
+	num := w.Conj().Mul(n.Conj().Zomega()).MulInt(q.E)
+	// value⁻¹ = num · √2^k / m  = (1/√2)^{−k} · num / m
+	return canonQ(num, -k, m)
+}
+
+// Div returns q / y. It panics when y is zero.
+func (q Q) Div(y Q) Q { return q.Mul(y.Inv()) }
+
+// InD reports whether q lies in the subring D[ω] (odd denominator 1) and, if
+// so, returns the D[ω] element.
+func (q Q) InD() (D, bool) {
+	if q.E.Cmp(bigOne) != 0 {
+		return DZero, false
+	}
+	return q.N, true
+}
+
+// Key returns a canonical hash key; equal keys iff equal values.
+func (q Q) Key() string {
+	if q.E.Cmp(bigOne) == 0 {
+		return q.N.Key()
+	}
+	return q.N.Key() + "/" + q.E.Text(36)
+}
+
+// String renders q for humans.
+func (q Q) String() string {
+	if q.E.Cmp(bigOne) == 0 {
+		return q.N.String()
+	}
+	return fmt.Sprintf("%s/%v", q.N.String(), q.E)
+}
+
+// MaxBitLen returns the largest bit length over the numerator coefficients
+// and the denominator — the statistic behind the paper's Fig. 5 discussion.
+func (q Q) MaxBitLen() int {
+	m := q.N.MaxBitLen()
+	if b := q.E.BitLen(); b > m {
+		m = b
+	}
+	return m
+}

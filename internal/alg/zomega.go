@@ -1,0 +1,282 @@
+// Package alg implements exact algebraic arithmetic in the rings used by
+// algebraic QMDDs: the cyclotomic integers Z[ω] (ω = e^{iπ/4}), the real
+// quadratic ring Z[√2] (the norm codomain), the dyadic extension
+// D[ω] = Z[i, 1/√2], and its fraction field Q[ω].
+//
+// Every complex number reachable by a Clifford+T circuit lies in D[ω] and is
+// written with five integers as
+//
+//	α = (1/√2)^k · (a·ω³ + b·ω² + c·ω + d),
+//
+// a representation this package keeps canonical (minimal denominator
+// exponent k, see Algorithm 1 of the paper) so that structural equality of
+// decision-diagram weights is exact value equality.
+//
+// All coefficient arithmetic uses math/big, so no overflow or rounding ever
+// occurs. Values are immutable: every operation returns a fresh value and
+// never aliases the operands' coefficients.
+package alg
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Zomega is an element a·ω³ + b·ω² + c·ω + d of the ring Z[ω] of cyclotomic
+// integers of order 8, where ω = e^{iπ/4} = (1+i)/√2 satisfies ω⁴ = −1.
+// The useful sub-values are i = ω² and √2 = ω − ω³.
+type Zomega struct {
+	A, B, C, D *big.Int // coefficients of ω³, ω², ω, 1
+}
+
+// NewZomega returns a·ω³ + b·ω² + c·ω + d from small integer coefficients.
+func NewZomega(a, b, c, d int64) Zomega {
+	return Zomega{big.NewInt(a), big.NewInt(b), big.NewInt(c), big.NewInt(d)}
+}
+
+// NewZomegaBig returns a·ω³ + b·ω² + c·ω + d, copying the given coefficients.
+func NewZomegaBig(a, b, c, d *big.Int) Zomega {
+	return Zomega{cp(a), cp(b), cp(c), cp(d)}
+}
+
+func cp(x *big.Int) *big.Int { return new(big.Int).Set(x) }
+
+// Convenient constants. Never mutate these (treat Zomega values as immutable).
+var (
+	ZomegaZero  = NewZomega(0, 0, 0, 0)
+	ZomegaOne   = NewZomega(0, 0, 0, 1)
+	ZomegaI     = NewZomega(0, 1, 0, 0)  // i = ω²
+	ZomegaW     = NewZomega(0, 0, 1, 0)  // ω itself
+	ZomegaSqrt2 = NewZomega(-1, 0, 1, 0) // √2 = ω − ω³
+)
+
+// IsZero reports whether z == 0.
+func (z Zomega) IsZero() bool {
+	return z.A.Sign() == 0 && z.B.Sign() == 0 && z.C.Sign() == 0 && z.D.Sign() == 0
+}
+
+// IsOne reports whether z == 1.
+func (z Zomega) IsOne() bool {
+	return z.A.Sign() == 0 && z.B.Sign() == 0 && z.C.Sign() == 0 &&
+		z.D.Cmp(bigOne) == 0
+}
+
+var (
+	bigOne = big.NewInt(1)
+)
+
+// Equal reports coefficient-wise equality (which is value equality, since
+// 1, ω, ω², ω³ are linearly independent over Q).
+func (z Zomega) Equal(y Zomega) bool {
+	return z.A.Cmp(y.A) == 0 && z.B.Cmp(y.B) == 0 &&
+		z.C.Cmp(y.C) == 0 && z.D.Cmp(y.D) == 0
+}
+
+// Add returns z + y.
+func (z Zomega) Add(y Zomega) Zomega {
+	return Zomega{
+		new(big.Int).Add(z.A, y.A),
+		new(big.Int).Add(z.B, y.B),
+		new(big.Int).Add(z.C, y.C),
+		new(big.Int).Add(z.D, y.D),
+	}
+}
+
+// Sub returns z − y.
+func (z Zomega) Sub(y Zomega) Zomega {
+	return Zomega{
+		new(big.Int).Sub(z.A, y.A),
+		new(big.Int).Sub(z.B, y.B),
+		new(big.Int).Sub(z.C, y.C),
+		new(big.Int).Sub(z.D, y.D),
+	}
+}
+
+// Neg returns −z.
+func (z Zomega) Neg() Zomega {
+	return Zomega{
+		new(big.Int).Neg(z.A),
+		new(big.Int).Neg(z.B),
+		new(big.Int).Neg(z.C),
+		new(big.Int).Neg(z.D),
+	}
+}
+
+// Mul returns z · y, reducing powers of ω with ω⁴ = −1.
+//
+// Writing z = Σ zᵢωⁱ and y = Σ yⱼωʲ (z₃ = A, z₂ = B, z₁ = C, z₀ = D), the raw
+// product has powers ω⁰..ω⁶ and the reduction is ω⁴ = −1, ω⁵ = −ω, ω⁶ = −ω².
+func (z Zomega) Mul(y Zomega) Zomega {
+	z0, z1, z2, z3 := z.D, z.C, z.B, z.A
+	y0, y1, y2, y3 := y.D, y.C, y.B, y.A
+
+	var r [7]*big.Int
+	for k := range r {
+		r[k] = new(big.Int)
+	}
+	var t big.Int
+	mulAdd := func(dst *big.Int, x, y *big.Int) { dst.Add(dst, t.Mul(x, y)) }
+
+	mulAdd(r[0], z0, y0)
+	mulAdd(r[1], z0, y1)
+	mulAdd(r[1], z1, y0)
+	mulAdd(r[2], z0, y2)
+	mulAdd(r[2], z1, y1)
+	mulAdd(r[2], z2, y0)
+	mulAdd(r[3], z0, y3)
+	mulAdd(r[3], z1, y2)
+	mulAdd(r[3], z2, y1)
+	mulAdd(r[3], z3, y0)
+	mulAdd(r[4], z1, y3)
+	mulAdd(r[4], z2, y2)
+	mulAdd(r[4], z3, y1)
+	mulAdd(r[5], z2, y3)
+	mulAdd(r[5], z3, y2)
+	mulAdd(r[6], z3, y3)
+
+	return Zomega{
+		A: r[3],
+		B: new(big.Int).Sub(r[2], r[6]),
+		C: new(big.Int).Sub(r[1], r[5]),
+		D: new(big.Int).Sub(r[0], r[4]),
+	}
+}
+
+// MulInt returns z · n for an ordinary integer n.
+func (z Zomega) MulInt(n *big.Int) Zomega {
+	return Zomega{
+		new(big.Int).Mul(z.A, n),
+		new(big.Int).Mul(z.B, n),
+		new(big.Int).Mul(z.C, n),
+		new(big.Int).Mul(z.D, n),
+	}
+}
+
+// Conj returns the complex conjugate z̄. Since ω̄ = ω⁻¹ = −ω³,
+// conj maps (a, b, c, d) ↦ (−c, −b, −a, d).
+func (z Zomega) Conj() Zomega {
+	return Zomega{
+		new(big.Int).Neg(z.C),
+		new(big.Int).Neg(z.B),
+		new(big.Int).Neg(z.A),
+		cp(z.D),
+	}
+}
+
+// Conj2 returns the √2-conjugate: the Galois automorphism ω ↦ −ω, which
+// fixes i = ω² and sends √2 ↦ −√2. It maps (a, b, c, d) ↦ (−a, b, −c, d).
+func (z Zomega) Conj2() Zomega {
+	return Zomega{
+		new(big.Int).Neg(z.A),
+		cp(z.B),
+		new(big.Int).Neg(z.C),
+		cp(z.D),
+	}
+}
+
+// MulOmega returns z · ω (a rotation of the coefficient quadruple with one
+// sign flip: ω·(aω³+bω²+cω+d) = bω³ + cω² + dω − a).
+func (z Zomega) MulOmega() Zomega {
+	return Zomega{cp(z.B), cp(z.C), cp(z.D), new(big.Int).Neg(z.A)}
+}
+
+// MulOmegaPow returns z · ω^r for any r (taken mod 8).
+func (z Zomega) MulOmegaPow(r int) Zomega {
+	r = ((r % 8) + 8) % 8
+	w := z
+	for i := 0; i < r; i++ {
+		w = w.MulOmega()
+	}
+	return w
+}
+
+// MulSqrt2 returns z · √2 = z · (ω − ω³):
+// (a, b, c, d) ↦ (b−d, c+a, b+d, c−a).
+func (z Zomega) MulSqrt2() Zomega {
+	return Zomega{
+		new(big.Int).Sub(z.B, z.D),
+		new(big.Int).Add(z.C, z.A),
+		new(big.Int).Add(z.B, z.D),
+		new(big.Int).Sub(z.C, z.A),
+	}
+}
+
+// DivSqrt2 returns z / √2 and whether the division is exact in Z[ω].
+// It is exact iff a ≡ c and b ≡ d (mod 2); then
+// (a, b, c, d) ↦ ((b−d)/2, (c+a)/2, (b+d)/2, (c−a)/2).
+func (z Zomega) DivSqrt2() (Zomega, bool) {
+	if !parityEq(z.A, z.C) || !parityEq(z.B, z.D) {
+		return Zomega{}, false
+	}
+	half := func(x *big.Int) *big.Int { return new(big.Int).Rsh(x, 1) }
+	return Zomega{
+		half(new(big.Int).Sub(z.B, z.D)),
+		half(new(big.Int).Add(z.C, z.A)),
+		half(new(big.Int).Add(z.B, z.D)),
+		half(new(big.Int).Sub(z.C, z.A)),
+	}, true
+}
+
+func parityEq(x, y *big.Int) bool { return x.Bit(0) == y.Bit(0) }
+
+// Norm returns the squared complex magnitude N(z) = z · z̄, which always lies
+// in Z[√2]. It panics if the internal consistency check fails (which would
+// indicate a bug in Mul or Conj).
+func (z Zomega) Norm() Zroot2 {
+	m := z.Mul(z.Conj())
+	if m.B.Sign() != 0 || new(big.Int).Neg(m.A).Cmp(m.C) != 0 {
+		panic(fmt.Sprintf("alg: norm of %v not in Z[√2]: %v", z, m))
+	}
+	return Zroot2{U: m.D, V: m.C}
+}
+
+// Euclid returns the value of the Euclidean function
+// E(z) = |u² − 2v²| where N(z) = u + v√2: the absolute field norm of z over Q.
+// E is multiplicative and E(z) = 0 iff z = 0, which is what makes the
+// Euclidean algorithm in Z[ω] terminate.
+func (z Zomega) Euclid() *big.Int {
+	return z.Norm().FieldNormAbs()
+}
+
+// Content returns gcd(|a|, |b|, |c|, |d|) (0 for the zero element).
+func (z Zomega) Content() *big.Int {
+	g := new(big.Int).Abs(z.A)
+	g.GCD(nil, nil, g, new(big.Int).Abs(z.B))
+	g.GCD(nil, nil, g, new(big.Int).Abs(z.C))
+	g.GCD(nil, nil, g, new(big.Int).Abs(z.D))
+	return g
+}
+
+// DivExactInt divides every coefficient by n, which must divide them all.
+func (z Zomega) DivExactInt(n *big.Int) Zomega {
+	q := func(x *big.Int) *big.Int {
+		d, m := new(big.Int).QuoRem(x, n, new(big.Int))
+		if m.Sign() != 0 {
+			panic("alg: DivExactInt: not divisible")
+		}
+		return d
+	}
+	return Zomega{q(z.A), q(z.B), q(z.C), q(z.D)}
+}
+
+// String renders z as a readable polynomial in ω.
+func (z Zomega) String() string {
+	return fmt.Sprintf("(%v·ω³ + %v·ω² + %v·ω + %v)", z.A, z.B, z.C, z.D)
+}
+
+// MaxBitLen returns the largest bit length among the four coefficients.
+// It is the per-number contribution to the "bit-width growth" statistic the
+// paper uses to explain the GSE overhead.
+func (z Zomega) MaxBitLen() int {
+	m := z.A.BitLen()
+	if b := z.B.BitLen(); b > m {
+		m = b
+	}
+	if b := z.C.BitLen(); b > m {
+		m = b
+	}
+	if b := z.D.BitLen(); b > m {
+		m = b
+	}
+	return m
+}

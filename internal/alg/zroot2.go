@@ -1,0 +1,129 @@
+package alg
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Zroot2 is an element u + v√2 of the real quadratic ring Z[√2]. It appears
+// as the codomain of the squared-magnitude norm N(z) = z·z̄ on Z[ω] and
+// carries the unit structure (the Pell unit 1+√2) used when the GCD
+// normalization scheme selects a canonical associate.
+type Zroot2 struct {
+	U, V *big.Int
+}
+
+// NewZroot2 returns u + v√2.
+func NewZroot2(u, v int64) Zroot2 {
+	return Zroot2{big.NewInt(u), big.NewInt(v)}
+}
+
+// IsZero reports whether r == 0.
+func (r Zroot2) IsZero() bool { return r.U.Sign() == 0 && r.V.Sign() == 0 }
+
+// Equal reports value equality (coefficient equality, as √2 is irrational).
+func (r Zroot2) Equal(s Zroot2) bool {
+	return r.U.Cmp(s.U) == 0 && r.V.Cmp(s.V) == 0
+}
+
+// Add returns r + s.
+func (r Zroot2) Add(s Zroot2) Zroot2 {
+	return Zroot2{new(big.Int).Add(r.U, s.U), new(big.Int).Add(r.V, s.V)}
+}
+
+// Sub returns r − s.
+func (r Zroot2) Sub(s Zroot2) Zroot2 {
+	return Zroot2{new(big.Int).Sub(r.U, s.U), new(big.Int).Sub(r.V, s.V)}
+}
+
+// Neg returns −r.
+func (r Zroot2) Neg() Zroot2 {
+	return Zroot2{new(big.Int).Neg(r.U), new(big.Int).Neg(r.V)}
+}
+
+// Mul returns r · s: (u₁ + v₁√2)(u₂ + v₂√2) = (u₁u₂ + 2v₁v₂) + (u₁v₂ + v₁u₂)√2.
+func (r Zroot2) Mul(s Zroot2) Zroot2 {
+	u := new(big.Int).Mul(r.U, s.U)
+	t := new(big.Int).Mul(r.V, s.V)
+	t.Lsh(t, 1)
+	u.Add(u, t)
+	v := new(big.Int).Mul(r.U, s.V)
+	t2 := new(big.Int).Mul(r.V, s.U)
+	v.Add(v, t2)
+	return Zroot2{u, v}
+}
+
+// Conj returns the √2-conjugate u − v√2.
+func (r Zroot2) Conj() Zroot2 {
+	return Zroot2{cp(r.U), new(big.Int).Neg(r.V)}
+}
+
+// FieldNorm returns u² − 2v² ∈ Z, the norm of r over Q (may be negative).
+func (r Zroot2) FieldNorm() *big.Int {
+	n := new(big.Int).Mul(r.U, r.U)
+	t := new(big.Int).Mul(r.V, r.V)
+	t.Lsh(t, 1)
+	return n.Sub(n, t)
+}
+
+// FieldNormAbs returns |u² − 2v²|.
+func (r Zroot2) FieldNormAbs() *big.Int {
+	return new(big.Int).Abs(r.FieldNorm())
+}
+
+// Zomega embeds r into Z[ω] using √2 = ω − ω³.
+func (r Zroot2) Zomega() Zomega {
+	return Zomega{
+		A: new(big.Int).Neg(r.V),
+		B: new(big.Int),
+		C: cp(r.V),
+		D: cp(r.U),
+	}
+}
+
+// Sign reports the sign of the real number u + v√2: −1, 0 or +1.
+func (r Zroot2) Sign() int {
+	su, sv := r.U.Sign(), r.V.Sign()
+	switch {
+	case su == 0 && sv == 0:
+		return 0
+	case su >= 0 && sv >= 0:
+		return 1
+	case su <= 0 && sv <= 0:
+		return -1
+	}
+	// Mixed signs: compare u² with 2v². u + v√2 > 0 iff u > −v√2, and with
+	// mixed signs this reduces to comparing squares.
+	u2 := new(big.Int).Mul(r.U, r.U)
+	v2 := new(big.Int).Mul(r.V, r.V)
+	v2.Lsh(v2, 1)
+	c := u2.Cmp(v2)
+	if su > 0 { // u > 0, v < 0: positive iff u² > 2v²
+		if c > 0 {
+			return 1
+		}
+		return -1
+	}
+	// u < 0, v > 0: positive iff 2v² > u²
+	if c < 0 {
+		return 1
+	}
+	return -1
+}
+
+// Float returns u + v√2 as a big.Float with the given precision.
+func (r Zroot2) Float(prec uint) *big.Float {
+	u := new(big.Float).SetPrec(prec).SetInt(r.U)
+	v := new(big.Float).SetPrec(prec).SetInt(r.V)
+	v.Mul(v, sqrt2Float(prec))
+	return u.Add(u, v)
+}
+
+func (r Zroot2) String() string { return fmt.Sprintf("(%v + %v·√2)", r.U, r.V) }
+
+// sqrt2Float returns √2 at the given precision (recomputed per call; the
+// callers cache at a higher level where it matters).
+func sqrt2Float(prec uint) *big.Float {
+	two := new(big.Float).SetPrec(prec + 8).SetInt64(2)
+	return new(big.Float).SetPrec(prec).Sqrt(two)
+}

@@ -1,0 +1,98 @@
+package alg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestZroot2Arithmetic(t *testing.T) {
+	r := rand.New(rand.NewSource(200))
+	for i := 0; i < 300; i++ {
+		a := NewZroot2(r.Int63n(41)-20, r.Int63n(41)-20)
+		b := NewZroot2(r.Int63n(41)-20, r.Int63n(41)-20)
+		fa, _ := a.Float(64).Float64()
+		fb, _ := b.Float(64).Float64()
+		if got, _ := a.Add(b).Float(64).Float64(); math.Abs(got-(fa+fb)) > 1e-9 {
+			t.Fatalf("add: %v + %v", a, b)
+		}
+		if got, _ := a.Sub(b).Float(64).Float64(); math.Abs(got-(fa-fb)) > 1e-9 {
+			t.Fatalf("sub: %v − %v", a, b)
+		}
+		if got, _ := a.Mul(b).Float(64).Float64(); math.Abs(got-fa*fb) > 1e-6 {
+			t.Fatalf("mul: %v · %v", a, b)
+		}
+		if got, _ := a.Neg().Float(64).Float64(); got != -fa {
+			t.Fatalf("neg: %v", a)
+		}
+	}
+}
+
+func TestZroot2Sign(t *testing.T) {
+	cases := []struct {
+		u, v int64
+		want int
+	}{
+		{0, 0, 0},
+		{3, 0, 1},
+		{-3, 0, -1},
+		{0, 2, 1},
+		{0, -2, -1},
+		{3, -2, 1},  // 3 − 2√2 ≈ 0.17
+		{-3, 2, -1}, // −3 + 2√2 ≈ −0.17... wait: 2√2 ≈ 2.83 > 3? No: 2.83 < 3
+		{2, -3, -1}, // 2 − 3√2 < 0
+		{-2, 3, 1},  // −2 + 3√2 > 0
+		{1, 1, 1},
+		{-1, -1, -1},
+	}
+	for _, c := range cases {
+		r := NewZroot2(c.u, c.v)
+		if got := r.Sign(); got != c.want {
+			f, _ := r.Float(64).Float64()
+			t.Fatalf("Sign(%v) = %d, want %d (value %v)", r, got, c.want, f)
+		}
+	}
+	// Property: Sign agrees with the float value.
+	rr := rand.New(rand.NewSource(201))
+	for i := 0; i < 500; i++ {
+		r := NewZroot2(rr.Int63n(201)-100, rr.Int63n(201)-100)
+		f, _ := r.Float(96).Float64()
+		want := 0
+		if f > 1e-12 {
+			want = 1
+		} else if f < -1e-12 {
+			want = -1
+		}
+		if got := r.Sign(); got != want {
+			t.Fatalf("Sign(%v) = %d, float %v", r, got, f)
+		}
+	}
+}
+
+func TestZroot2NormAndConj(t *testing.T) {
+	r := rand.New(rand.NewSource(202))
+	for i := 0; i < 200; i++ {
+		a := NewZroot2(r.Int63n(21)-10, r.Int63n(21)-10)
+		// FieldNorm = a · conj(a) as a rational integer.
+		prod := a.Mul(a.Conj())
+		if prod.V.Sign() != 0 {
+			t.Fatalf("a·ā has a √2 part: %v", prod)
+		}
+		if prod.U.Cmp(a.FieldNorm()) != 0 {
+			t.Fatalf("FieldNorm mismatch: %v vs %v", prod.U, a.FieldNorm())
+		}
+	}
+}
+
+func TestZroot2ZomegaEmbedding(t *testing.T) {
+	r := NewZroot2(3, -2)
+	z := r.Zomega()
+	// The embedded value has zero imaginary part and the right real part.
+	re, im := z.Float(64)
+	reF, _ := re.Float64()
+	imF, _ := im.Float64()
+	want, _ := r.Float(64).Float64()
+	if math.Abs(imF) > 1e-12 || math.Abs(reF-want) > 1e-9 {
+		t.Fatalf("embedding of %v gave %v + %vi", r, reF, imF)
+	}
+}

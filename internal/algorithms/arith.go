@@ -1,0 +1,81 @@
+package algorithms
+
+import "repro/internal/circuit"
+
+// Reversible arithmetic — the Cuccaro ripple-carry adder (quant-ph/0410184),
+// a staple of the reversible-circuit benchmark suites QMDDs were originally
+// built for. Pure {CNOT, Toffoli} circuits: exactly representable, highly
+// structured, and a natural target for the equivalence checker.
+
+// CuccaroAdder returns a circuit computing b ← a + b (mod 2^bits) with the
+// final carry in the last qubit.
+//
+// Register layout (qubit 0 first): cin, a₀..a_{bits−1} (LSB first),
+// b₀..b_{bits−1}, cout — 2·bits + 2 qubits in total.
+func CuccaroAdder(bits int) *circuit.Circuit {
+	if bits < 1 {
+		panic("algorithms: adder needs at least one bit")
+	}
+	n := 2*bits + 2
+	c := circuit.New("cuccaro-adder", n)
+	cin := 0
+	a := func(i int) int { return 1 + i }
+	b := func(i int) int { return 1 + bits + i }
+	cout := n - 1
+
+	maj := func(x, y, z int) {
+		c.CX(z, y)
+		c.CX(z, x)
+		c.CCX(x, y, z)
+	}
+	uma := func(x, y, z int) {
+		c.CCX(x, y, z)
+		c.CX(z, x)
+		c.CX(x, y)
+	}
+
+	maj(cin, b(0), a(0))
+	for i := 1; i < bits; i++ {
+		maj(a(i-1), b(i), a(i))
+	}
+	c.CX(a(bits-1), cout)
+	for i := bits - 1; i >= 1; i-- {
+		uma(a(i-1), b(i), a(i))
+	}
+	uma(cin, b(0), a(0))
+	return c
+}
+
+// AdderInputState returns the basis-state index that encodes the inputs
+// (x into register a, y into register b, carry-in cin) under the
+// CuccaroAdder layout, for preparing test inputs.
+func AdderInputState(bits int, x, y uint64, cin bool) uint64 {
+	n := 2*bits + 2
+	var idx uint64
+	set := func(qubit int, v uint64) {
+		if v != 0 {
+			idx |= 1 << uint(n-1-qubit)
+		}
+	}
+	if cin {
+		set(0, 1)
+	}
+	for i := 0; i < bits; i++ {
+		set(1+i, (x>>uint(i))&1)
+		set(1+bits+i, (y>>uint(i))&1)
+	}
+	return idx
+}
+
+// AdderReadSum extracts (sum, cout) from a basis-state index of the adder's
+// output under the same layout (register a holds x again; b holds the sum).
+func AdderReadSum(bits int, idx uint64) (sum uint64, cout bool) {
+	n := 2*bits + 2
+	get := func(qubit int) uint64 {
+		return (idx >> uint(n-1-qubit)) & 1
+	}
+	for i := 0; i < bits; i++ {
+		sum |= get(1+bits+i) << uint(i)
+	}
+	return sum, get(n-1) == 1
+}

@@ -1,0 +1,105 @@
+package algorithms_test
+
+import (
+	"testing"
+
+	"repro/internal/alg"
+	"repro/internal/algorithms"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/sim"
+)
+
+// TestCuccaroAdderExhaustive3Bit: every (x, y, cin) combination of a 3-bit
+// adder computes x + y + cin exactly, restores register a, and sets cout.
+func TestCuccaroAdderExhaustive3Bit(t *testing.T) {
+	bits := 3
+	c := algorithms.CuccaroAdder(bits)
+	n := 2*bits + 2
+	for x := uint64(0); x < 8; x++ {
+		for y := uint64(0); y < 8; y++ {
+			for _, cin := range []bool{false, true} {
+				s := dense.New(n)
+				s.Amp[0] = 0
+				in := algorithms.AdderInputState(bits, x, y, cin)
+				s.Amp[in] = 1
+				if err := s.Run(c); err != nil {
+					t.Fatal(err)
+				}
+				// Deterministic output: find the single basis state.
+				var out uint64
+				found := false
+				for i := range s.Amp {
+					if s.Probability(uint64(i)) > 0.5 {
+						out, found = uint64(i), true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("x=%d y=%d cin=%v: output not a basis state", x, y, cin)
+				}
+				sum, cout := algorithms.AdderReadSum(bits, out)
+				carry := uint64(0)
+				if cin {
+					carry = 1
+				}
+				total := x + y + carry
+				if sum != total%8 {
+					t.Fatalf("x=%d y=%d cin=%v: sum %d, want %d", x, y, cin, sum, total%8)
+				}
+				if cout != (total >= 8) {
+					t.Fatalf("x=%d y=%d cin=%v: cout %v", x, y, cin, cout)
+				}
+				// Inputs restored: cin and a unchanged.
+				maskA := out >> uint(n-1-bits) // top bits: cin + a register
+				maskIn := in >> uint(n-1-bits)
+				if maskA != maskIn {
+					t.Fatalf("x=%d y=%d cin=%v: a/cin registers not restored", x, y, cin)
+				}
+			}
+		}
+	}
+}
+
+// TestCuccaroAdderOnSuperposition: the adder is a permutation, so it maps a
+// uniform superposition over inputs to a uniform superposition — and the
+// exact QMDD stays modest.
+func TestCuccaroAdderOnSuperposition(t *testing.T) {
+	bits := 4
+	add := algorithms.CuccaroAdder(bits)
+	n := add.N
+	c := circuit.New("super", n)
+	for i := 0; i < bits; i++ {
+		c.H(1 + i)        // superpose register a
+		c.H(1 + bits + i) // superpose register b
+	}
+	c.AppendCircuit(add)
+	m := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
+	s := sim.New(m, n)
+	if err := s.Run(c, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.SupportSize(s.State, n); got != 1<<(2*uint(bits)) {
+		t.Fatalf("support %d, want %d", got, 1<<(2*uint(bits)))
+	}
+	if m.Norm2(s.State) != 1 {
+		t.Fatalf("norm %v", m.Norm2(s.State))
+	}
+}
+
+// TestCuccaroAdderSelfInverse: adding then subtracting (inverse circuit)
+// returns to the identity — checked O(1) on the exact diagram.
+func TestCuccaroAdderSelfInverse(t *testing.T) {
+	add := algorithms.CuccaroAdder(2)
+	both := circuit.New("addsub", add.N)
+	both.AppendCircuit(add).AppendCircuit(add.Inverse())
+	m := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
+	u, err := sim.BuildUnitary(m, both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.RootsEqual(u, m.Identity(add.N)) {
+		t.Fatal("adder · adder⁻¹ ≠ I")
+	}
+}

@@ -1,0 +1,93 @@
+// Package algorithms generates the paper's benchmark workloads: Grover's
+// database search, the Binary Welded Tree quantum walk, and Ground State
+// Estimation (iterative phase estimation over a molecular Hamiltonian,
+// compiled to Clifford+T). Each generator produces a plain circuit.Circuit
+// the simulators consume.
+package algorithms
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// Grover builds Grover's algorithm over n data qubits searching for the
+// marked basis element (0 ≤ marked < 2^n), running the standard
+// ⌊π/4·√(2^n)⌋ iterations (or the explicit iteration count if iters > 0).
+//
+// The oracle is a phase oracle: X-conjugation selects the marked element and
+// a multi-controlled Z flips its phase; the diffusion operator is
+// H^n X^n (MCZ) X^n H^n. All gates are Clifford-family plus multi-controlled
+// Z/X, whose matrix entries are 0 and ±1 — everything is exactly
+// representable in D[ω], which is why the paper reports zero approximation
+// error for this workload.
+func Grover(n int, marked uint64, iters int) *circuit.Circuit {
+	if n < 2 {
+		panic("algorithms: Grover needs at least 2 qubits")
+	}
+	if marked >= uint64(1)<<uint(n) {
+		panic("algorithms: marked element out of range")
+	}
+	if iters <= 0 {
+		iters = int(math.Floor(math.Pi / 4 * math.Sqrt(float64(uint64(1)<<uint(n)))))
+		if iters < 1 {
+			iters = 1
+		}
+	}
+	c := circuit.New("grover", n)
+	// Uniform superposition.
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	ctrls := make([]int, n-1)
+	for i := range ctrls {
+		ctrls[i] = i
+	}
+	flipUnmarkedBits := func() {
+		// Map |marked⟩ to |1…1⟩: X on every qubit whose marked bit is 0.
+		for q := 0; q < n; q++ {
+			if (marked>>(uint(n)-1-uint(q)))&1 == 0 {
+				c.X(q)
+			}
+		}
+	}
+	for it := 0; it < iters; it++ {
+		// Oracle: phase-flip the marked element.
+		flipUnmarkedBits()
+		c.MCZ(ctrls, n-1)
+		flipUnmarkedBits()
+		// Diffusion: inversion about the mean.
+		for q := 0; q < n; q++ {
+			c.H(q)
+		}
+		for q := 0; q < n; q++ {
+			c.X(q)
+		}
+		c.MCZ(ctrls, n-1)
+		for q := 0; q < n; q++ {
+			c.X(q)
+		}
+		for q := 0; q < n; q++ {
+			c.H(q)
+		}
+	}
+	return c
+}
+
+// GroverIterations returns the canonical iteration count for n data qubits.
+func GroverIterations(n int) int {
+	it := int(math.Floor(math.Pi / 4 * math.Sqrt(float64(uint64(1)<<uint(n)))))
+	if it < 1 {
+		it = 1
+	}
+	return it
+}
+
+// GroverSuccessProbability returns the analytic success probability of
+// measuring the marked element after k iterations on n qubits:
+// sin²((2k+1)·θ) with sin θ = 2^{−n/2}.
+func GroverSuccessProbability(n, k int) float64 {
+	theta := math.Asin(math.Pow(2, -float64(n)/2))
+	s := math.Sin(float64(2*k+1) * theta)
+	return s * s
+}

@@ -1,0 +1,93 @@
+package algorithms
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// Further standard benchmark workloads from the QMDD literature. Deutsch–
+// Jozsa and Bernstein–Vazirani are pure Clifford(+multi-control) circuits —
+// exactly representable like Grover and BWT; the QFT carries π/2^k phase
+// rotations, which for k ≥ 3 leave D[ω] and require Clifford+T compilation,
+// making it a second GSE-class workload.
+
+// DeutschJozsa builds the Deutsch–Jozsa circuit over n input qubits plus one
+// ancilla. The oracle is balanced iff mask ≠ 0: f(x) = parity(x & mask)
+// (implemented as CNOTs into the ancilla); mask = 0 gives the constant-0
+// function. Measuring the input register yields |0…0⟩ iff f is constant.
+func DeutschJozsa(n int, mask uint64) *circuit.Circuit {
+	if n < 1 {
+		panic("algorithms: DeutschJozsa needs at least one input qubit")
+	}
+	if mask >= uint64(1)<<uint(n) {
+		panic("algorithms: mask out of range")
+	}
+	c := circuit.New("dj", n+1)
+	anc := n
+	// |−⟩ ancilla.
+	c.X(anc)
+	c.H(anc)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	// Oracle: f(x) = parity(x & mask) via CNOTs into the ancilla.
+	for q := 0; q < n; q++ {
+		if (mask>>(uint(n)-1-uint(q)))&1 == 1 {
+			c.CX(q, anc)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	return c
+}
+
+// BernsteinVazirani builds the Bernstein–Vazirani circuit recovering the
+// hidden string s (bit n−1−q of secret is the value for qubit q) in a single
+// oracle query. Layout matches DeutschJozsa (n inputs + ancilla).
+func BernsteinVazirani(n int, secret uint64) *circuit.Circuit {
+	if n < 1 {
+		panic("algorithms: BernsteinVazirani needs at least one input qubit")
+	}
+	if secret >= uint64(1)<<uint(n) {
+		panic("algorithms: secret out of range")
+	}
+	c := circuit.New("bv", n+1)
+	anc := n
+	c.X(anc)
+	c.H(anc)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	for q := 0; q < n; q++ {
+		if (secret>>(uint(n)-1-uint(q)))&1 == 1 {
+			c.CX(q, anc)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	return c
+}
+
+// QFT builds the quantum Fourier transform over n qubits (with the final
+// qubit-order swaps). The controlled-phase angles π/2^k are exactly
+// representable only for k ≤ 2 (CZ and CS); for n ≥ 4 the circuit requires
+// Clifford+T compilation on the exact ring (CompileCliffordT).
+func QFT(n int) *circuit.Circuit {
+	if n < 1 {
+		panic("algorithms: QFT needs at least one qubit")
+	}
+	c := circuit.New("qft", n)
+	for j := 0; j < n; j++ {
+		c.H(j)
+		for k := j + 1; k < n; k++ {
+			c.CP(math.Pi/float64(uint64(1)<<uint(k-j)), k, j)
+		}
+	}
+	for i := 0; i < n/2; i++ {
+		c.Swap(i, n-1-i)
+	}
+	return c
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/alg"
+	"repro/internal/core"
+	"repro/internal/sim"
+
+	"repro/internal/circuit"
+)
+
+// The ε tuner mechanizes the procedure the paper identifies as the hidden
+// cost of numerical QMDDs: "an application-specific trade-off … needs to be
+// conducted on a case-by-case basis", requiring "time-consuming fine-tuning
+// of the corresponding parameters". Tune runs the given circuit once
+// exactly (the reference) and then once per candidate ε, accepting the
+// largest tolerance that stays within the node and error budgets — and
+// reporting the total tuning cost, which is the price the algebraic
+// representation never pays.
+
+// TuneTrial is the outcome of one candidate tolerance.
+type TuneTrial struct {
+	Eps       float64
+	PeakNodes int
+	Error     float64
+	Time      time.Duration
+	Failed    bool
+	FailNote  string
+	Accepted  bool
+}
+
+// TuneResult aggregates a tuning session.
+type TuneResult struct {
+	Trials []TuneTrial
+	// Best is the accepted tolerance (largest accepted ε), or NaN when no
+	// candidate met the budgets.
+	Best float64
+	// AlgebraicNodes/AlgebraicTime describe the reference run: the
+	// configuration-free alternative.
+	AlgebraicNodes int
+	AlgebraicTime  time.Duration
+	// TotalTuningTime is the wall-clock cost of the whole search
+	// (reference + every trial).
+	TotalTuningTime time.Duration
+}
+
+// Tune searches the candidate tolerances (typically descending from large
+// to small) for the largest ε whose run keeps the peak diagram size within
+// maxNodes and the final state error within maxError.
+func Tune(c *circuit.Circuit, candidates []float64, maxNodes int, maxError float64) (*TuneResult, error) {
+	start := time.Now()
+	res := &TuneResult{Best: math.NaN()}
+
+	// Exact reference run.
+	mAlg := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
+	sa := sim.New(mAlg, c.N)
+	algStart := time.Now()
+	peakAlg := 0
+	err := sa.Run(c, func(i int, g circuit.Gate) bool {
+		if n := sa.State.NodeCount(); n > peakAlg {
+			peakAlg = n
+		}
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: tuning reference run: %w", err)
+	}
+	res.AlgebraicTime = time.Since(algStart)
+	res.AlgebraicNodes = peakAlg
+
+	for _, eps := range candidates {
+		r, err := Execute(fmt.Sprintf("tune-%g", eps), Config{
+			Circuit:      c,
+			EpsList:      []float64{eps},
+			Algebraic:    true, // reference for the error metric
+			Stride:       maxInt(1, c.Len()/16),
+			MeasureError: true,
+			NodeCap:      maxNodes * 4, // abort hopeless runs early
+		})
+		if err != nil {
+			return nil, err
+		}
+		run := r.Runs[len(r.Runs)-1] // the numeric run
+		trial := TuneTrial{Eps: eps, Time: run.Total, Failed: run.Failed, FailNote: run.FailNote}
+		for _, s := range run.Samples {
+			if s.Nodes > trial.PeakNodes {
+				trial.PeakNodes = s.Nodes
+			}
+			trial.Error = s.Error
+		}
+		trial.Accepted = !trial.Failed && trial.PeakNodes <= maxNodes && trial.Error <= maxError
+		res.Trials = append(res.Trials, trial)
+		if trial.Accepted && (math.IsNaN(res.Best) || eps > res.Best) {
+			res.Best = eps
+		}
+	}
+	res.TotalTuningTime = time.Since(start)
+	return res, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Report renders the tuning session as a table.
+func (r *TuneResult) Report() string {
+	out := fmt.Sprintf("%-12s %12s %14s %12s %s\n", "epsilon", "peak nodes", "final error", "time", "verdict")
+	for _, t := range r.Trials {
+		verdict := "rejected"
+		if t.Accepted {
+			verdict = "ACCEPTED"
+		}
+		if t.Failed {
+			verdict = "FAILED: " + t.FailNote
+		}
+		out += fmt.Sprintf("%-12.0e %12d %14.3e %12v %s\n", t.Eps, t.PeakNodes, t.Error, t.Time.Round(time.Millisecond), verdict)
+	}
+	if math.IsNaN(r.Best) {
+		out += "no tolerance met the budgets\n"
+	} else {
+		out += fmt.Sprintf("chosen ε = %.0e after %v of tuning\n", r.Best, r.TotalTuningTime.Round(time.Millisecond))
+	}
+	out += fmt.Sprintf("algebraic alternative: %d peak nodes, %v, zero error, zero tuning\n",
+		r.AlgebraicNodes, r.AlgebraicTime.Round(time.Millisecond))
+	return out
+}

@@ -1,0 +1,233 @@
+// Package circuit provides the quantum-circuit intermediate representation
+// shared by the simulator, the workload generators and the OpenQASM front
+// end: a flat list of single-target gates with arbitrary (positive or
+// negative) controls and optional real parameters.
+package circuit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Control is a control line (see gates.Control; duplicated here to keep the
+// IR free of diagram dependencies).
+type Control struct {
+	Qubit int
+	Neg   bool
+}
+
+// Gate is one circuit operation: the named single-qubit base operation
+// applied to Target under the given controls. Parametric gates carry their
+// angles in Params (radians).
+type Gate struct {
+	Name     string
+	Target   int
+	Controls []Control
+	Params   []float64
+}
+
+// String renders the gate in a compact human-readable form.
+func (g Gate) String() string {
+	var sb strings.Builder
+	sb.WriteString(g.Name)
+	if len(g.Params) > 0 {
+		fmt.Fprintf(&sb, "(%v)", g.Params)
+	}
+	for _, c := range g.Controls {
+		if c.Neg {
+			fmt.Fprintf(&sb, " !c%d", c.Qubit)
+		} else {
+			fmt.Fprintf(&sb, " c%d", c.Qubit)
+		}
+	}
+	fmt.Fprintf(&sb, " q%d", g.Target)
+	return sb.String()
+}
+
+// Circuit is an ordered gate list over N qubits.
+type Circuit struct {
+	Name  string
+	N     int
+	Gates []Gate
+}
+
+// New returns an empty circuit over n qubits.
+func New(name string, n int) *Circuit {
+	if n < 1 {
+		panic("circuit: need at least one qubit")
+	}
+	return &Circuit{Name: name, N: n}
+}
+
+// Append adds a gate, validating qubit indices.
+func (c *Circuit) Append(g Gate) *Circuit {
+	if g.Target < 0 || g.Target >= c.N {
+		panic(fmt.Sprintf("circuit: target %d out of range [0,%d)", g.Target, c.N))
+	}
+	for _, ct := range g.Controls {
+		if ct.Qubit < 0 || ct.Qubit >= c.N {
+			panic(fmt.Sprintf("circuit: control %d out of range", ct.Qubit))
+		}
+		if ct.Qubit == g.Target {
+			panic("circuit: control equals target")
+		}
+	}
+	c.Gates = append(c.Gates, g)
+	return c
+}
+
+// Len returns the gate count.
+func (c *Circuit) Len() int { return len(c.Gates) }
+
+// Simple single-qubit gate helpers.
+
+func (c *Circuit) add(name string, q int, ctrls []Control, params ...float64) *Circuit {
+	return c.Append(Gate{Name: name, Target: q, Controls: ctrls, Params: params})
+}
+
+// H applies a Hadamard to q.
+func (c *Circuit) H(q int) *Circuit { return c.add("h", q, nil) }
+
+// X applies a NOT to q.
+func (c *Circuit) X(q int) *Circuit { return c.add("x", q, nil) }
+
+// Y applies a Pauli-Y to q.
+func (c *Circuit) Y(q int) *Circuit { return c.add("y", q, nil) }
+
+// Z applies a Pauli-Z to q.
+func (c *Circuit) Z(q int) *Circuit { return c.add("z", q, nil) }
+
+// S applies the phase gate to q.
+func (c *Circuit) S(q int) *Circuit { return c.add("s", q, nil) }
+
+// Sdg applies S† to q.
+func (c *Circuit) Sdg(q int) *Circuit { return c.add("sdg", q, nil) }
+
+// T applies the π/4 gate to q.
+func (c *Circuit) T(q int) *Circuit { return c.add("t", q, nil) }
+
+// Tdg applies T† to q.
+func (c *Circuit) Tdg(q int) *Circuit { return c.add("tdg", q, nil) }
+
+// CX applies a CNOT with control ctl and target tgt.
+func (c *Circuit) CX(ctl, tgt int) *Circuit {
+	return c.add("x", tgt, []Control{{Qubit: ctl}})
+}
+
+// CZ applies a controlled-Z.
+func (c *Circuit) CZ(ctl, tgt int) *Circuit {
+	return c.add("z", tgt, []Control{{Qubit: ctl}})
+}
+
+// CCX applies a Toffoli gate.
+func (c *Circuit) CCX(c1, c2, tgt int) *Circuit {
+	return c.add("x", tgt, []Control{{Qubit: c1}, {Qubit: c2}})
+}
+
+// MCX applies an X on tgt controlled on all ctrls being |1⟩.
+func (c *Circuit) MCX(ctrls []int, tgt int) *Circuit {
+	cs := make([]Control, len(ctrls))
+	for i, q := range ctrls {
+		cs[i] = Control{Qubit: q}
+	}
+	return c.add("x", tgt, cs)
+}
+
+// MCZ applies a Z on tgt controlled on all ctrls being |1⟩.
+func (c *Circuit) MCZ(ctrls []int, tgt int) *Circuit {
+	cs := make([]Control, len(ctrls))
+	for i, q := range ctrls {
+		cs[i] = Control{Qubit: q}
+	}
+	return c.add("z", tgt, cs)
+}
+
+// Swap exchanges two qubits (three CNOTs).
+func (c *Circuit) Swap(a, b int) *Circuit {
+	return c.CX(a, b).CX(b, a).CX(a, b)
+}
+
+// Rz applies Rz(θ) to q (parametric; not exactly representable).
+func (c *Circuit) Rz(theta float64, q int) *Circuit { return c.add("rz", q, nil, theta) }
+
+// Rx applies Rx(θ) to q.
+func (c *Circuit) Rx(theta float64, q int) *Circuit { return c.add("rx", q, nil, theta) }
+
+// Ry applies Ry(θ) to q.
+func (c *Circuit) Ry(theta float64, q int) *Circuit { return c.add("ry", q, nil, theta) }
+
+// P applies the phase rotation diag(1, e^{iθ}) to q.
+func (c *Circuit) P(theta float64, q int) *Circuit { return c.add("p", q, nil, theta) }
+
+// CP applies a controlled phase rotation.
+func (c *Circuit) CP(theta float64, ctl, tgt int) *Circuit {
+	return c.add("p", tgt, []Control{{Qubit: ctl}}, theta)
+}
+
+// CRz applies a controlled Rz.
+func (c *Circuit) CRz(theta float64, ctl, tgt int) *Circuit {
+	return c.add("rz", tgt, []Control{{Qubit: ctl}}, theta)
+}
+
+// AppendCircuit concatenates another circuit over the same qubit count.
+func (c *Circuit) AppendCircuit(other *Circuit) *Circuit {
+	if other.N != c.N {
+		panic("circuit: qubit count mismatch in AppendCircuit")
+	}
+	c.Gates = append(c.Gates, other.Gates...)
+	return c
+}
+
+// Inverse returns the adjoint circuit (gates reversed and inverted).
+// It panics on gates whose inverse it does not know.
+func (c *Circuit) Inverse() *Circuit {
+	inv := New(c.Name+"_inv", c.N)
+	for i := len(c.Gates) - 1; i >= 0; i-- {
+		g := c.Gates[i]
+		ig := Gate{Target: g.Target, Controls: g.Controls}
+		switch g.Name {
+		case "h", "x", "y", "z", "id", "swap":
+			ig.Name = g.Name
+		case "s":
+			ig.Name = "sdg"
+		case "sdg":
+			ig.Name = "s"
+		case "t":
+			ig.Name = "tdg"
+		case "tdg":
+			ig.Name = "t"
+		case "sx":
+			ig.Name = "sxdg"
+		case "sxdg":
+			ig.Name = "sx"
+		case "rz", "rx", "ry", "p":
+			ig.Name = g.Name
+			ig.Params = []float64{-g.Params[0]}
+		default:
+			panic(fmt.Sprintf("circuit: cannot invert gate %q", g.Name))
+		}
+		inv.Append(ig)
+	}
+	return inv
+}
+
+// CountByName returns gate counts per base-operation name.
+func (c *Circuit) CountByName() map[string]int {
+	out := make(map[string]int)
+	for _, g := range c.Gates {
+		out[g.Name]++
+	}
+	return out
+}
+
+// IsCliffordT reports whether every gate is exactly representable in D[ω].
+func (c *Circuit) IsCliffordT() bool {
+	for _, g := range c.Gates {
+		switch g.Name {
+		case "h", "x", "y", "z", "s", "sdg", "t", "tdg", "sx", "sxdg", "id", "i":
+		default:
+			return false
+		}
+	}
+	return true
+}

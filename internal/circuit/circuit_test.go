@@ -1,0 +1,151 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderProducesExpectedGates(t *testing.T) {
+	c := New("t", 3)
+	c.H(0).X(1).Y(2).Z(0).S(1).Sdg(2).T(0).Tdg(1).
+		CX(0, 1).CZ(1, 2).CCX(0, 1, 2).
+		Rz(0.5, 0).Rx(-0.25, 1).Ry(1.5, 2).P(0.75, 0).
+		CP(0.1, 0, 2).CRz(0.2, 1, 0)
+	wantNames := []string{"h", "x", "y", "z", "s", "sdg", "t", "tdg",
+		"x", "z", "x", "rz", "rx", "ry", "p", "p", "rz"}
+	if c.Len() != len(wantNames) {
+		t.Fatalf("gate count %d, want %d", c.Len(), len(wantNames))
+	}
+	for i, want := range wantNames {
+		if c.Gates[i].Name != want {
+			t.Fatalf("gate %d name %q, want %q", i, c.Gates[i].Name, want)
+		}
+	}
+	if len(c.Gates[10].Controls) != 2 {
+		t.Fatalf("ccx has %d controls", len(c.Gates[10].Controls))
+	}
+}
+
+func TestSwapIsThreeCNOTs(t *testing.T) {
+	c := New("swap", 2)
+	c.Swap(0, 1)
+	if c.Len() != 3 {
+		t.Fatalf("swap emitted %d gates", c.Len())
+	}
+	for _, g := range c.Gates {
+		if g.Name != "x" || len(g.Controls) != 1 {
+			t.Fatalf("swap emitted %v", g)
+		}
+	}
+}
+
+func TestMCXAndMCZ(t *testing.T) {
+	c := New("mc", 5)
+	c.MCX([]int{0, 1, 2, 3}, 4)
+	c.MCZ([]int{0, 1}, 3)
+	if len(c.Gates[0].Controls) != 4 || c.Gates[0].Name != "x" {
+		t.Fatalf("mcx malformed: %v", c.Gates[0])
+	}
+	if len(c.Gates[1].Controls) != 2 || c.Gates[1].Name != "z" {
+		t.Fatalf("mcz malformed: %v", c.Gates[1])
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	cases := []func(){
+		func() { New("n", 0) },
+		func() { New("n", 2).X(2) },
+		func() { New("n", 2).CX(0, 2) },
+		func() { New("n", 2).CX(1, 1) },
+		func() {
+			New("n", 2).Append(Gate{Name: "x", Target: 0, Controls: []Control{{Qubit: -1}}})
+		},
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestInverse(t *testing.T) {
+	c := New("c", 2)
+	c.H(0).S(0).T(1).Rz(0.3, 1).CX(0, 1).Sdg(0).Tdg(1).P(-0.2, 0)
+	inv := c.Inverse()
+	if inv.Len() != c.Len() {
+		t.Fatalf("inverse length %d, want %d", inv.Len(), c.Len())
+	}
+	// First inverse gate inverts the last original gate.
+	if inv.Gates[0].Name != "p" || inv.Gates[0].Params[0] != 0.2 {
+		t.Fatalf("inverse[0] = %v", inv.Gates[0])
+	}
+	if inv.Gates[1].Name != "t" { // tdg → t
+		t.Fatalf("inverse[1] = %v", inv.Gates[1])
+	}
+	if inv.Gates[len(inv.Gates)-1].Name != "h" {
+		t.Fatalf("inverse[last] = %v", inv.Gates[len(inv.Gates)-1])
+	}
+}
+
+func TestInversePanicsOnUnknown(t *testing.T) {
+	c := New("c", 1)
+	c.Append(Gate{Name: "mystery", Target: 0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inverse of unknown gate did not panic")
+		}
+	}()
+	c.Inverse()
+}
+
+func TestAppendCircuitAndCounts(t *testing.T) {
+	a := New("a", 2)
+	a.H(0).H(1).T(0)
+	b := New("b", 2)
+	b.CX(0, 1)
+	a.AppendCircuit(b)
+	if a.Len() != 4 {
+		t.Fatalf("appended length %d", a.Len())
+	}
+	counts := a.CountByName()
+	if counts["h"] != 2 || counts["t"] != 1 || counts["x"] != 1 {
+		t.Fatalf("counts %v", counts)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("qubit-count mismatch not caught")
+		}
+	}()
+	a.AppendCircuit(New("c", 3))
+}
+
+func TestIsCliffordT(t *testing.T) {
+	c := New("c", 1)
+	c.H(0).T(0).S(0)
+	if !c.IsCliffordT() {
+		t.Fatal("Clifford+T circuit not recognized")
+	}
+	c.Rz(0.5, 0)
+	if c.IsCliffordT() {
+		t.Fatal("rotation circuit misreported as Clifford+T")
+	}
+}
+
+func TestGateString(t *testing.T) {
+	g := Gate{Name: "x", Target: 2, Controls: []Control{{Qubit: 0}, {Qubit: 1, Neg: true}}}
+	s := g.String()
+	for _, want := range []string{"x", "c0", "!c1", "q2"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("gate string %q missing %q", s, want)
+		}
+	}
+	gp := Gate{Name: "rz", Target: 0, Params: []float64{0.5}}
+	if !strings.Contains(gp.String(), "0.5") {
+		t.Fatalf("parametric gate string %q", gp.String())
+	}
+}

@@ -1,0 +1,144 @@
+package circuit
+
+import "fmt"
+
+// Multi-control expansion: rewrite gates with more than the standard number
+// of control lines (or with negative controls) into the portable gate set
+// {x, ccx, cx, and singly-controlled base gates}, using a V-chain of
+// Toffolis over freshly appended ancilla qubits. This makes generated
+// circuits (Grover's multi-controlled Z, the walk's control cascades,
+// exact-synthesis output) expressible in plain OpenQASM 2.0.
+
+// ExpandMultiControls returns an equivalent circuit over n + a qubits
+// (ancillas appended at the end, starting and ending in |0⟩) in which
+//   - negative controls are removed (X conjugation),
+//   - x gates have at most 2 controls,
+//   - z keeps at most 1 control, and t/s/sdg/tdg under control become
+//     singly-controlled phase gates,
+//   - every other base gate has at most 1 control.
+//
+// The number of appended ancillas is the maximum over gates of
+// max(0, controls − 2) for x gates and max(0, controls − 1) otherwise.
+func ExpandMultiControls(c *Circuit) (*Circuit, error) {
+	ancillas := 0
+	for _, g := range c.Gates {
+		if need := ancillasFor(g); need > ancillas {
+			ancillas = need
+		}
+	}
+	out := New(c.Name+"_expanded", c.N+ancillas)
+	for _, g := range c.Gates {
+		if err := expandGate(out, g, c.N); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func ancillasFor(g Gate) int {
+	k := len(g.Controls)
+	limit := 1
+	if g.Name == "x" {
+		limit = 2
+	}
+	if k <= limit {
+		return 0
+	}
+	// The V-chain computes the AND of k controls into one ancilla using
+	// k − 1 ancillas in total.
+	return k - 1
+}
+
+// expandGate appends the rewritten form of g to out.
+func expandGate(out *Circuit, g Gate, n int) error {
+	// Remove negative controls by X conjugation.
+	var flips []int
+	ctrls := make([]Control, len(g.Controls))
+	for i, ct := range g.Controls {
+		ctrls[i] = Control{Qubit: ct.Qubit}
+		if ct.Neg {
+			flips = append(flips, ct.Qubit)
+		}
+	}
+	for _, q := range flips {
+		out.X(q)
+	}
+	defer func() {
+		for i := len(flips) - 1; i >= 0; i-- {
+			out.X(flips[i])
+		}
+	}()
+
+	limit := 1
+	if g.Name == "x" {
+		limit = 2
+	}
+	if len(ctrls) <= limit {
+		out.Append(normalizeControlled(Gate{Name: g.Name, Target: g.Target, Controls: ctrls, Params: g.Params}))
+		return nil
+	}
+
+	// V-chain: and-accumulate the controls into ancillas n, n+1, ….
+	anc := n
+	out.Append(Gate{Name: "x", Target: anc,
+		Controls: []Control{{Qubit: ctrls[0].Qubit}, {Qubit: ctrls[1].Qubit}}})
+	chain := []Gate{out.Gates[len(out.Gates)-1]}
+	top := anc
+	for i := 2; i < len(ctrls); i++ {
+		next := anc + i - 1
+		out.Append(Gate{Name: "x", Target: next,
+			Controls: []Control{{Qubit: ctrls[i].Qubit}, {Qubit: top}}})
+		chain = append(chain, out.Gates[len(out.Gates)-1])
+		top = next
+	}
+	// Apply the base gate controlled on the accumulated AND.
+	out.Append(normalizeControlled(Gate{Name: g.Name, Target: g.Target,
+		Controls: []Control{{Qubit: top}}, Params: g.Params}))
+	// Uncompute the chain.
+	for i := len(chain) - 1; i >= 0; i-- {
+		out.Append(chain[i])
+	}
+	return nil
+}
+
+// normalizeControlled rewrites controlled diagonal gates into the
+// parametric phase form QASM can express (controlled-T → cu1(π/4) etc.).
+func normalizeControlled(g Gate) Gate {
+	if len(g.Controls) == 0 {
+		return g
+	}
+	const pi = 3.141592653589793
+	switch g.Name {
+	case "t":
+		return Gate{Name: "p", Target: g.Target, Controls: g.Controls, Params: []float64{pi / 4}}
+	case "tdg":
+		return Gate{Name: "p", Target: g.Target, Controls: g.Controls, Params: []float64{-pi / 4}}
+	case "s":
+		return Gate{Name: "p", Target: g.Target, Controls: g.Controls, Params: []float64{pi / 2}}
+	case "sdg":
+		return Gate{Name: "p", Target: g.Target, Controls: g.Controls, Params: []float64{-pi / 2}}
+	}
+	return g
+}
+
+// Validate checks structural invariants of a circuit (duplicate controls,
+// ranges); the builder enforces these, but circuits assembled from raw Gate
+// values (parsers, synthesizers) can use it as a safety net.
+func (c *Circuit) Validate() error {
+	for i, g := range c.Gates {
+		if g.Target < 0 || g.Target >= c.N {
+			return fmt.Errorf("circuit: gate %d target %d out of range", i, g.Target)
+		}
+		seen := map[int]bool{g.Target: true}
+		for _, ct := range g.Controls {
+			if ct.Qubit < 0 || ct.Qubit >= c.N {
+				return fmt.Errorf("circuit: gate %d control %d out of range", i, ct.Qubit)
+			}
+			if seen[ct.Qubit] {
+				return fmt.Errorf("circuit: gate %d reuses qubit %d", i, ct.Qubit)
+			}
+			seen[ct.Qubit] = true
+		}
+	}
+	return nil
+}

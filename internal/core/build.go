@@ -1,0 +1,181 @@
+package core
+
+// Builders for elementary diagrams.
+
+// Identity returns the 2^n × 2^n identity matrix as a QMDD (n ≥ 1). As
+// QMDDs do not skip levels, this is a chain of n nodes.
+func (m *Manager[T]) Identity(n int) Edge[T] {
+	e := m.OneEdge()
+	for l := 1; l <= n; l++ {
+		e = m.MakeMatrixNode(l, e, m.ZeroEdge(), m.ZeroEdge(), e)
+	}
+	return e
+}
+
+// BasisState returns the computational basis state |idx⟩ of an n-qubit
+// system. Bit n−1−j of idx is the value of qubit j (qubit 0 is the most
+// significant / top level, matching the paper's figures).
+func (m *Manager[T]) BasisState(n int, idx uint64) Edge[T] {
+	e := m.OneEdge()
+	for l := 1; l <= n; l++ {
+		if (idx>>(l-1))&1 == 0 {
+			e = m.MakeVectorNode(l, e, m.ZeroEdge())
+		} else {
+			e = m.MakeVectorNode(l, m.ZeroEdge(), e)
+		}
+	}
+	return e
+}
+
+// FromVector builds the vector diagram for an explicit amplitude slice of
+// length 2^n (mainly for tests and small examples).
+func (m *Manager[T]) FromVector(amps []T) Edge[T] {
+	n := log2len(len(amps))
+	var build func(level int, lo, hi int) Edge[T]
+	build = func(level int, lo, hi int) Edge[T] {
+		if level == 0 {
+			return m.Terminal(amps[lo])
+		}
+		mid := (lo + hi) / 2
+		return m.MakeVectorNode(level, build(level-1, lo, mid), build(level-1, mid, hi))
+	}
+	return build(n, 0, len(amps))
+}
+
+// FromMatrix builds the matrix diagram for an explicit 2^n × 2^n matrix
+// given as row slices.
+func (m *Manager[T]) FromMatrix(rows [][]T) Edge[T] {
+	n := log2len(len(rows))
+	for _, r := range rows {
+		if len(r) != len(rows) {
+			panic("core: FromMatrix requires a square matrix")
+		}
+	}
+	var build func(level, r0, c0, size int) Edge[T]
+	build = func(level, r0, c0, size int) Edge[T] {
+		if level == 0 {
+			return m.Terminal(rows[r0][c0])
+		}
+		h := size / 2
+		return m.MakeMatrixNode(level,
+			build(level-1, r0, c0, h),
+			build(level-1, r0, c0+h, h),
+			build(level-1, r0+h, c0, h),
+			build(level-1, r0+h, c0+h, h),
+		)
+	}
+	return build(n, 0, 0, len(rows))
+}
+
+func log2len(n int) int {
+	if n <= 0 || n&(n-1) != 0 {
+		panic("core: length must be a positive power of two")
+	}
+	k := 0
+	for m := n; m > 1; m >>= 1 {
+		k++
+	}
+	return k
+}
+
+// Amplitude returns the amplitude ⟨idx|v⟩ of a vector diagram over n qubits.
+func (m *Manager[T]) Amplitude(v Edge[T], n int, idx uint64) T {
+	w := v.W
+	e := v
+	for l := n; l >= 1; l-- {
+		if e.N == nil { // zero stub
+			if m.R.IsZero(e.W) {
+				return m.R.Zero()
+			}
+			panic("core: malformed vector diagram")
+		}
+		c := e.N.E[(idx>>(l-1))&1]
+		if m.R.IsZero(c.W) {
+			return m.R.Zero()
+		}
+		w = m.R.Mul(w, c.W)
+		e = c
+	}
+	return w
+}
+
+// Entry returns the matrix entry (row, col) of a matrix diagram over n
+// qubits — the product of the edge weights along the path, as in the
+// paper's Example 3.
+func (m *Manager[T]) Entry(u Edge[T], n int, row, col uint64) T {
+	w := u.W
+	e := u
+	for l := n; l >= 1; l-- {
+		if e.N == nil {
+			if m.R.IsZero(e.W) {
+				return m.R.Zero()
+			}
+			panic("core: malformed matrix diagram")
+		}
+		i := (row >> (l - 1)) & 1
+		j := (col >> (l - 1)) & 1
+		c := e.N.E[2*i+j]
+		if m.R.IsZero(c.W) {
+			return m.R.Zero()
+		}
+		w = m.R.Mul(w, c.W)
+		e = c
+	}
+	return w
+}
+
+// ToVector expands a vector diagram to its dense amplitude slice
+// (exponential; for tests, examples and the accuracy metric).
+func (m *Manager[T]) ToVector(v Edge[T], n int) []T {
+	out := make([]T, 1<<uint(n))
+	var walk func(e Edge[T], level int, idx uint64, w T)
+	walk = func(e Edge[T], level int, idx uint64, w T) {
+		if m.R.IsZero(w) || m.IsZero(e) {
+			return
+		}
+		cw := m.R.Mul(w, e.W)
+		if level == 0 {
+			out[idx] = cw
+			return
+		}
+		for i, c := range e.N.E {
+			walk(c, level-1, idx|uint64(i)<<(level-1), cw)
+		}
+	}
+	for i := range out {
+		out[i] = m.R.Zero()
+	}
+	walk(v, n, 0, m.R.One())
+	return out
+}
+
+// ToMatrix expands a matrix diagram densely (exponential; small n only).
+func (m *Manager[T]) ToMatrix(u Edge[T], n int) [][]T {
+	dim := 1 << uint(n)
+	out := make([][]T, dim)
+	for i := range out {
+		out[i] = make([]T, dim)
+		for j := range out[i] {
+			out[i][j] = m.R.Zero()
+		}
+	}
+	var walk func(e Edge[T], level int, row, col uint64, w T)
+	walk = func(e Edge[T], level int, row, col uint64, w T) {
+		if m.IsZero(e) {
+			return
+		}
+		cw := m.R.Mul(w, e.W)
+		if level == 0 {
+			out[row][col] = cw
+			return
+		}
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				walk(e.N.E[2*i+j], level-1,
+					row|uint64(i)<<(level-1), col|uint64(j)<<(level-1), cw)
+			}
+		}
+	}
+	walk(u, n, 0, 0, m.R.One())
+	return out
+}

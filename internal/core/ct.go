@@ -1,0 +1,62 @@
+package core
+
+// computeTable memoizes operation results. Like classic DD packages it is a
+// fixed-size hash table with overwrite-on-collision: bounded memory, O(1)
+// access, and stale entries simply fall out. Keys are the canonical string
+// keys built by the operations; values are verified by full key comparison,
+// so a collision can only cost a recomputation, never a wrong result.
+type computeTable[T any] struct {
+	mask    uint64
+	entries []ctEntry[T]
+
+	lookups, hits uint64
+}
+
+type ctEntry[T any] struct {
+	key string
+	val Edge[T]
+}
+
+func newComputeTable[T any](size int) *computeTable[T] {
+	if size <= 0 || size&(size-1) != 0 {
+		panic("core: compute table size must be a positive power of two")
+	}
+	return &computeTable[T]{mask: uint64(size - 1), entries: make([]ctEntry[T], size)}
+}
+
+func (t *computeTable[T]) clear() {
+	for i := range t.entries {
+		t.entries[i] = ctEntry[T]{}
+	}
+	t.lookups, t.hits = 0, 0
+}
+
+// fnv1a hashes the key.
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+func (t *computeTable[T]) get(key string) (Edge[T], bool) {
+	t.lookups++
+	e := &t.entries[fnv1a(key)&t.mask]
+	if e.key == key {
+		t.hits++
+		return e.val, true
+	}
+	var zero Edge[T]
+	return zero, false
+}
+
+func (t *computeTable[T]) put(key string, val Edge[T]) {
+	e := &t.entries[fnv1a(key)&t.mask]
+	e.key, e.val = key, val
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/alg"
+)
+
+// Failure injection: misuse of the diagram API must fail loudly (panics
+// with clear messages), never silently corrupt a computation.
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", name)
+		}
+	}()
+	f()
+}
+
+func TestShapeMismatchesPanic(t *testing.T) {
+	m := algManager(NormLeft)
+	vec2 := m.BasisState(2, 1)
+	vec3 := m.BasisState(3, 1)
+	mat2 := m.Identity(2)
+
+	mustPanic(t, "Add of different levels", func() { m.Add(vec2, vec3) })
+	mustPanic(t, "Add of vector and matrix", func() { m.Add(vec2, mat2) })
+	mustPanic(t, "Mul with vector on the left", func() { m.Mul(vec2, vec2) })
+	mustPanic(t, "Mul of different levels", func() { m.Mul(mat2, vec3) })
+	mustPanic(t, "Add of scalar and node", func() {
+		m.Add(m.Terminal(alg.QOne), vec2)
+	})
+}
+
+func TestMakeNodeValidation(t *testing.T) {
+	m := algManager(NormLeft)
+	mustPanic(t, "MakeNode at level 0", func() {
+		m.MakeNode(0, []Edge[alg.Q]{m.OneEdge(), m.ZeroEdge()})
+	})
+}
+
+func TestProjectValidation(t *testing.T) {
+	m := algManager(NormLeft)
+	v := m.BasisState(2, 0)
+	mustPanic(t, "Project qubit out of range", func() { m.Project(v, 2, 5, 0) })
+	mustPanic(t, "Project bad outcome", func() { m.Project(v, 2, 0, 2) })
+}
+
+func TestBuildersValidate(t *testing.T) {
+	m := algManager(NormLeft)
+	mustPanic(t, "FromVector with non-power-of-two", func() {
+		m.FromVector(make([]alg.Q, 3))
+	})
+	mustPanic(t, "FromMatrix non-square", func() {
+		m.FromMatrix([][]alg.Q{
+			{alg.QOne, alg.QZero},
+			{alg.QZero},
+		})
+	})
+}
+
+func TestDivByZeroWeightPanics(t *testing.T) {
+	// Field division by an exact zero must panic (Q[ω] semantics), and the
+	// normalization paths never reach it because zero edges are stripped
+	// before normalization.
+	mustPanic(t, "Q division by zero", func() {
+		alg.Ring{}.Div(alg.QOne, alg.QZero)
+	})
+}
+
+func TestComputeTableCollisionSafety(t *testing.T) {
+	// A tiny compute table forces constant overwrites; results must still be
+	// correct because entries verify the full key.
+	m := algManager(NormLeft)
+	m.ct = newComputeTable[alg.Q](4)
+	id := m.Identity(4)
+	v := m.BasisState(4, 9)
+	for i := 0; i < 10; i++ {
+		if !m.RootsEqual(m.Mul(id, v), v) {
+			t.Fatal("collision-heavy compute table corrupted a result")
+		}
+		if !m.RootsEqual(m.Add(v, m.ZeroEdge()), v) {
+			t.Fatal("collision-heavy add corrupted a result")
+		}
+	}
+}
+
+func TestComputeTableSizeValidation(t *testing.T) {
+	mustPanic(t, "non-power-of-two compute table", func() { newComputeTable[int](3) })
+	mustPanic(t, "zero-size compute table", func() { newComputeTable[int](0) })
+}

@@ -1,0 +1,60 @@
+package core
+
+// Garbage collection. Long simulations (thousands of matrix-vector
+// multiplications) leave the unique table full of nodes only reachable from
+// stale intermediate states. Prune performs a mark-and-sweep against a set
+// of live roots: unreachable nodes leave the unique table (Go's collector
+// then reclaims them) and the compute table is cleared, since its entries
+// may reference swept nodes.
+//
+// Hash-consing identity is preserved for the surviving nodes — diagrams
+// reachable from the given roots keep their pointers, so O(1) equality
+// comparisons among them remain valid across a Prune.
+
+// Prune drops every node not reachable from the given roots. It returns the
+// number of nodes removed.
+func (m *Manager[T]) Prune(roots ...Edge[T]) int {
+	live := make(map[*Node[T]]struct{})
+	var mark func(n *Node[T])
+	mark = func(n *Node[T]) {
+		if n == nil {
+			return
+		}
+		if _, ok := live[n]; ok {
+			return
+		}
+		live[n] = struct{}{}
+		for _, c := range n.E {
+			mark(c.N)
+		}
+	}
+	for _, r := range roots {
+		mark(r.N)
+	}
+	removed := 0
+	for key, n := range m.unique {
+		if _, ok := live[n]; !ok {
+			delete(m.unique, key)
+			removed++
+		}
+	}
+	// Compute-table entries may point at swept nodes; drop them all.
+	m.ct.clear()
+	m.stats.Prunes++
+	m.stats.PrunedNodes += uint64(removed)
+	return removed
+}
+
+// AutoPruner returns a per-gate hook suitable for Simulator.Run that prunes
+// whenever the unique table grows beyond highWater nodes, keeping the
+// current state (provided by live) as the root.
+func AutoPruner[T any](m *Manager[T], highWater int, live func() Edge[T]) func() {
+	if highWater < 1 {
+		highWater = 1
+	}
+	return func() {
+		if len(m.unique) > highWater {
+			m.Prune(live())
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+// Sparse traversal of vector diagrams: visit only basis states with nonzero
+// amplitude, in index order, without materializing the exponential vector.
+// On a compact diagram this touches O(paths) entries rather than O(2^n) —
+// e.g. a Grover state yields all 2^n entries (it is dense), while a
+// basis-state-like or stabilizer diagram yields only its support.
+
+// ForEachAmplitude calls f for every nonzero amplitude of the n-qubit
+// vector diagram, in ascending basis-state order. Returning false stops the
+// iteration early.
+func (m *Manager[T]) ForEachAmplitude(v Edge[T], n int, f func(idx uint64, amp T) bool) {
+	if m.IsZero(v) {
+		return
+	}
+	var walk func(e Edge[T], level int, idx uint64, w T) bool
+	walk = func(e Edge[T], level int, idx uint64, w T) bool {
+		if m.IsZero(e) {
+			return true
+		}
+		cw := m.R.Mul(w, e.W)
+		if level == 0 {
+			return f(idx, cw)
+		}
+		for i, c := range e.N.E {
+			if !walk(c, level-1, idx|uint64(i)<<(level-1), cw) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(v, n, 0, m.R.One())
+}
+
+// SupportSize returns the number of basis states with nonzero amplitude.
+// (Nonzero in the representation: a numerically tiny-but-nonzero amplitude
+// counts; an exactly cancelled one does not.)
+func (m *Manager[T]) SupportSize(v Edge[T], n int) uint64 {
+	// Count paths via per-node memoization rather than enumeration, so dense
+	// states over many qubits stay cheap.
+	if m.IsZero(v) {
+		return 0
+	}
+	memo := make(map[*Node[T]]uint64)
+	var count func(e Edge[T], level int) uint64
+	count = func(e Edge[T], level int) uint64 {
+		if m.IsZero(e) {
+			return 0
+		}
+		if level == 0 {
+			return 1
+		}
+		if c, ok := memo[e.N]; ok {
+			return c
+		}
+		var total uint64
+		for _, c := range e.N.E {
+			total += count(c, level-1)
+		}
+		memo[e.N] = total
+		return total
+	}
+	return count(v, n)
+}
+
+// TopOutcomes returns the k most probable basis states with their
+// probabilities, sorted descending, visiting only the diagram's support.
+func (m *Manager[T]) TopOutcomes(v Edge[T], n, k int) ([]uint64, []float64) {
+	if k <= 0 {
+		return nil, nil
+	}
+	// A simple bounded insertion sort; k is small in practice.
+	idxs := make([]uint64, 0, k)
+	probs := make([]float64, 0, k)
+	m.ForEachAmplitude(v, n, func(idx uint64, amp T) bool {
+		p := m.R.Abs2(amp)
+		pos := len(probs)
+		for pos > 0 && probs[pos-1] < p {
+			pos--
+		}
+		if pos >= k {
+			return true
+		}
+		idxs = append(idxs, 0)
+		probs = append(probs, 0)
+		copy(idxs[pos+1:], idxs[pos:])
+		copy(probs[pos+1:], probs[pos:])
+		idxs[pos], probs[pos] = idx, p
+		if len(probs) > k {
+			idxs, probs = idxs[:k], probs[:k]
+		}
+		return true
+	})
+	return idxs, probs
+}

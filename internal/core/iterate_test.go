@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/alg"
+)
+
+func TestForEachAmplitudeMatchesToVector(t *testing.T) {
+	m := algManager(NormLeft)
+	r := rand.New(rand.NewSource(120))
+	for trial := 0; trial < 20; trial++ {
+		amps := randQVals(r, 16)
+		v := m.FromVector(amps)
+		seen := map[uint64]alg.Q{}
+		var last int64 = -1
+		m.ForEachAmplitude(v, 4, func(idx uint64, a alg.Q) bool {
+			if int64(idx) <= last {
+				t.Fatalf("iteration out of order: %d after %d", idx, last)
+			}
+			last = int64(idx)
+			seen[idx] = a
+			return true
+		})
+		for i, want := range amps {
+			got, ok := seen[uint64(i)]
+			if want.IsZero() {
+				if ok {
+					t.Fatalf("zero amplitude %d visited", i)
+				}
+				continue
+			}
+			if !ok || !got.Equal(want) {
+				t.Fatalf("amplitude %d: got %v, want %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestForEachAmplitudeEarlyStop(t *testing.T) {
+	m := algManager(NormLeft)
+	v := m.FromVector([]alg.Q{alg.QOne, alg.QOne, alg.QOne, alg.QOne})
+	visits := 0
+	m.ForEachAmplitude(v, 2, func(idx uint64, a alg.Q) bool {
+		visits++
+		return visits < 2
+	})
+	if visits != 2 {
+		t.Fatalf("early stop ignored: %d visits", visits)
+	}
+}
+
+func TestSupportSize(t *testing.T) {
+	m := algManager(NormLeft)
+	if got := m.SupportSize(m.BasisState(10, 77), 10); got != 1 {
+		t.Fatalf("basis support = %d", got)
+	}
+	if got := m.SupportSize(m.ZeroEdge(), 5); got != 0 {
+		t.Fatalf("zero support = %d", got)
+	}
+	// GHZ over n qubits: support 2, computed without 2^n enumeration.
+	n := 40 // far beyond anything enumerable
+	e := m.OneEdge()
+	z := m.ZeroEdge()
+	chain0, chain1 := e, e
+	for l := 1; l < n; l++ {
+		chain0 = m.MakeVectorNode(l, chain0, z)
+		chain1 = m.MakeVectorNode(l, z, chain1)
+	}
+	ghz := m.MakeVectorNode(n, chain0, chain1)
+	if got := m.SupportSize(ghz, n); got != 2 {
+		t.Fatalf("GHZ support = %d", got)
+	}
+	// Uniform superposition over 40 qubits: support 2^40 via memoized count.
+	u := e
+	for l := 1; l <= n; l++ {
+		u = m.MakeVectorNode(l, u, u)
+	}
+	if got := m.SupportSize(u, n); got != uint64(1)<<40 {
+		t.Fatalf("uniform support = %d", got)
+	}
+}
+
+func TestTopOutcomes(t *testing.T) {
+	m := algManager(NormLeft)
+	half := alg.QInvSqrt2.Mul(alg.QInvSqrt2)
+	v := m.FromVector([]alg.Q{
+		half,                    // 1/2   → p = 1/4
+		alg.QZero,               //
+		alg.QInvSqrt2,           // 1/√2  → p = 1/2
+		half.Mul(alg.QInvSqrt2), // 1/(2√2) → p = 1/8
+	})
+	idxs, probs := m.TopOutcomes(v, 2, 2)
+	if len(idxs) != 2 || idxs[0] != 2 || idxs[1] != 0 {
+		t.Fatalf("top outcomes = %v (%v)", idxs, probs)
+	}
+	if math.Abs(probs[0]-0.5) > 1e-12 || math.Abs(probs[1]-0.25) > 1e-12 {
+		t.Fatalf("top probabilities = %v", probs)
+	}
+	if idxs, _ := m.TopOutcomes(v, 2, 0); idxs != nil {
+		t.Fatal("k=0 returned outcomes")
+	}
+	// k larger than the support.
+	idxs, probs = m.TopOutcomes(v, 2, 10)
+	if len(idxs) != 3 {
+		t.Fatalf("support-limited top outcomes = %v", idxs)
+	}
+	if probs[2] >= probs[1] || probs[1] >= probs[0] {
+		t.Fatalf("not sorted: %v", probs)
+	}
+}

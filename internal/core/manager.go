@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/coeff"
+)
+
+// NormScheme selects how node weights are normalized when a node is created.
+// Normalization is what makes QMDDs canonical; the available schemes are the
+// ones discussed in the paper.
+type NormScheme int
+
+const (
+	// NormLeft divides all outgoing weights by the leftmost nonzero weight
+	// (the classic QMDD rule; for the algebraic representation this is
+	// Algorithm 2, "normalization with Q[ω] inverses").
+	NormLeft NormScheme = iota
+	// NormMax divides by the (leftmost) weight of largest magnitude, keeping
+	// every weight at magnitude ≤ 1 for numerical stability [29].
+	NormMax
+	// NormGCD factors out a unit-adjusted greatest common divisor of the
+	// weights (Algorithm 3, "normalization with GCDs from D[ω]"). Requires a
+	// coefficient ring implementing coeff.GCDRing; falls back to NormLeft
+	// when the weights leave the GCD subring.
+	NormGCD
+)
+
+// String returns the scheme name used in CLI flags and reports.
+func (s NormScheme) String() string {
+	switch s {
+	case NormLeft:
+		return "left"
+	case NormMax:
+		return "max"
+	case NormGCD:
+		return "gcd"
+	}
+	return fmt.Sprintf("NormScheme(%d)", int(s))
+}
+
+// ParseNormScheme parses the textual form produced by String.
+func ParseNormScheme(s string) (NormScheme, error) {
+	switch s {
+	case "left", "":
+		return NormLeft, nil
+	case "max":
+		return NormMax, nil
+	case "gcd":
+		return NormGCD, nil
+	}
+	return 0, fmt.Errorf("unknown normalization scheme %q (want left, max or gcd)", s)
+}
+
+// Stats aggregates manager counters.
+type Stats struct {
+	UniqueNodes   int    // live nodes in the unique table
+	UniqueLookups uint64 // makeNode calls that reached the unique table
+	UniqueHits    uint64 // ... of which found an existing node
+	CTLookups     uint64
+	CTHits        uint64
+	Prunes        uint64 // garbage-collection runs
+	PrunedNodes   uint64 // nodes removed across all Prune calls
+}
+
+// Manager owns the unique table, the compute tables and the normalization
+// policy for one family of QMDDs. All diagrams combined by manager
+// operations must come from the same manager. A Manager is not safe for
+// concurrent use; run parallel experiments on separate managers (as the
+// benchmark harness does).
+type Manager[T any] struct {
+	R    coeff.Ring[T]
+	Norm NormScheme
+
+	unique map[string]*Node[T]
+	ct     *computeTable[T]
+	nextID uint64
+	stats  Stats
+}
+
+// NewManager returns a manager over the given coefficient ring.
+func NewManager[T any](r coeff.Ring[T], norm NormScheme) *Manager[T] {
+	return &Manager[T]{
+		R:      r,
+		Norm:   norm,
+		unique: make(map[string]*Node[T]),
+		ct:     newComputeTable[T](1 << 18),
+	}
+}
+
+// Stats returns a snapshot of the manager counters.
+func (m *Manager[T]) Stats() Stats {
+	s := m.stats
+	s.UniqueNodes = len(m.unique)
+	s.CTLookups, s.CTHits = m.ct.lookups, m.ct.hits
+	return s
+}
+
+// ClearComputeTable drops all memoized operation results (the unique table —
+// and with it diagram identity — is preserved).
+func (m *Manager[T]) ClearComputeTable() { m.ct.clear() }
+
+// Terminal returns a terminal edge with the given weight.
+func (m *Manager[T]) Terminal(w T) Edge[T] { return Edge[T]{W: w, N: nil} }
+
+// ZeroEdge returns the zero stub (weight 0, terminal).
+func (m *Manager[T]) ZeroEdge() Edge[T] { return Edge[T]{W: m.R.Zero(), N: nil} }
+
+// OneEdge returns the scalar 1.
+func (m *Manager[T]) OneEdge() Edge[T] { return Edge[T]{W: m.R.One(), N: nil} }
+
+// IsZero reports whether e is the zero stub.
+func (m *Manager[T]) IsZero(e Edge[T]) bool { return e.N == nil && m.R.IsZero(e.W) }
+
+// RootsEqual is the O(1) canonical equivalence check: two diagrams built in
+// this manager represent the same matrix/vector iff their root edges point
+// to the identical node with equal weights.
+func (m *Manager[T]) RootsEqual(a, b Edge[T]) bool {
+	return a.N == b.N && m.R.Equal(a.W, b.W)
+}
+
+// RootsEqualUpToPhase reports whether two diagrams represent the same
+// object up to a global phase: identical node and root weights of equal
+// squared magnitude (checked exactly in the coefficient ring, so for the
+// algebraic representation this decides U₁ = e^{iφ}·U₂ exactly). Still O(1).
+func (m *Manager[T]) RootsEqualUpToPhase(a, b Edge[T]) bool {
+	if a.N != b.N {
+		return false
+	}
+	na := m.R.Mul(m.R.Conj(a.W), a.W)
+	nb := m.R.Mul(m.R.Conj(b.W), b.W)
+	return m.R.Equal(na, nb)
+}
+
+// MakeNode creates (or retrieves) the normalized, hash-consed node at the
+// given level with the given outgoing edges, and returns the edge pointing
+// to it with the extracted normalization factor as weight. Edges of weight
+// zero are canonicalized to zero stubs; if every edge is zero the zero stub
+// itself is returned.
+func (m *Manager[T]) MakeNode(level int, es []Edge[T]) Edge[T] {
+	if level < 1 {
+		panic("core: MakeNode at level < 1")
+	}
+	allZero := true
+	out := make([]Edge[T], len(es))
+	for i, e := range es {
+		if m.R.IsZero(e.W) {
+			out[i] = m.ZeroEdge()
+		} else {
+			out[i] = e
+			allZero = false
+		}
+	}
+	if allZero {
+		return m.ZeroEdge()
+	}
+	factor := m.normalize(out)
+	var sb strings.Builder
+	sb.Grow(64)
+	sb.WriteString(strconv.Itoa(level))
+	sb.WriteByte(':')
+	for _, e := range out {
+		sb.WriteString(m.R.Key(e.W))
+		sb.WriteByte('@')
+		if e.N != nil {
+			sb.WriteString(strconv.FormatUint(e.N.ID, 36))
+		}
+		sb.WriteByte(';')
+	}
+	key := sb.String()
+	m.stats.UniqueLookups++
+	if n, ok := m.unique[key]; ok {
+		m.stats.UniqueHits++
+		return Edge[T]{W: factor, N: n}
+	}
+	m.nextID++
+	n := &Node[T]{ID: m.nextID, Level: level, E: out}
+	m.unique[key] = n
+	return Edge[T]{W: factor, N: n}
+}
+
+// MakeVectorNode is MakeNode for the two halves of a state vector.
+func (m *Manager[T]) MakeVectorNode(level int, e0, e1 Edge[T]) Edge[T] {
+	return m.MakeNode(level, []Edge[T]{e0, e1})
+}
+
+// MakeMatrixNode is MakeNode for the four quadrants of a matrix
+// (top-left, top-right, bottom-left, bottom-right).
+func (m *Manager[T]) MakeMatrixNode(level int, e00, e01, e10, e11 Edge[T]) Edge[T] {
+	return m.MakeNode(level, []Edge[T]{e00, e01, e10, e11})
+}
+
+// Scale returns s · e.
+func (m *Manager[T]) Scale(e Edge[T], s T) Edge[T] {
+	if m.R.IsZero(s) || m.IsZero(e) {
+		return m.ZeroEdge()
+	}
+	return Edge[T]{W: m.R.Mul(s, e.W), N: e.N}
+}
+
+// weightedChild returns the i-th outgoing edge of e's node with e's weight
+// multiplied in. e must not be terminal.
+func (m *Manager[T]) weightedChild(e Edge[T], i int) Edge[T] {
+	c := e.N.E[i]
+	if m.R.IsZero(c.W) {
+		return m.ZeroEdge()
+	}
+	return Edge[T]{W: m.R.Mul(e.W, c.W), N: c.N}
+}

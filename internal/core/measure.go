@@ -1,0 +1,82 @@
+package core
+
+import "math/rand"
+
+// Measurement-related queries. Probabilities are computed in float64 — they
+// feed sampling and diagnostics, not the exact representation itself.
+
+// mass returns Σ_i |amplitude_i|² of the sub-vector rooted at n (weight 1),
+// memoized per node.
+func (m *Manager[T]) mass(n *Node[T], memo map[*Node[T]]float64) float64 {
+	if n == nil {
+		return 1
+	}
+	if v, ok := memo[n]; ok {
+		return v
+	}
+	s := 0.0
+	for _, c := range n.E {
+		if m.R.IsZero(c.W) {
+			continue
+		}
+		s += m.R.Abs2(c.W) * m.mass(c.N, memo)
+	}
+	memo[n] = s
+	return s
+}
+
+// Norm2 returns Σ|amplitude|² of a vector diagram as a float64. For a valid
+// quantum state this is 1 up to the representation's accuracy; the paper's
+// ε-collapse failures show up here as values near 0.
+func (m *Manager[T]) Norm2(v Edge[T]) float64 {
+	if m.IsZero(v) {
+		return 0
+	}
+	return m.R.Abs2(v.W) * m.mass(v.N, make(map[*Node[T]]float64))
+}
+
+// Probability returns |⟨idx|v⟩|².
+func (m *Manager[T]) Probability(v Edge[T], n int, idx uint64) float64 {
+	return m.R.Abs2(m.Amplitude(v, n, idx))
+}
+
+// Sample draws one basis-state outcome from the distribution induced by the
+// vector diagram, using the standard top-down QMDD sampling procedure.
+// The diagram need not be exactly normalized: probabilities are renormalized
+// level by level. Sampling a zero vector returns 0, false.
+func (m *Manager[T]) Sample(v Edge[T], n int, rng *rand.Rand) (uint64, bool) {
+	if m.IsZero(v) {
+		return 0, false
+	}
+	memo := make(map[*Node[T]]float64)
+	total := m.R.Abs2(v.W) * m.mass(v.N, memo)
+	if total <= 0 {
+		return 0, false
+	}
+	var idx uint64
+	e := v
+	for l := n; l >= 1; l-- {
+		if e.N == nil {
+			panic("core: malformed vector diagram in Sample")
+		}
+		var p [2]float64
+		for i := 0; i < 2; i++ {
+			c := e.N.E[i]
+			if m.R.IsZero(c.W) {
+				continue
+			}
+			p[i] = m.R.Abs2(c.W) * m.mass(c.N, memo)
+		}
+		sum := p[0] + p[1]
+		if sum <= 0 {
+			return 0, false
+		}
+		i := 0
+		if rng.Float64()*sum >= p[0] {
+			i = 1
+		}
+		idx |= uint64(i) << (l - 1)
+		e = e.N.E[i]
+	}
+	return idx, true
+}

@@ -1,0 +1,107 @@
+// Package core implements the QMDD (Quantum Multiple-valued Decision
+// Diagram) data structure of Niemann et al. generically over the coefficient
+// ring of its edge weights, so that the very same diagram code runs with
+//
+//   - the numerical representation (complex128 + tolerance ε) whose
+//     accuracy/compactness trade-off the paper evaluates, and
+//   - the proposed exact algebraic representation over Q[ω] / D[ω].
+//
+// A QMDD node at level l (l = n .. 1 for an n-qubit system) decomposes a
+// 2^l × 2^l matrix into its four quadrants (arity 4) or a 2^l state vector
+// into its two halves (arity 2); edges carry multiplicative weights, and a
+// matrix entry / amplitude is the product of the weights along the
+// corresponding root-to-terminal path. Terminal edges have a nil node
+// pointer. Edges of weight zero always point directly to the terminal
+// ("zero stubs"); apart from those, levels are never skipped.
+//
+// Nodes are hash-consed in a unique table after normalization, which makes
+// the representation canonical: two equal matrices/vectors are represented
+// by the identical root edge, so equivalence checking is O(1).
+package core
+
+// Edge is a weighted edge of a QMDD: the weight multiplies everything in the
+// sub-diagram hanging off N. A nil N is the terminal.
+type Edge[T any] struct {
+	W T
+	N *Node[T]
+}
+
+// Node is a QMDD node. E has length 4 for matrix nodes (quadrants in
+// row-major order: top-left, top-right, bottom-left, bottom-right — the
+// outgoing edges e₀…e₃ of the paper's figures) and length 2 for vector
+// nodes (upper and lower half). Nodes are immutable once interned; never
+// modify E after creation.
+type Node[T any] struct {
+	ID    uint64
+	Level int
+	E     []Edge[T]
+}
+
+// IsTerminal reports whether e points to the terminal node.
+func (e Edge[T]) IsTerminal() bool { return e.N == nil }
+
+// Level returns the level of the edge's target (0 for the terminal).
+func (e Edge[T]) Level() int {
+	if e.N == nil {
+		return 0
+	}
+	return e.N.Level
+}
+
+// Arity returns the node fan-out at the edge's target (0 for the terminal).
+func (e Edge[T]) Arity() int {
+	if e.N == nil {
+		return 0
+	}
+	return len(e.N.E)
+}
+
+// MatrixArity and VectorArity are the two legal node fan-outs.
+const (
+	VectorArity = 2
+	MatrixArity = 4
+)
+
+// NodeCount returns the number of distinct non-terminal nodes reachable from
+// e — the "size of the QMDD" metric of the paper's figures.
+func (e Edge[T]) NodeCount() int {
+	seen := make(map[*Node[T]]struct{})
+	var walk func(*Node[T])
+	walk = func(n *Node[T]) {
+		if n == nil {
+			return
+		}
+		if _, ok := seen[n]; ok {
+			return
+		}
+		seen[n] = struct{}{}
+		for _, c := range n.E {
+			walk(c.N)
+		}
+	}
+	walk(e.N)
+	return len(seen)
+}
+
+// Nodes returns all distinct non-terminal nodes reachable from e, in an
+// unspecified order.
+func (e Edge[T]) Nodes() []*Node[T] {
+	seen := make(map[*Node[T]]struct{})
+	var out []*Node[T]
+	var walk func(*Node[T])
+	walk = func(n *Node[T]) {
+		if n == nil {
+			return
+		}
+		if _, ok := seen[n]; ok {
+			return
+		}
+		seen[n] = struct{}{}
+		out = append(out, n)
+		for _, c := range n.E {
+			walk(c.N)
+		}
+	}
+	walk(e.N)
+	return out
+}

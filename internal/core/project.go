@@ -1,0 +1,69 @@
+package core
+
+import "math"
+
+// Project applies the projector |outcome⟩⟨outcome| on the given qubit
+// (0-based, qubit 0 = top level) to a vector diagram and returns the
+// *unnormalized* projected state together with the outcome probability
+// (‖Pψ‖²/‖ψ‖²).
+//
+// The result is deliberately not renormalized: the factor 1/√p generally
+// lies outside D[ω], so renormalizing would either leave the exact ring or
+// silently reintroduce floating point. Callers that need a unit vector can
+// track the norm separately (probabilities and further projections are
+// unaffected) — the same convention exact QMDD measurement uses.
+func (m *Manager[T]) Project(v Edge[T], n, qubit int, outcome int) (Edge[T], float64) {
+	if qubit < 0 || qubit >= n {
+		panic("core: Project qubit out of range")
+	}
+	if outcome != 0 && outcome != 1 {
+		panic("core: Project outcome must be 0 or 1")
+	}
+	before := m.Norm2(v)
+	level := n - qubit
+	proj := m.projectRec(v, level, outcome, make(map[*Node[T]]Edge[T]))
+	if before == 0 {
+		return proj, 0
+	}
+	return proj, m.Norm2(proj) / before
+}
+
+func (m *Manager[T]) projectRec(e Edge[T], level, outcome int, memo map[*Node[T]]Edge[T]) Edge[T] {
+	if m.IsZero(e) {
+		return m.ZeroEdge()
+	}
+	if e.N == nil || e.N.Level < level {
+		panic("core: malformed vector diagram in Project")
+	}
+	if e.N.Level == level {
+		kept := e.N.E[outcome]
+		var es [2]Edge[T]
+		es[outcome] = kept
+		es[1-outcome] = m.ZeroEdge()
+		sub := m.MakeVectorNode(level, es[0], es[1])
+		return m.Scale(sub, e.W)
+	}
+	if sub, ok := memo[e.N]; ok {
+		return m.Scale(sub, e.W)
+	}
+	es := make([]Edge[T], len(e.N.E))
+	for i, c := range e.N.E {
+		es[i] = m.projectRec(c, level, outcome, memo)
+	}
+	sub := m.MakeNode(e.N.Level, es)
+	memo[e.N] = sub
+	return m.Scale(sub, e.W)
+}
+
+// Fidelity returns |⟨u|v⟩|² / (‖u‖²·‖v‖²) — 1 iff the two vector diagrams
+// represent the same physical state (up to global phase and length).
+func (m *Manager[T]) Fidelity(u, v Edge[T]) float64 {
+	nu, nv := m.Norm2(u), m.Norm2(v)
+	if nu == 0 || nv == 0 {
+		return 0
+	}
+	ip := m.R.Abs2(m.InnerProduct(u, v))
+	f := ip / (nu * nv)
+	// Guard against float round-up just above 1.
+	return math.Min(f, 1)
+}

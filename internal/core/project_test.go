@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/alg"
+)
+
+func TestProjectBellState(t *testing.T) {
+	m := algManager(NormLeft)
+	s := alg.QInvSqrt2
+	bell := m.FromVector([]alg.Q{s, alg.QZero, alg.QZero, s})
+	for _, outcome := range []int{0, 1} {
+		proj, p := m.Project(bell, 2, 0, outcome)
+		if math.Abs(p-0.5) > 1e-12 {
+			t.Fatalf("P(q0=%d) = %v, want 0.5", outcome, p)
+		}
+		// The projected (unnormalized) state is 1/√2·|oo⟩.
+		idx := uint64(0)
+		if outcome == 1 {
+			idx = 3
+		}
+		if !m.Amplitude(proj, 2, idx).Equal(s) {
+			t.Fatalf("projected amplitude = %v", m.Amplitude(proj, 2, idx))
+		}
+		// The other branch is gone.
+		if !m.Amplitude(proj, 2, 3-idx).IsZero() {
+			t.Fatal("projection left the complementary branch alive")
+		}
+	}
+}
+
+func TestProjectOnLowerQubit(t *testing.T) {
+	m := algManager(NormLeft)
+	// |+⟩ ⊗ |+⟩ ⊗ |0⟩: projecting qubit 1 onto 1 keeps half the mass.
+	h := alg.QInvSqrt2
+	amps := []alg.Q{
+		h.Mul(h), alg.QZero, h.Mul(h), alg.QZero,
+		h.Mul(h), alg.QZero, h.Mul(h), alg.QZero,
+	}
+	v := m.FromVector(amps)
+	proj, p := m.Project(v, 3, 1, 1)
+	if math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("P = %v", p)
+	}
+	for i := uint64(0); i < 8; i++ {
+		a := m.Amplitude(proj, 3, i)
+		if (i>>1)&1 == 1 && i&1 == 0 {
+			if !a.Equal(h.Mul(h)) {
+				t.Fatalf("amp[%d] = %v", i, a)
+			}
+		} else if !a.IsZero() {
+			t.Fatalf("amp[%d] should be zero, got %v", i, a)
+		}
+	}
+}
+
+func TestProjectProbabilitiesSumToOne(t *testing.T) {
+	m := algManager(NormLeft)
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		v := m.FromVector(randQVals(r, 16))
+		if m.IsZero(v) {
+			continue
+		}
+		for q := 0; q < 4; q++ {
+			_, p0 := m.Project(v, 4, q, 0)
+			_, p1 := m.Project(v, 4, q, 1)
+			if math.Abs(p0+p1-1) > 1e-9 {
+				t.Fatalf("P0+P1 = %v for qubit %d", p0+p1, q)
+			}
+		}
+	}
+}
+
+func TestProjectZeroVector(t *testing.T) {
+	m := algManager(NormLeft)
+	proj, p := m.Project(m.ZeroEdge(), 2, 0, 1)
+	if !m.IsZero(proj) || p != 0 {
+		t.Fatalf("projection of zero vector: %v, %v", proj, p)
+	}
+}
+
+func TestFidelity(t *testing.T) {
+	m := algManager(NormLeft)
+	s := alg.QInvSqrt2
+	bell := m.FromVector([]alg.Q{s, alg.QZero, alg.QZero, s})
+	if f := m.Fidelity(bell, bell); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("self fidelity %v", f)
+	}
+	// Global phase i and scaling by 3 must not matter.
+	phased := m.Scale(bell, alg.QI.Mul(alg.QFromInt(3)))
+	if f := m.Fidelity(bell, phased); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("phase/scale fidelity %v", f)
+	}
+	orth := m.FromVector([]alg.Q{alg.QZero, s, s, alg.QZero})
+	if f := m.Fidelity(bell, orth); f > 1e-12 {
+		t.Fatalf("orthogonal fidelity %v", f)
+	}
+	plus := m.FromVector([]alg.Q{s.Mul(s), s.Mul(s), s.Mul(s), s.Mul(s)})
+	if f := m.Fidelity(bell, plus); math.Abs(f-0.5) > 1e-12 {
+		t.Fatalf("bell/plus fidelity %v, want 0.5", f)
+	}
+	if f := m.Fidelity(bell, m.ZeroEdge()); f != 0 {
+		t.Fatalf("fidelity with zero vector %v", f)
+	}
+}
+
+func TestPruneKeepsLiveDropsDead(t *testing.T) {
+	m := algManager(NormLeft)
+	// Build a state, then churn intermediates.
+	live := m.BasisState(4, 7)
+	for i := uint64(0); i < 16; i++ {
+		m.BasisState(4, i) // garbage except idx 7 (shared chains aside)
+	}
+	before := m.Stats().UniqueNodes
+	removed := m.Prune(live)
+	after := m.Stats().UniqueNodes
+	if removed == 0 || after >= before {
+		t.Fatalf("prune removed %d (table %d → %d)", removed, before, after)
+	}
+	// The live diagram is untouched and still canonical: rebuilding it
+	// yields the identical node.
+	rebuilt := m.BasisState(4, 7)
+	if !m.RootsEqual(rebuilt, live) {
+		t.Fatal("prune broke hash-consing identity for live nodes")
+	}
+	// Operations still work after a prune.
+	if !m.RootsEqual(m.Mul(m.Identity(4), live), live) {
+		t.Fatal("post-prune multiplication broken")
+	}
+	st := m.Stats()
+	if st.Prunes != 1 || st.PrunedNodes == 0 {
+		t.Fatalf("prune stats not recorded: %+v", st)
+	}
+}
+
+func TestPruneWithNoRootsEmptiesTable(t *testing.T) {
+	m := algManager(NormLeft)
+	m.BasisState(3, 5)
+	m.Prune()
+	if m.Stats().UniqueNodes != 0 {
+		t.Fatalf("table not emptied: %d", m.Stats().UniqueNodes)
+	}
+}
+
+func TestAutoPruner(t *testing.T) {
+	m := algManager(NormLeft)
+	state := m.BasisState(5, 0)
+	hook := AutoPruner(m, 20, func() Edge[alg.Q] { return state })
+	for i := uint64(0); i < 32; i++ {
+		state = m.BasisState(5, i)
+		hook()
+	}
+	if m.Stats().Prunes == 0 {
+		t.Fatal("auto-pruner never fired")
+	}
+	if got := m.Stats().UniqueNodes; got > 40 {
+		t.Fatalf("table kept growing: %d nodes", got)
+	}
+}

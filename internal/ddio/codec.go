@@ -1,0 +1,84 @@
+package ddio
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"strconv"
+	"strings"
+
+	"repro/internal/alg"
+)
+
+// AlgCodec encodes exact Q[ω] weights as "a,b,c,d,k,e" (decimal big
+// integers plus the √2 exponent) — fully lossless.
+type AlgCodec struct{}
+
+// RingName identifies the codec for header validation.
+func (AlgCodec) RingName() string { return "qomega" }
+
+// Encode renders q losslessly.
+func (AlgCodec) Encode(q alg.Q) string {
+	return fmt.Sprintf("%s,%s,%s,%s,%d,%s",
+		q.N.W.A.Text(10), q.N.W.B.Text(10), q.N.W.C.Text(10), q.N.W.D.Text(10),
+		q.N.K, q.E.Text(10))
+}
+
+// Decode parses the Encode format.
+func (AlgCodec) Decode(s string) (alg.Q, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 6 {
+		return alg.QZero, fmt.Errorf("ddio: bad Q[ω] token %q", s)
+	}
+	ints := make([]*big.Int, 4)
+	for i := 0; i < 4; i++ {
+		v, ok := new(big.Int).SetString(parts[i], 10)
+		if !ok {
+			return alg.QZero, fmt.Errorf("ddio: bad coefficient %q", parts[i])
+		}
+		ints[i] = v
+	}
+	k, err := strconv.Atoi(parts[4])
+	if err != nil {
+		return alg.QZero, fmt.Errorf("ddio: bad exponent %q", parts[4])
+	}
+	e, ok := new(big.Int).SetString(parts[5], 10)
+	if !ok || e.Sign() == 0 {
+		return alg.QZero, fmt.Errorf("ddio: bad denominator %q", parts[5])
+	}
+	w := alg.NewZomegaBig(ints[0], ints[1], ints[2], ints[3])
+	return alg.QFromParts(w, k, e), nil
+}
+
+// NumCodec encodes complex128 weights bit-exactly via the hexadecimal
+// float format.
+type NumCodec struct{}
+
+// RingName identifies the codec for header validation.
+func (NumCodec) RingName() string { return "complex128" }
+
+// Encode renders v bit-exactly.
+func (NumCodec) Encode(v complex128) string {
+	return strconv.FormatFloat(real(v), 'x', -1, 64) + "," +
+		strconv.FormatFloat(imag(v), 'x', -1, 64)
+}
+
+// Decode parses the Encode format.
+func (NumCodec) Decode(s string) (complex128, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, fmt.Errorf("ddio: bad complex token %q", s)
+	}
+	re, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		return 0, err
+	}
+	im, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(re) || math.IsNaN(im) {
+		return 0, fmt.Errorf("ddio: NaN weight")
+	}
+	return complex(re, im), nil
+}

@@ -1,0 +1,167 @@
+// Package ddio serializes QMDDs to a line-oriented text format and reads
+// them back, so that exactly-computed diagrams (states, circuit unitaries,
+// verification references) can be stored and exchanged without any loss —
+// one of the practical payoffs of the algebraic representation, since a
+// serialized exact diagram is a portable certificate.
+//
+// Format (one record per line):
+//
+//	qmdd v1 <ring> <qubits>
+//	n <idx> <level> <w>:<child> …      child = earlier idx or "t"
+//	root <w>:<idx|t>
+//
+// Nodes appear children-first; weights are ring-specific opaque tokens.
+package ddio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Codec encodes and decodes edge weights of a concrete ring.
+type Codec[T any] interface {
+	RingName() string
+	Encode(T) string
+	Decode(string) (T, error)
+}
+
+// Write serializes the diagram rooted at e.
+func Write[T any](w io.Writer, m *core.Manager[T], c Codec[T], e core.Edge[T], qubits int) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "qmdd v1 %s %d\n", c.RingName(), qubits); err != nil {
+		return err
+	}
+	idx := map[*core.Node[T]]int{}
+	var emit func(n *core.Node[T]) error
+	emit = func(n *core.Node[T]) error {
+		if n == nil {
+			return nil
+		}
+		if _, ok := idx[n]; ok {
+			return nil
+		}
+		for _, ch := range n.E {
+			if err := emit(ch.N); err != nil {
+				return err
+			}
+		}
+		id := len(idx)
+		idx[n] = id
+		fmt.Fprintf(bw, "n %d %d", id, n.Level)
+		for _, ch := range n.E {
+			child := "t"
+			if ch.N != nil {
+				child = strconv.Itoa(idx[ch.N])
+			}
+			fmt.Fprintf(bw, " %s:%s", c.Encode(ch.W), child)
+		}
+		fmt.Fprintln(bw)
+		return nil
+	}
+	if err := emit(e.N); err != nil {
+		return err
+	}
+	rootChild := "t"
+	if e.N != nil {
+		rootChild = strconv.Itoa(idx[e.N])
+	}
+	fmt.Fprintf(bw, "root %s:%s\n", c.Encode(e.W), rootChild)
+	return bw.Flush()
+}
+
+// Read deserializes a diagram into the manager (re-normalizing through
+// MakeNode, so the result is canonical in the target manager regardless of
+// the writer's normalization scheme). It returns the root edge and the
+// qubit count recorded in the header.
+func Read[T any](r io.Reader, m *core.Manager[T], c Codec[T]) (core.Edge[T], int, error) {
+	var zero core.Edge[T]
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return zero, 0, fmt.Errorf("ddio: empty input")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 4 || header[0] != "qmdd" || header[1] != "v1" {
+		return zero, 0, fmt.Errorf("ddio: bad header %q", sc.Text())
+	}
+	if header[2] != c.RingName() {
+		return zero, 0, fmt.Errorf("ddio: diagram uses ring %q, codec provides %q", header[2], c.RingName())
+	}
+	qubits, err := strconv.Atoi(header[3])
+	if err != nil {
+		return zero, 0, fmt.Errorf("ddio: bad qubit count: %v", err)
+	}
+
+	// edge i = the normalized edge standing in for written node i.
+	var edges []core.Edge[T]
+	parseEdge := func(tok string) (core.Edge[T], error) {
+		colon := strings.LastIndexByte(tok, ':')
+		if colon < 0 {
+			return zero, fmt.Errorf("ddio: bad edge token %q", tok)
+		}
+		w, err := c.Decode(tok[:colon])
+		if err != nil {
+			return zero, err
+		}
+		if tok[colon+1:] == "t" {
+			return core.Edge[T]{W: w, N: nil}, nil
+		}
+		id, err := strconv.Atoi(tok[colon+1:])
+		if err != nil || id < 0 || id >= len(edges) {
+			return zero, fmt.Errorf("ddio: bad child reference %q", tok)
+		}
+		return m.Scale(edges[id], w), nil
+	}
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "n":
+			if len(fields) < 5 {
+				return zero, 0, fmt.Errorf("ddio: short node line %q", sc.Text())
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil || id != len(edges) {
+				return zero, 0, fmt.Errorf("ddio: nodes must be numbered consecutively (got %q)", fields[1])
+			}
+			level, err := strconv.Atoi(fields[2])
+			if err != nil || level < 1 {
+				return zero, 0, fmt.Errorf("ddio: bad level %q", fields[2])
+			}
+			kids := fields[3:]
+			if len(kids) != core.VectorArity && len(kids) != core.MatrixArity {
+				return zero, 0, fmt.Errorf("ddio: node %d has %d children", id, len(kids))
+			}
+			es := make([]core.Edge[T], len(kids))
+			for i, tok := range kids {
+				es[i], err = parseEdge(tok)
+				if err != nil {
+					return zero, 0, err
+				}
+			}
+			edges = append(edges, m.MakeNode(level, es))
+		case "root":
+			if len(fields) != 2 {
+				return zero, 0, fmt.Errorf("ddio: bad root line %q", sc.Text())
+			}
+			root, err := parseEdge(fields[1])
+			if err != nil {
+				return zero, 0, err
+			}
+			return root, qubits, nil
+		default:
+			return zero, 0, fmt.Errorf("ddio: unknown record %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return zero, 0, err
+	}
+	return zero, 0, fmt.Errorf("ddio: missing root record")
+}

@@ -1,0 +1,145 @@
+package ddio
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/alg"
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/num"
+	"repro/internal/sim"
+)
+
+func TestAlgRoundTripState(t *testing.T) {
+	m := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
+	c := algorithms.Grover(6, 11, 0)
+	s := sim.New(m, 6)
+	if err := s.Run(c, nil); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, m, AlgCodec{}, s.State, 6); err != nil {
+		t.Fatal(err)
+	}
+	got, qubits, err := Read(strings.NewReader(sb.String()), m, AlgCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qubits != 6 {
+		t.Fatalf("qubits = %d", qubits)
+	}
+	if !m.RootsEqual(got, s.State) {
+		t.Fatal("round trip changed the diagram")
+	}
+}
+
+func TestAlgRoundTripMatrixIntoFreshManager(t *testing.T) {
+	m1 := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
+	c := algorithms.BernsteinVazirani(4, 0b1011)
+	u, err := sim.BuildUnitary(m1, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, m1, AlgCodec{}, u, c.N); err != nil {
+		t.Fatal(err)
+	}
+	// Import into a manager with a *different* normalization scheme: the
+	// semantics must survive re-canonicalization.
+	m2 := core.NewManager[alg.Q](alg.Ring{}, core.NormGCD)
+	got, _, err := Read(strings.NewReader(sb.String()), m2, AlgCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := sim.BuildUnitary(m2, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.RootsEqual(got, u2) {
+		t.Fatal("imported unitary differs from a native rebuild")
+	}
+}
+
+func TestNumRoundTrip(t *testing.T) {
+	m := core.NewManager[complex128](num.NewRing(0), core.NormMax)
+	c := algorithms.QFT(4)
+	s := sim.New(m, 4)
+	if err := s.Run(c, nil); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, m, NumCodec{}, s.State, 4); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Read(strings.NewReader(sb.String()), m, NumCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.RootsEqual(got, s.State) {
+		t.Fatal("numeric round trip changed the diagram")
+	}
+}
+
+func TestZeroAndScalarDiagrams(t *testing.T) {
+	m := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
+	for _, e := range []core.Edge[alg.Q]{m.ZeroEdge(), m.Terminal(alg.QFromInt(3))} {
+		var sb strings.Builder
+		if err := Write(&sb, m, AlgCodec{}, e, 0); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := Read(strings.NewReader(sb.String()), m, AlgCodec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.RootsEqual(got, e) {
+			t.Fatalf("scalar round trip changed %v", e)
+		}
+	}
+}
+
+func TestCodecProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	ac := AlgCodec{}
+	for i := 0; i < 200; i++ {
+		v := func() int64 { return r.Int63n(1<<40) - 1<<39 }
+		q := alg.NewQ(v(), v(), v(), v(), r.Intn(9)-4, 2*r.Int63n(1000)+1)
+		got, err := ac.Decode(ac.Encode(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(q) {
+			t.Fatalf("alg codec round trip: %v vs %v", got, q)
+		}
+	}
+	nc := NumCodec{}
+	for i := 0; i < 200; i++ {
+		v := complex(r.NormFloat64(), r.NormFloat64())
+		got, err := nc.Decode(nc.Encode(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Fatalf("num codec round trip: %v vs %v", got, v)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	m := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
+	cases := []string{
+		"",
+		"bogus header\n",
+		"qmdd v1 complex128 3\nroot 0,0,0,0,0,1:t\n", // ring mismatch
+		"qmdd v1 qomega 2\nn 0 1 bad\n",
+		"qmdd v1 qomega 2\nn 5 1 0,0,0,1,0,1:t 0,0,0,0,0,1:t\n", // bad numbering
+		"qmdd v1 qomega 2\nn 0 1 0,0,0,1,0,1:t 0,0,0,0,0,1:t\n", // missing root
+		"qmdd v1 qomega 2\nroot 0,0,0,1,0,1:7\n",                // dangling ref
+	}
+	for _, src := range cases {
+		if _, _, err := Read(strings.NewReader(src), m, AlgCodec{}); err == nil {
+			t.Fatalf("no error for %q", src)
+		}
+	}
+}

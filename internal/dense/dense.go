@@ -1,0 +1,129 @@
+// Package dense is the straightforward array-based simulator the paper uses
+// as its point of departure ([8]–[10]): a flat complex128 state vector of
+// length 2^n with in-place gate application. It exists as the ground-truth
+// cross-validation oracle for the QMDD simulators (for small n) and as the
+// "memory explosion" baseline of the evaluation narrative.
+package dense
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+)
+
+// State is a dense n-qubit state vector. Qubit 0 is the most significant
+// index bit, matching the QMDD level convention.
+type State struct {
+	N   int
+	Amp []complex128
+}
+
+// New returns |0…0⟩ over n qubits.
+func New(n int) *State {
+	if n < 1 || n > 30 {
+		panic("dense: unreasonable qubit count")
+	}
+	s := &State{N: n, Amp: make([]complex128, 1<<uint(n))}
+	s.Amp[0] = 1
+	return s
+}
+
+// FromVector wraps an amplitude slice (length must be a power of two).
+func FromVector(amp []complex128) *State {
+	n := 0
+	for m := len(amp); m > 1; m >>= 1 {
+		if m&1 == 1 {
+			panic("dense: length not a power of two")
+		}
+		n++
+	}
+	cp := make([]complex128, len(amp))
+	copy(cp, amp)
+	return &State{N: n, Amp: cp}
+}
+
+// bitOf returns the index-bit position of a qubit.
+func (s *State) bitOf(q int) uint { return uint(s.N - 1 - q) }
+
+// Apply applies one gate to the state.
+func (s *State) Apply(g circuit.Gate) error {
+	u, err := gates.Numeric(g.Name, g.Params)
+	if err != nil {
+		return err
+	}
+	tb := s.bitOf(g.Target)
+	masks := make([]struct {
+		bit uint
+		val uint64
+	}, len(g.Controls))
+	for i, c := range g.Controls {
+		masks[i].bit = s.bitOf(c.Qubit)
+		if !c.Neg {
+			masks[i].val = 1
+		}
+	}
+	dim := uint64(len(s.Amp))
+	for i := uint64(0); i < dim; i++ {
+		if i&(1<<tb) != 0 {
+			continue // visit each amplitude pair once, from its 0-branch
+		}
+		active := true
+		for _, m := range masks {
+			if (i>>m.bit)&1 != m.val {
+				active = false
+				break
+			}
+		}
+		if !active {
+			continue
+		}
+		j := i | 1<<tb
+		a0, a1 := s.Amp[i], s.Amp[j]
+		s.Amp[i] = u[0][0]*a0 + u[0][1]*a1
+		s.Amp[j] = u[1][0]*a0 + u[1][1]*a1
+	}
+	return nil
+}
+
+// Run applies a whole circuit.
+func (s *State) Run(c *circuit.Circuit) error {
+	if c.N != s.N {
+		return fmt.Errorf("dense: circuit has %d qubits, state has %d", c.N, s.N)
+	}
+	for i, g := range c.Gates {
+		if err := s.Apply(g); err != nil {
+			return fmt.Errorf("dense: gate %d (%s): %w", i, g, err)
+		}
+	}
+	return nil
+}
+
+// Norm2 returns Σ|amplitude|².
+func (s *State) Norm2() float64 {
+	t := 0.0
+	for _, a := range s.Amp {
+		t += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return t
+}
+
+// Probability returns |⟨idx|ψ⟩|².
+func (s *State) Probability(idx uint64) float64 {
+	a := s.Amp[idx]
+	return real(a)*real(a) + imag(a)*imag(a)
+}
+
+// Distance returns the Euclidean distance ‖s − o‖₂.
+func (s *State) Distance(o *State) float64 {
+	if len(s.Amp) != len(o.Amp) {
+		panic("dense: dimension mismatch")
+	}
+	t := 0.0
+	for i := range s.Amp {
+		d := s.Amp[i] - o.Amp[i]
+		t += real(d)*real(d) + imag(d)*imag(d)
+	}
+	return math.Sqrt(t)
+}

@@ -1,0 +1,112 @@
+package gates
+
+import (
+	"repro/internal/core"
+)
+
+// Control is a control line of a gate: the operation fires when the qubit is
+// |1⟩ (Neg = false) or |0⟩ (Neg = true).
+type Control struct {
+	Qubit int
+	Neg   bool
+}
+
+// BuildDD constructs the 2^n × 2^n gate QMDD for a single-target gate with
+// arbitrarily many controls, directly level by level (never materializing
+// the exponential matrix). base holds the 2×2 target operation as ring
+// values; qubit 0 is the top level, qubit n−1 the bottom.
+//
+// This is the classic QMDD gate-construction procedure: below the target
+// every quadrant entry is wrapped diagonally (identity on uninvolved qubits,
+// control selection on control qubits); at the target the four entries fuse
+// into one node; above the target the diagram is again wrapped diagonally,
+// with the inactive control branch holding the identity.
+func BuildDD[T any](m *core.Manager[T], n int, base [2][2]T, target int, controls []Control) core.Edge[T] {
+	if target < 0 || target >= n {
+		panic("gates: target out of range")
+	}
+	ctrl := make(map[int]bool, len(controls)) // qubit -> Neg
+	for _, c := range controls {
+		if c.Qubit == target {
+			panic("gates: control equals target")
+		}
+		if c.Qubit < 0 || c.Qubit >= n {
+			panic("gates: control out of range")
+		}
+		if _, dup := ctrl[c.Qubit]; dup {
+			panic("gates: duplicate control")
+		}
+		ctrl[c.Qubit] = c.Neg
+	}
+
+	// Identity DDs for every level are needed for the control branches.
+	ids := make([]core.Edge[T], n+1)
+	ids[0] = m.OneEdge()
+	for l := 1; l <= n; l++ {
+		ids[l] = m.MakeMatrixNode(l, ids[l-1], m.ZeroEdge(), m.ZeroEdge(), ids[l-1])
+	}
+
+	targetLevel := n - target
+	// Below the target: carry the four quadrant entries separately.
+	var e [2][2]core.Edge[T]
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			e[i][j] = m.Terminal(base[i][j])
+		}
+	}
+	for l := 1; l < targetLevel; l++ {
+		q := n - l // qubit living at this level
+		neg, isCtrl := ctrl[q]
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				switch {
+				case !isCtrl:
+					e[i][j] = m.MakeMatrixNode(l, e[i][j], m.ZeroEdge(), m.ZeroEdge(), e[i][j])
+				case i == j:
+					// Diagonal entries keep the identity on the inactive
+					// control branch.
+					inactive := ids[l-1]
+					if neg {
+						e[i][j] = m.MakeMatrixNode(l, e[i][j], m.ZeroEdge(), m.ZeroEdge(), inactive)
+					} else {
+						e[i][j] = m.MakeMatrixNode(l, inactive, m.ZeroEdge(), m.ZeroEdge(), e[i][j])
+					}
+				default:
+					// Off-diagonal entries vanish on the inactive branch.
+					if neg {
+						e[i][j] = m.MakeMatrixNode(l, e[i][j], m.ZeroEdge(), m.ZeroEdge(), m.ZeroEdge())
+					} else {
+						e[i][j] = m.MakeMatrixNode(l, m.ZeroEdge(), m.ZeroEdge(), m.ZeroEdge(), e[i][j])
+					}
+				}
+			}
+		}
+	}
+	// The target level fuses the quadrants.
+	dd := m.MakeMatrixNode(targetLevel, e[0][0], e[0][1], e[1][0], e[1][1])
+	// Above the target.
+	for l := targetLevel + 1; l <= n; l++ {
+		q := n - l
+		neg, isCtrl := ctrl[q]
+		switch {
+		case !isCtrl:
+			dd = m.MakeMatrixNode(l, dd, m.ZeroEdge(), m.ZeroEdge(), dd)
+		case neg:
+			dd = m.MakeMatrixNode(l, dd, m.ZeroEdge(), m.ZeroEdge(), ids[l-1])
+		default:
+			dd = m.MakeMatrixNode(l, ids[l-1], m.ZeroEdge(), m.ZeroEdge(), dd)
+		}
+	}
+	return dd
+}
+
+// BaseFor converts the exact matrix into ring values via FromQ.
+func BaseFor[T any](m *core.Manager[T], g Matrix2) [2][2]T {
+	var out [2][2]T
+	for i := range g {
+		for j := range g[i] {
+			out[i][j] = m.R.FromQ(g[i][j])
+		}
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+// Package opt implements a peephole circuit optimizer whose every rewrite
+// is an exact algebraic identity (H² = I, T·T† = I, T² = S, S² = Z, …), so
+// optimized circuits are equal to their originals *including global phase*.
+// The package also provides the verified entry point the paper's
+// equivalence-checking story enables: optimize, then prove the rewrite
+// correct with an O(1) exact QMDD root comparison.
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/alg"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// selfInverse names gates with g·g = I.
+var selfInverse = map[string]bool{
+	"h": true, "x": true, "y": true, "z": true, "id": true, "i": true,
+}
+
+// inversePairs maps gates to their inverses (both directions listed).
+var inversePairs = map[string]string{
+	"s": "sdg", "sdg": "s",
+	"t": "tdg", "tdg": "t",
+	"sx": "sxdg", "sxdg": "sx",
+}
+
+// phasePower maps diagonal phase gates to their ω exponent (phase on |1⟩).
+var phasePower = map[string]int{
+	"t": 1, "s": 2, "z": 4, "sdg": 6, "tdg": 7,
+}
+
+// powerGates is the inverse of phasePower with minimal gate sequences.
+var powerGates = [8][]string{
+	1: {"t"}, 2: {"s"}, 3: {"s", "t"}, 4: {"z"},
+	5: {"z", "t"}, 6: {"sdg"}, 7: {"tdg"},
+}
+
+// Optimize applies cancellation and phase-merging passes until a fixed
+// point. The result is exactly (not just projectively) equivalent.
+func Optimize(c *circuit.Circuit) *circuit.Circuit {
+	gates := append([]circuit.Gate{}, c.Gates...)
+	for {
+		next := pass(gates, c.N)
+		if len(next) == len(gates) {
+			gates = next
+			break
+		}
+		gates = next
+	}
+	out := circuit.New(c.Name+"_opt", c.N)
+	for _, g := range gates {
+		out.Append(g)
+	}
+	return out
+}
+
+// pass performs one sweep: for each gate, look at the previous gate that
+// touched any of its qubits; cancel inverse pairs acting on identical lines
+// and merge compatible diagonal phase gates.
+func pass(gates []circuit.Gate, n int) []circuit.Gate {
+	var out []circuit.Gate
+	last := make([]int, n) // qubit -> index into out of the last touching gate
+	for q := range last {
+		last[q] = -1
+	}
+	removed := make(map[int]bool)
+	touch := func(g circuit.Gate) []int {
+		qs := []int{g.Target}
+		for _, ct := range g.Controls {
+			qs = append(qs, ct.Qubit)
+		}
+		sort.Ints(qs)
+		return qs
+	}
+	recompute := func() {
+		for q := range last {
+			last[q] = -1
+		}
+		for i, g := range out {
+			if removed[i] {
+				continue
+			}
+			for _, q := range touch(g) {
+				last[q] = i
+			}
+		}
+	}
+	for _, g := range gates {
+		qs := touch(g)
+		prev := -1
+		uniform := true
+		for _, q := range qs {
+			if prev == -1 {
+				prev = last[q]
+			} else if last[q] != prev {
+				uniform = false
+			}
+		}
+		if uniform && prev >= 0 && !removed[prev] && sameLines(out[prev], g) {
+			pg := out[prev]
+			switch {
+			case cancels(pg, g):
+				removed[prev] = true
+				recompute()
+				continue
+			case phasePower[pg.Name] != 0 && phasePower[g.Name] != 0 && pg.Name != "" && g.Name != "":
+				p1, ok1 := phasePower[pg.Name]
+				p2, ok2 := phasePower[g.Name]
+				if ok1 && ok2 {
+					merged := (p1 + p2) % 8
+					removed[prev] = true
+					if merged != 0 {
+						for _, name := range powerGates[merged] {
+							out = append(out, circuit.Gate{Name: name, Target: g.Target, Controls: g.Controls})
+						}
+					}
+					recompute()
+					continue
+				}
+			}
+		}
+		out = append(out, g)
+		idx := len(out) - 1
+		for _, q := range qs {
+			last[q] = idx
+		}
+	}
+	// Compact the removals.
+	var compacted []circuit.Gate
+	for i, g := range out {
+		if !removed[i] {
+			compacted = append(compacted, g)
+		}
+	}
+	return compacted
+}
+
+// sameLines reports whether two gates act on the same target and the same
+// control set (including polarities).
+func sameLines(a, b circuit.Gate) bool {
+	if a.Target != b.Target || len(a.Controls) != len(b.Controls) {
+		return false
+	}
+	type ctl struct {
+		q   int
+		neg bool
+	}
+	set := map[ctl]bool{}
+	for _, c := range a.Controls {
+		set[ctl{c.Qubit, c.Neg}] = true
+	}
+	for _, c := range b.Controls {
+		if !set[ctl{c.Qubit, c.Neg}] {
+			return false
+		}
+	}
+	return true
+}
+
+// cancels reports whether a followed by b is the identity (exact inverses
+// with no parameters, or parametric gates with opposite angles).
+func cancels(a, b circuit.Gate) bool {
+	if len(a.Params) != len(b.Params) {
+		return false
+	}
+	if len(a.Params) == 1 {
+		// rz/rx/ry/p with opposite angles.
+		if a.Name == b.Name && a.Params[0] == -b.Params[0] {
+			switch a.Name {
+			case "rz", "rx", "ry", "p":
+				return true
+			}
+		}
+		return false
+	}
+	if selfInverse[a.Name] && a.Name == b.Name {
+		return true
+	}
+	return inversePairs[a.Name] == b.Name
+}
+
+// OptimizeVerified optimizes and then proves the rewrite exactly equivalent
+// by building both unitaries on the exact QMDD and comparing roots. It
+// returns an error if (contrary to the package's invariants) verification
+// fails — the safety net the paper's exact canonicity provides for free.
+func OptimizeVerified(c *circuit.Circuit) (*circuit.Circuit, error) {
+	o := Optimize(c)
+	if !c.IsCliffordT() {
+		// Parametric circuits cannot be verified exactly; the caller keeps
+		// the optimizer's algebraic-identity guarantee only.
+		return o, nil
+	}
+	m := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
+	eq, err := sim.Equivalent(m, c, o)
+	if err != nil {
+		return nil, err
+	}
+	if !eq {
+		return nil, fmt.Errorf("opt: optimizer produced a non-equivalent circuit (bug)")
+	}
+	return o, nil
+}

@@ -1,0 +1,109 @@
+package plaindd
+
+import (
+	"testing"
+
+	"repro/internal/alg"
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func algM() *core.Manager[alg.Q] {
+	return core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
+}
+
+// TestFig1bVsFig1c reproduces the paper's Fig. 1 comparison quantitatively:
+// the plain (weight-less) DD of H ⊗ I₂ needs one q₀ node and two distinct
+// q₁ nodes (Fig. 1b), while the QMDD needs a single node per level
+// (Fig. 1c), because only the weighted edges can share the two sub-matrices
+// that differ by the factor −1.
+func TestFig1bVsFig1c(t *testing.T) {
+	qm := algM()
+	s := alg.QInvSqrt2
+	h := qm.FromMatrix([][]alg.Q{{s, s}, {s, s.Neg()}})
+	u := qm.Kron(h, qm.Identity(1))
+	if u.NodeCount() != 2 {
+		t.Fatalf("QMDD size = %d, want 2 (Fig. 1c)", u.NodeCount())
+	}
+	pm := NewManager[alg.Q](alg.Ring{})
+	p := FromQMDD(pm, qm, u, 2)
+	internal, terminals := p.NodeCount()
+	if internal != 3 {
+		t.Fatalf("plain DD internal nodes = %d, want 3 (Fig. 1b)", internal)
+	}
+	// Terminals: 0, 1/√2, −1/√2.
+	if terminals != 3 {
+		t.Fatalf("plain DD terminals = %d, want 3", terminals)
+	}
+}
+
+// TestValuesPreserved: conversion is semantics-preserving.
+func TestValuesPreserved(t *testing.T) {
+	qm := algM()
+	c := algorithms.Grover(4, 9, 0)
+	sm := sim.New(qm, 4)
+	if err := sm.Run(c, nil); err != nil {
+		t.Fatal(err)
+	}
+	pm := NewManager[alg.Q](alg.Ring{})
+	p := FromQMDD(pm, qm, sm.State, 4)
+	for i := uint64(0); i < 16; i++ {
+		want := qm.Amplitude(sm.State, 4, i)
+		got := p.Value(4, i)
+		if !got.Equal(want) {
+			t.Fatalf("amp[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestProductStateSeparation: the structural advantage of weighted edges.
+// A product state ⊗ᵢ (|0⟩ + ωⁱ|1⟩)/√2 has a linear QMDD but an exponential
+// plain DD would only be avoided by luck — with 8 distinct per-level phases
+// the plain DD must keep separate sub-DAGs per accumulated product, while
+// the QMDD stays one node per level.
+func TestProductStateSeparation(t *testing.T) {
+	qm := algM()
+	n := 6
+	// Build ⊗ (|0⟩ + ω^{i+1}|1⟩)/√2 bottom-up.
+	e := qm.OneEdge()
+	for l := 1; l <= n; l++ {
+		w := alg.QFromD(alg.DOmegaPow(l)).Mul(alg.QInvSqrt2)
+		e = qm.MakeVectorNode(l, qm.Scale(e, alg.QInvSqrt2), qm.Scale(e, w))
+	}
+	if got := e.NodeCount(); got != n {
+		t.Fatalf("QMDD product state size = %d, want %d", got, n)
+	}
+	pm := NewManager[alg.Q](alg.Ring{})
+	p := FromQMDD(pm, qm, e, n)
+	internal, _ := p.NodeCount()
+	if internal <= 2*n {
+		t.Fatalf("plain DD unexpectedly small: %d internal nodes (QMDD %d)", internal, n)
+	}
+}
+
+// TestZeroDiagram: the zero vector converts to a zero spine.
+func TestZeroDiagram(t *testing.T) {
+	qm := algM()
+	pm := NewManager[alg.Q](alg.Ring{})
+	p := FromQMDD(pm, qm, qm.ZeroEdge(), 3)
+	internal, terminals := p.NodeCount()
+	if internal != 3 || terminals != 1 {
+		t.Fatalf("zero spine: %d internal, %d terminals", internal, terminals)
+	}
+	if !p.Value(3, 5).IsZero() {
+		t.Fatal("zero diagram has nonzero value")
+	}
+}
+
+// TestHashConsing: equal subtrees share nodes across separate conversions
+// within one manager.
+func TestHashConsing(t *testing.T) {
+	qm := algM()
+	pm := NewManager[alg.Q](alg.Ring{})
+	a := FromQMDD(pm, qm, qm.BasisState(3, 2), 3)
+	b := FromQMDD(pm, qm, qm.BasisState(3, 2), 3)
+	if a != b {
+		t.Fatal("identical diagrams converted to distinct plain DDs")
+	}
+}

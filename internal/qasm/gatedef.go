@@ -1,0 +1,133 @@
+package qasm
+
+import "fmt"
+
+// User-defined gates: OpenQASM 2.0 `gate` declarations are recorded as token
+// streams and macro-expanded at application time, with formal parameters
+// bound to evaluated expressions and formal qubit arguments bound to global
+// qubit indices. Definitions may reference earlier definitions (recursive
+// expansion); `opaque` declarations are rejected at application time since
+// they have no body to simulate.
+type gateDef struct {
+	name   string
+	params []string  // formal parameter names
+	args   []string  // formal qubit argument names
+	body   [][]token // one token slice per body statement (incl. ';')
+	line   int
+	opaque bool
+}
+
+// parseGateDef parses `gate name(p, …) q, … { … }` after the `gate` keyword.
+func (p *parser) parseGateDef(opaque bool) error {
+	nameTok := p.next()
+	if nameTok.kind != tokIdent {
+		return p.errf(nameTok, "expected gate name")
+	}
+	def := &gateDef{name: nameTok.text, line: nameTok.line, opaque: opaque}
+	if p.peek().kind == tokSymbol && p.peek().text == "(" {
+		p.next()
+		for p.peek().kind != tokSymbol || p.peek().text != ")" {
+			t := p.next()
+			if t.kind != tokIdent {
+				return p.errf(t, "expected parameter name, got %q", t.text)
+			}
+			def.params = append(def.params, t.text)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.next()
+			}
+		}
+		p.next() // ')'
+	}
+	for {
+		t := p.next()
+		if t.kind != tokIdent {
+			return p.errf(t, "expected qubit argument name, got %q", t.text)
+		}
+		def.args = append(def.args, t.text)
+		sep := p.peek()
+		if sep.kind == tokSymbol && sep.text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if opaque {
+		if err := p.expectSymbol(";"); err != nil {
+			return err
+		}
+		p.gateDefs[def.name] = def
+		return nil
+	}
+	if err := p.expectSymbol("{"); err != nil {
+		return err
+	}
+	// Capture body statements verbatim.
+	var stmt []token
+	for {
+		t := p.next()
+		switch {
+		case t.kind == tokEOF:
+			return p.errf(t, "unterminated gate body for %q", def.name)
+		case t.kind == tokSymbol && t.text == "}":
+			if len(stmt) != 0 {
+				return p.errf(t, "gate body statement missing ';'")
+			}
+			p.gateDefs[def.name] = def
+			return nil
+		case t.kind == tokSymbol && t.text == ";":
+			stmt = append(stmt, t)
+			def.body = append(def.body, stmt)
+			stmt = nil
+		default:
+			stmt = append(stmt, t)
+		}
+	}
+}
+
+// expandDef macro-expands one application of a user-defined gate with the
+// given actual parameters and global qubit arguments.
+func (p *parser) expandDef(def *gateDef, params []float64, args []int, line int) ([]pendingGate, error) {
+	if def.opaque {
+		return nil, fmt.Errorf("qasm: line %d: opaque gate %q has no body to simulate", line, def.name)
+	}
+	if len(params) != len(def.params) {
+		return nil, fmt.Errorf("qasm: line %d: gate %s expects %d parameter(s), got %d",
+			line, def.name, len(def.params), len(params))
+	}
+	if len(args) != len(def.args) {
+		return nil, fmt.Errorf("qasm: line %d: gate %s expects %d argument(s), got %d",
+			line, def.name, len(def.args), len(args))
+	}
+	bindings := make(map[string]float64, len(params))
+	for i, name := range def.params {
+		bindings[name] = params[i]
+	}
+	locals := make(map[string]int, len(args))
+	for i, name := range def.args {
+		locals[name] = args[i]
+	}
+	var out []pendingGate
+	for _, stmt := range def.body {
+		sub := &parser{
+			toks:      append(append([]token{}, stmt...), token{kind: tokEOF, line: line}),
+			name:      p.name,
+			qregs:     p.qregs,
+			gateDefs:  p.gateDefs,
+			bindings:  bindings,
+			localArgs: locals,
+		}
+		head := sub.next()
+		if head.kind != tokIdent {
+			return nil, p.errf(head, "bad statement in gate %q body", def.name)
+		}
+		if head.text == "barrier" {
+			continue // barriers inside gate bodies are no-ops here
+		}
+		gs, err := sub.parseGate(head)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, gs...)
+	}
+	return out, nil
+}

@@ -1,0 +1,130 @@
+// Package qasm implements a reader and writer for the OpenQASM 2.0 subset
+// needed to exchange the benchmark circuits: qreg/creg declarations, the
+// qelib1 standard gates, parameter expressions with pi, measure and barrier
+// statements (parsed and ignored for simulation purposes).
+package qasm
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // single-character punctuation: ; , ( ) [ ] { } + - * / ^
+	tokArrow  // ->
+	tokEquals // ==
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("qasm: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+
+scan:
+	c := l.src[l.pos]
+	start := l.pos
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		for l.pos < len(l.src) && (isIdentChar(l.src[l.pos])) {
+			l.pos++
+		}
+		return token{tokIdent, l.src[start:l.pos], l.line}, nil
+	case unicode.IsDigit(rune(c)) || c == '.':
+		for l.pos < len(l.src) && isNumberChar(l.src[l.pos]) {
+			prev := l.src[l.pos]
+			l.pos++
+			// Allow a sign directly after an exponent marker (1.5e-3).
+			if (prev == 'e' || prev == 'E') && l.pos < len(l.src) &&
+				(l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		}
+		return token{tokNumber, l.src[start:l.pos], l.line}, nil
+	case c == '"':
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			if l.src[l.pos] == '\n' {
+				return token{}, l.errf("unterminated string")
+			}
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.errf("unterminated string")
+		}
+		l.pos++
+		return token{tokString, l.src[start+1 : l.pos-1], l.line}, nil
+	case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '>':
+		l.pos += 2
+		return token{tokArrow, "->", l.line}, nil
+	case c == '=' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '=':
+		l.pos += 2
+		return token{tokEquals, "==", l.line}, nil
+	case strings.ContainsRune(";,()[]{}+-*/^", rune(c)):
+		l.pos++
+		return token{tokSymbol, string(c), l.line}, nil
+	}
+	return token{}, l.errf("unexpected character %q", c)
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func isNumberChar(c byte) bool {
+	return c == '.' || c == 'e' || c == 'E' || unicode.IsDigit(rune(c))
+}
+
+// tokenize scans the whole input.
+func tokenize(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

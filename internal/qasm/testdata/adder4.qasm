@@ -1,0 +1,24 @@
+// 1-bit full adder on 4 qubits: cin, a, b, cout (classic qelib example).
+OPENQASM 2.0;
+include "qelib1.inc";
+gate majority a,b,c
+{
+  cx c,b;
+  cx c,a;
+  ccx a,b,c;
+}
+gate unmaj a,b,c
+{
+  ccx a,b,c;
+  cx c,a;
+  cx a,b;
+}
+qreg q[4];
+creg ans[2];
+x q[1];
+x q[2];
+majority q[0],q[1],q[2];
+cx q[2],q[3];
+unmaj q[0],q[1],q[2];
+measure q[2] -> ans[0];
+measure q[3] -> ans[1];

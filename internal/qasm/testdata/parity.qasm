@@ -1,0 +1,9 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+gate parity4 a,b,c,d,t { cx a,t; cx b,t; cx c,t; cx d,t; }
+qreg in[4];
+qreg out[1];
+h in;
+parity4 in[0],in[1],in[2],in[3],out[0];
+barrier in;
+h in;

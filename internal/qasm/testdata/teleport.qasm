@@ -1,0 +1,11 @@
+// Teleportation skeleton (measurement-free coherent version).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+u3(0.3,0.2,0.1) q[0];
+h q[1];
+cx q[1],q[2];
+cx q[0],q[1];
+h q[0];
+cx q[1],q[2];
+cz q[0],q[2];

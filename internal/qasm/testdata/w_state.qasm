@@ -1,0 +1,10 @@
+// 3-qubit W state via controlled rotations.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+ry(1.9106332362490186) q[0];
+ch q[0],q[1];
+ccx q[0],q[1],q[2];
+x q[0];
+x q[1];
+cx q[0],q[1];

@@ -1,0 +1,76 @@
+package qasm
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// Write emits the circuit as an OpenQASM 2.0 program. Gates with more than
+// two positive controls or any negative control have no qelib1 equivalent
+// and cause an error.
+func Write(w io.Writer, c *circuit.Circuit) error {
+	var sb strings.Builder
+	sb.WriteString("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n")
+	fmt.Fprintf(&sb, "qreg q[%d];\n", c.N)
+	for i, g := range c.Gates {
+		line, err := gateLine(g)
+		if err != nil {
+			return fmt.Errorf("qasm: gate %d: %w", i, err)
+		}
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func gateLine(g circuit.Gate) (string, error) {
+	for _, c := range g.Controls {
+		if c.Neg {
+			return "", fmt.Errorf("negative controls are not expressible in OpenQASM 2.0")
+		}
+	}
+	params := ""
+	if len(g.Params) > 0 {
+		parts := make([]string, len(g.Params))
+		for i, p := range g.Params {
+			parts[i] = fmt.Sprintf("%.17g", p)
+		}
+		params = "(" + strings.Join(parts, ",") + ")"
+	}
+	switch len(g.Controls) {
+	case 0:
+		name := g.Name
+		if name == "u" {
+			name = "u3"
+		}
+		return fmt.Sprintf("%s%s q[%d];", name, params, g.Target), nil
+	case 1:
+		ctl := g.Controls[0].Qubit
+		switch g.Name {
+		case "x":
+			return fmt.Sprintf("cx q[%d],q[%d];", ctl, g.Target), nil
+		case "z":
+			return fmt.Sprintf("cz q[%d],q[%d];", ctl, g.Target), nil
+		case "y":
+			return fmt.Sprintf("cy q[%d],q[%d];", ctl, g.Target), nil
+		case "h":
+			return fmt.Sprintf("ch q[%d],q[%d];", ctl, g.Target), nil
+		case "p":
+			return fmt.Sprintf("cu1%s q[%d],q[%d];", params, ctl, g.Target), nil
+		case "rz":
+			return fmt.Sprintf("crz%s q[%d],q[%d];", params, ctl, g.Target), nil
+		}
+		return "", fmt.Errorf("no OpenQASM 2.0 spelling for controlled %q", g.Name)
+	case 2:
+		if g.Name == "x" {
+			return fmt.Sprintf("ccx q[%d],q[%d],q[%d];",
+				g.Controls[0].Qubit, g.Controls[1].Qubit, g.Target), nil
+		}
+		return "", fmt.Errorf("no OpenQASM 2.0 spelling for doubly-controlled %q", g.Name)
+	}
+	return "", fmt.Errorf("OpenQASM 2.0 has no gates with %d controls", len(g.Controls))
+}

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/algorithms"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/gates"
+)
+
+// Observables: Pauli-string operators as diagrams and expectation values —
+// the read-out side of variational / phase-estimation workloads, computed
+// entirely inside the representation (exactly, for the algebraic ring).
+
+// PauliDD builds the diagram of the n-qubit operator ⊗ᵢ Pᵢ, where paulis
+// maps qubit index to 'X', 'Y' or 'Z' (identity elsewhere).
+func PauliDD[T any](m *core.Manager[T], n int, paulis map[int]byte) (core.Edge[T], error) {
+	op := m.Identity(n)
+	for q, p := range paulis {
+		if q < 0 || q >= n {
+			return core.Edge[T]{}, fmt.Errorf("sim: Pauli qubit %d out of range", q)
+		}
+		var g gates.Matrix2
+		switch p {
+		case 'X':
+			g = gates.X
+		case 'Y':
+			g = gates.Y
+		case 'Z':
+			g = gates.Z
+		case 'I':
+			continue
+		default:
+			return core.Edge[T]{}, fmt.Errorf("sim: unknown Pauli %q", string(p))
+		}
+		dd := gates.BuildDD(m, n, gates.BaseFor(m, g), q, nil)
+		op = m.Mul(dd, op)
+	}
+	return op, nil
+}
+
+// PauliExpectation returns ⟨ψ|P|ψ⟩ / ⟨ψ|ψ⟩ for the Pauli string P. For a
+// Hermitian P the result is real; the value is returned as the ring scalar
+// so exact rings yield exact expectations.
+func PauliExpectation[T any](m *core.Manager[T], v core.Edge[T], n int, paulis map[int]byte) (T, error) {
+	var zero T
+	op, err := PauliDD(m, n, paulis)
+	if err != nil {
+		return zero, err
+	}
+	pv := m.Mul(op, v)
+	num := m.InnerProduct(v, pv)
+	den := m.InnerProduct(v, v)
+	if m.R.IsZero(den) {
+		return zero, fmt.Errorf("sim: expectation of the zero vector")
+	}
+	return m.R.Div(num, den), nil
+}
+
+// EnergyExpectation returns ⟨ψ|H|ψ⟩ / ⟨ψ|ψ⟩ for a Pauli-term Hamiltonian
+// whose system register occupies the last h.Qubits qubits of the n-qubit
+// state (offset shifts the term indices; pass n − h.Qubits to address a
+// trailing system register, 0 when the state is the system register).
+func EnergyExpectation[T any](m *core.Manager[T], v core.Edge[T], n int, h algorithms.Hamiltonian, offset int) (float64, error) {
+	e := 0.0
+	for _, term := range h.Terms {
+		shifted := make(map[int]byte, len(term.Paulis))
+		for q, p := range term.Paulis {
+			shifted[q+offset] = p
+		}
+		val, err := PauliExpectation(m, v, n, shifted)
+		if err != nil {
+			return 0, err
+		}
+		e += term.Coefficient * real(m.R.Complex128(val))
+	}
+	return e, nil
+}
+
+// ApplyCircuitToState runs c on an explicit initial state diagram (rather
+// than |0…0⟩) and returns the final state.
+func ApplyCircuitToState[T any](m *core.Manager[T], c *circuit.Circuit, v core.Edge[T]) (core.Edge[T], error) {
+	s := New(m, c.N)
+	s.State = v
+	if err := s.Run(c, nil); err != nil {
+		return core.Edge[T]{}, err
+	}
+	return s.State, nil
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/alg"
+	"repro/internal/algorithms"
+	"repro/internal/circuit"
+	"repro/internal/core"
+)
+
+func bellState(t *testing.T, m *core.Manager[alg.Q]) core.Edge[alg.Q] {
+	t.Helper()
+	s := New(m, 2)
+	c := circuit.New("bell", 2)
+	c.H(0).CX(0, 1)
+	if err := s.Run(c, nil); err != nil {
+		t.Fatal(err)
+	}
+	return s.State
+}
+
+// TestBellCorrelations: the textbook Bell-state expectation values, exactly.
+func TestBellCorrelations(t *testing.T) {
+	m := algM(core.NormLeft)
+	bell := bellState(t, m)
+	cases := []struct {
+		paulis map[int]byte
+		want   int64
+	}{
+		{map[int]byte{0: 'Z', 1: 'Z'}, 1},
+		{map[int]byte{0: 'X', 1: 'X'}, 1},
+		{map[int]byte{0: 'Y', 1: 'Y'}, -1},
+		{map[int]byte{0: 'Z'}, 0},
+		{map[int]byte{1: 'X'}, 0},
+		{nil, 1},
+	}
+	for _, c := range cases {
+		got, err := PauliExpectation(m, bell, 2, c.paulis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Exact equality — no tolerance.
+		if !got.Equal(alg.QFromInt(c.want)) {
+			t.Fatalf("⟨%v⟩ = %v, want %d exactly", c.paulis, got, c.want)
+		}
+	}
+}
+
+// TestEnergyExpectationMatchesDense: ⟨ψ|H|ψ⟩ via diagrams equals the dense
+// quadratic form on the H₂ Hamiltonian.
+func TestEnergyExpectationMatchesDense(t *testing.T) {
+	h := algorithms.H2Hamiltonian()
+	hm := h.Dense()
+	m := algM(core.NormLeft)
+	// A few 2-qubit Clifford+T states.
+	prep := []*circuit.Circuit{}
+	c1 := circuit.New("a", 2)
+	c1.X(0)
+	c2 := circuit.New("b", 2)
+	c2.H(0).CX(0, 1).T(1)
+	c3 := circuit.New("c", 2)
+	c3.H(0).H(1).S(0).CX(1, 0)
+	prep = append(prep, c1, c2, c3)
+	for _, c := range prep {
+		s := New(m, 2)
+		if err := s.Run(c, nil); err != nil {
+			t.Fatal(err)
+		}
+		got, err := EnergyExpectation(m, s.State, 2, h, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Dense reference.
+		amps := m.ToVector(s.State, 2)
+		want := 0.0
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				ai := m.R.Complex128(amps[i])
+				aj := m.R.Complex128(amps[j])
+				prod := complexConj(ai) * hm[i][j] * aj
+				want += real(prod)
+			}
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("%s: energy %v, want %v", c.Name, got, want)
+		}
+	}
+}
+
+func complexConj(c complex128) complex128 { return complex(real(c), -imag(c)) }
+
+// TestPauliValidation: bad inputs are rejected.
+func TestPauliValidation(t *testing.T) {
+	m := algM(core.NormLeft)
+	bell := bellState(t, m)
+	if _, err := PauliExpectation(m, bell, 2, map[int]byte{5: 'Z'}); err == nil {
+		t.Fatal("out-of-range qubit accepted")
+	}
+	if _, err := PauliExpectation(m, bell, 2, map[int]byte{0: 'Q'}); err == nil {
+		t.Fatal("unknown Pauli accepted")
+	}
+	if _, err := PauliExpectation(m, m.ZeroEdge(), 2, nil); err == nil {
+		t.Fatal("zero vector accepted")
+	}
+}
+
+// TestApplyCircuitToState: continuing from a prepared state.
+func TestApplyCircuitToState(t *testing.T) {
+	m := algM(core.NormLeft)
+	bell := bellState(t, m)
+	undo := circuit.New("undo", 2)
+	undo.CX(0, 1).H(0)
+	got, err := ApplyCircuitToState(m, undo, bell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.RootsEqual(got, m.BasisState(2, 0)) {
+		t.Fatal("uncomputation did not return to |00⟩")
+	}
+}

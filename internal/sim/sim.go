@@ -1,0 +1,199 @@
+// Package sim drives QMDD-based simulation of quantum circuits: it turns
+// circuit gates into gate diagrams, evolves a state vector by matrix-vector
+// multiplication (or builds the full unitary by matrix-matrix
+// multiplication), and records the per-gate statistics the paper plots —
+// diagram size, run time, and coefficient bit widths.
+package sim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/gates"
+)
+
+// Simulator evolves one n-qubit state under a stream of gates.
+type Simulator[T any] struct {
+	M     *core.Manager[T]
+	N     int
+	State core.Edge[T]
+
+	gateCache      map[string]core.Edge[T]
+	pruneHighWater int
+}
+
+// EnableAutoPrune garbage-collects the manager whenever its unique table
+// exceeds highWater nodes after a gate application, keeping the current
+// state and all cached gate diagrams alive. Pass 0 to disable (the default).
+func (s *Simulator[T]) EnableAutoPrune(highWater int) { s.pruneHighWater = highWater }
+
+// New returns a simulator initialized to |0…0⟩.
+func New[T any](m *core.Manager[T], n int) *Simulator[T] {
+	return &Simulator[T]{
+		M:         m,
+		N:         n,
+		State:     m.BasisState(n, 0),
+		gateCache: make(map[string]core.Edge[T]),
+	}
+}
+
+// Reset returns the state to |0…0⟩.
+func (s *Simulator[T]) Reset() { s.State = s.M.BasisState(s.N, 0) }
+
+// baseFor resolves the 2×2 base matrix of a gate in the manager's ring.
+func baseFor[T any](m *core.Manager[T], g circuit.Gate) ([2][2]T, error) {
+	if ex, ok := gates.Exact(g.Name); ok {
+		return gates.BaseFor(m, ex), nil
+	}
+	u, err := gates.Numeric(g.Name, g.Params)
+	if err != nil {
+		return [2][2]T{}, err
+	}
+	var out [2][2]T
+	for i := range u {
+		for j := range u[i] {
+			v, ok := m.R.FromComplex(u[i][j])
+			if !ok {
+				return out, fmt.Errorf(
+					"sim: gate %q is not exactly representable in this ring; compile it to Clifford+T first (internal/synth)",
+					g.Name)
+			}
+			out[i][j] = v
+		}
+	}
+	return out, nil
+}
+
+func gateKey(g circuit.Gate, n int) string {
+	var sb strings.Builder
+	sb.WriteString(g.Name)
+	sb.WriteByte('/')
+	sb.WriteString(strconv.Itoa(n))
+	sb.WriteByte('/')
+	sb.WriteString(strconv.Itoa(g.Target))
+	for _, c := range g.Controls {
+		sb.WriteByte(',')
+		if c.Neg {
+			sb.WriteByte('!')
+		}
+		sb.WriteString(strconv.Itoa(c.Qubit))
+	}
+	for _, p := range g.Params {
+		sb.WriteByte(';')
+		sb.WriteString(strconv.FormatFloat(p, 'x', -1, 64))
+	}
+	return sb.String()
+}
+
+// GateDD returns (and caches) the diagram of a gate over n qubits.
+func (s *Simulator[T]) GateDD(g circuit.Gate) (core.Edge[T], error) {
+	key := gateKey(g, s.N)
+	if dd, ok := s.gateCache[key]; ok {
+		return dd, nil
+	}
+	base, err := baseFor(s.M, g)
+	if err != nil {
+		return core.Edge[T]{}, err
+	}
+	ctrls := make([]gates.Control, len(g.Controls))
+	for i, c := range g.Controls {
+		ctrls[i] = gates.Control{Qubit: c.Qubit, Neg: c.Neg}
+	}
+	dd := gates.BuildDD(s.M, s.N, base, g.Target, ctrls)
+	s.gateCache[key] = dd
+	return dd, nil
+}
+
+// Apply evolves the state by one gate.
+func (s *Simulator[T]) Apply(g circuit.Gate) error {
+	dd, err := s.GateDD(g)
+	if err != nil {
+		return err
+	}
+	s.State = s.M.Mul(dd, s.State)
+	if s.pruneHighWater > 0 && s.M.Stats().UniqueNodes > s.pruneHighWater {
+		roots := make([]core.Edge[T], 0, len(s.gateCache)+1)
+		roots = append(roots, s.State)
+		for _, e := range s.gateCache {
+			roots = append(roots, e)
+		}
+		s.M.Prune(roots...)
+	}
+	return nil
+}
+
+// Run applies a whole circuit, invoking hook (if non-nil) after every gate.
+// The hook receives the 0-based index of the gate just applied; returning
+// false stops the run early (Run then returns ErrStopped).
+func (s *Simulator[T]) Run(c *circuit.Circuit, hook func(i int, g circuit.Gate) bool) error {
+	if c.N != s.N {
+		return fmt.Errorf("sim: circuit has %d qubits, simulator has %d", c.N, s.N)
+	}
+	for i, g := range c.Gates {
+		if err := s.Apply(g); err != nil {
+			return fmt.Errorf("sim: gate %d (%s): %w", i, g, err)
+		}
+		if hook != nil && !hook(i, g) {
+			return ErrStopped
+		}
+	}
+	return nil
+}
+
+// ErrStopped is returned by Run when the per-gate hook requested an early
+// stop.
+var ErrStopped = fmt.Errorf("sim: stopped by hook")
+
+// BuildUnitary computes the full circuit unitary by matrix-matrix
+// multiplication (gates applied in order, i.e. U = G_k ··· G_1).
+func BuildUnitary[T any](m *core.Manager[T], c *circuit.Circuit) (core.Edge[T], error) {
+	s := New(m, c.N)
+	u := m.Identity(c.N)
+	for i, g := range c.Gates {
+		dd, err := s.GateDD(g)
+		if err != nil {
+			return core.Edge[T]{}, fmt.Errorf("sim: gate %d (%s): %w", i, g, err)
+		}
+		u = m.Mul(dd, u)
+	}
+	return u, nil
+}
+
+// Equivalent checks two circuits for exact functional equivalence by
+// building both unitaries and comparing root edges — the O(1) comparison the
+// paper highlights as a payoff of canonical exact diagrams.
+func Equivalent[T any](m *core.Manager[T], a, b *circuit.Circuit) (bool, error) {
+	if a.N != b.N {
+		return false, nil
+	}
+	ua, err := BuildUnitary(m, a)
+	if err != nil {
+		return false, err
+	}
+	ub, err := BuildUnitary(m, b)
+	if err != nil {
+		return false, err
+	}
+	return m.RootsEqual(ua, ub), nil
+}
+
+// EquivalentUpToPhase is Equivalent modulo a global phase — the relation
+// that matters physically (e.g. a circuit compiled via Rz-based phase gates
+// differs from its P-gate original by exactly a global phase).
+func EquivalentUpToPhase[T any](m *core.Manager[T], a, b *circuit.Circuit) (bool, error) {
+	if a.N != b.N {
+		return false, nil
+	}
+	ua, err := BuildUnitary(m, a)
+	if err != nil {
+		return false, err
+	}
+	ub, err := BuildUnitary(m, b)
+	if err != nil {
+		return false, err
+	}
+	return m.RootsEqualUpToPhase(ua, ub), nil
+}

@@ -1,0 +1,35 @@
+package stab_test
+
+import (
+	"fmt"
+
+	"repro/internal/stab"
+)
+
+// The tableau tracks stabilizer generators symbolically: preparing a Bell
+// pair yields the textbook +XX / +ZZ stabilizers.
+func ExampleTableau() {
+	t := stab.New(2)
+	t.H(0)
+	t.CX(0, 1)
+	fmt.Println(t)
+	fmt.Println("⟨Z₀⟩ =", t.ExpectationZ(0))
+	// Output:
+	// +XX
+	// +ZZ
+	// ⟨Z₀⟩ = 0
+}
+
+// Deterministic measurements are recognized without sampling.
+func ExampleTableau_MeasureIsRandom() {
+	t := stab.New(1)
+	t.X(0)
+	random, outcome := t.MeasureIsRandom(0)
+	fmt.Println(random, outcome)
+	t.H(0)
+	random, _ = t.MeasureIsRandom(0)
+	fmt.Println(random)
+	// Output:
+	// false 1
+	// true
+}

@@ -1,0 +1,202 @@
+// Package su2 provides unit-quaternion arithmetic for single-qubit unitaries
+// up to global phase. It is the geometric substrate of the Solovay–Kitaev
+// synthesizer (internal/synth), which replaces the paper's Quipper pipeline
+// for compiling arbitrary rotations into Clifford+T sequences.
+//
+// The correspondence used throughout: the unit quaternion
+// q = (W, X, Y, Z) maps to the SU(2) matrix
+//
+//	U(q) = [[W + iZ, iX + Y], [iX − Y, W − iZ]] = W·I + i(Xσx + Yσy + Zσz),
+//
+// so quaternion multiplication is matrix multiplication and −q represents
+// the same projective unitary as q.
+package su2
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Quat is a quaternion W + Xi + Yj + Zk; unit quaternions represent SU(2)
+// elements via U(q) above.
+type Quat struct {
+	W, X, Y, Z float64
+}
+
+// Identity is the identity rotation.
+var Identity = Quat{W: 1}
+
+// Mul returns the product p·q defined so that U(p·q) = U(p)·U(q). In the
+// basis chosen for U this is the reversed Hamilton product (the imaginary
+// units form a left-handed triple), derived directly from multiplying the
+// two matrices:
+//
+//	W = pW·qW − pX·qX − pY·qY − pZ·qZ
+//	X = pW·qX + pX·qW − pY·qZ + pZ·qY
+//	Y = pW·qY + pY·qW − pZ·qX + pX·qZ
+//	Z = pW·qZ + pZ·qW − pX·qY + pY·qX
+func (p Quat) Mul(q Quat) Quat {
+	return Quat{
+		W: p.W*q.W - p.X*q.X - p.Y*q.Y - p.Z*q.Z,
+		X: p.W*q.X + p.X*q.W - p.Y*q.Z + p.Z*q.Y,
+		Y: p.W*q.Y + p.Y*q.W - p.Z*q.X + p.X*q.Z,
+		Z: p.W*q.Z + p.Z*q.W - p.X*q.Y + p.Y*q.X,
+	}
+}
+
+// Conj returns the conjugate (the inverse for unit quaternions; U(q)†).
+func (p Quat) Conj() Quat { return Quat{p.W, -p.X, -p.Y, -p.Z} }
+
+// Neg returns −p (the same projective unitary).
+func (p Quat) Neg() Quat { return Quat{-p.W, -p.X, -p.Y, -p.Z} }
+
+// NormSq returns W² + X² + Y² + Z².
+func (p Quat) NormSq() float64 { return p.W*p.W + p.X*p.X + p.Y*p.Y + p.Z*p.Z }
+
+// Normalize rescales to unit length (guarding against drift in long
+// products).
+func (p Quat) Normalize() Quat {
+	n := math.Sqrt(p.NormSq())
+	if n == 0 {
+		return Identity
+	}
+	return Quat{p.W / n, p.X / n, p.Y / n, p.Z / n}
+}
+
+// Dot returns the 4-dimensional inner product.
+func (p Quat) Dot(q Quat) float64 {
+	return p.W*q.W + p.X*q.X + p.Y*q.Y + p.Z*q.Z
+}
+
+// Dist is the projective distance between the unitaries represented by p and
+// q: sqrt(1 − |⟨p, q⟩|) ∈ [0, 1], zero iff p = ±q. It equals
+// sqrt(1 − |tr(U(p)† U(q))| / 2), the phase-invariant trace distance used in
+// Solovay–Kitaev analyses.
+func (p Quat) Dist(q Quat) float64 {
+	d := math.Abs(p.Dot(q))
+	if d > 1 {
+		d = 1
+	}
+	return math.Sqrt(1 - d)
+}
+
+// Canonical flips the sign so the first nonzero component is positive,
+// giving each projective element a unique representative.
+func (p Quat) Canonical() Quat {
+	for _, v := range [4]float64{p.W, p.X, p.Y, p.Z} {
+		if v > 1e-12 {
+			return p
+		}
+		if v < -1e-12 {
+			return p.Neg()
+		}
+	}
+	return p
+}
+
+// Angle returns the rotation angle θ ∈ [0, π] of the projective rotation
+// (U = e^{iθ/2 n·σ} up to sign).
+func (p Quat) Angle() float64 {
+	w := math.Abs(p.W)
+	if w > 1 {
+		w = 1
+	}
+	return 2 * math.Acos(w)
+}
+
+// Axis returns the unit rotation axis (sign-normalized together with W ≥ 0).
+// For the identity the x-axis is returned by convention.
+func (p Quat) Axis() [3]float64 {
+	q := p
+	if q.W < 0 {
+		q = q.Neg()
+	}
+	n := math.Sqrt(q.X*q.X + q.Y*q.Y + q.Z*q.Z)
+	if n < 1e-15 {
+		return [3]float64{1, 0, 0}
+	}
+	return [3]float64{q.X / n, q.Y / n, q.Z / n}
+}
+
+// FromAxisAngle builds the rotation by angle θ about the unit axis n.
+func FromAxisAngle(n [3]float64, theta float64) Quat {
+	s := math.Sin(theta / 2)
+	return Quat{math.Cos(theta / 2), s * n[0], s * n[1], s * n[2]}
+}
+
+// RotX returns the rotation by θ about x (Rx(θ) = e^{−iθ/2 σx} corresponds
+// to the quaternion with X = −sin(θ/2) in this convention).
+func RotX(theta float64) Quat { return Quat{math.Cos(theta / 2), -math.Sin(theta / 2), 0, 0} }
+
+// RotY returns the rotation by θ about y.
+func RotY(theta float64) Quat { return Quat{math.Cos(theta / 2), 0, -math.Sin(theta / 2), 0} }
+
+// RotZ returns the rotation by θ about z (Rz(θ) = diag(e^{−iθ/2}, e^{iθ/2})).
+func RotZ(theta float64) Quat { return Quat{math.Cos(theta / 2), 0, 0, -math.Sin(theta / 2)} }
+
+// Matrix returns U(q) as a 2×2 complex matrix.
+func (p Quat) Matrix() [2][2]complex128 {
+	return [2][2]complex128{
+		{complex(p.W, p.Z), complex(p.Y, p.X)},
+		{complex(-p.Y, p.X), complex(p.W, -p.Z)},
+	}
+}
+
+// FromU2 projects an arbitrary (unitary) 2×2 matrix to its SU(2)
+// representative by dividing out sqrt(det), then reads off the quaternion.
+// The sign ambiguity of the square root is irrelevant projectively.
+func FromU2(u [2][2]complex128) Quat {
+	det := u[0][0]*u[1][1] - u[0][1]*u[1][0]
+	s := cmplx.Sqrt(det)
+	if s == 0 {
+		return Identity
+	}
+	a, b := u[0][0]/s, u[0][1]/s
+	c, d := u[1][0]/s, u[1][1]/s
+	return Quat{
+		W: (real(a) + real(d)) / 2,
+		Z: (imag(a) - imag(d)) / 2,
+		X: (imag(b) + imag(c)) / 2,
+		Y: (real(b) - real(c)) / 2,
+	}.Normalize()
+}
+
+// Cross returns the cross product of two 3-vectors.
+func Cross(a, b [3]float64) [3]float64 {
+	return [3]float64{
+		a[1]*b[2] - a[2]*b[1],
+		a[2]*b[0] - a[0]*b[2],
+		a[0]*b[1] - a[1]*b[0],
+	}
+}
+
+// AlignAxes returns a rotation quaternion s with s·(rotation about a)·s⁻¹ =
+// rotation about b (both unit vectors). Note that conjugation by
+// U(s) = e^{iφ/2 m·σ} rotates Bloch vectors by −φ about m, so s encodes the
+// rotation taking a to b with negated angle.
+func AlignAxes(a, b [3]float64) Quat {
+	dot := a[0]*b[0] + a[1]*b[1] + a[2]*b[2]
+	if dot > 1 {
+		dot = 1
+	}
+	if dot < -1 {
+		dot = -1
+	}
+	cr := Cross(a, b)
+	n := math.Sqrt(cr[0]*cr[0] + cr[1]*cr[1] + cr[2]*cr[2])
+	if n < 1e-14 {
+		if dot > 0 {
+			return Identity
+		}
+		// Opposite axes: rotate by π about any axis orthogonal to a.
+		orth := Cross(a, [3]float64{1, 0, 0})
+		on := math.Sqrt(orth[0]*orth[0] + orth[1]*orth[1] + orth[2]*orth[2])
+		if on < 1e-7 {
+			orth = Cross(a, [3]float64{0, 1, 0})
+			on = math.Sqrt(orth[0]*orth[0] + orth[1]*orth[1] + orth[2]*orth[2])
+		}
+		return FromAxisAngle([3]float64{orth[0] / on, orth[1] / on, orth[2] / on}, math.Pi)
+	}
+	axis := [3]float64{cr[0] / n, cr[1] / n, cr[2] / n}
+	return FromAxisAngle(axis, -math.Atan2(n, dot))
+}

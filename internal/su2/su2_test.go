@@ -1,0 +1,151 @@
+package su2
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func randQuat(r *rand.Rand) Quat {
+	q := Quat{r.NormFloat64(), r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+	return q.Normalize()
+}
+
+func TestMulIsMatrixProduct(t *testing.T) {
+	r := rand.New(rand.NewSource(80))
+	for i := 0; i < 200; i++ {
+		p, q := randQuat(r), randQuat(r)
+		pq := p.Mul(q)
+		mp, mq := p.Matrix(), q.Matrix()
+		var prod [2][2]complex128
+		for a := 0; a < 2; a++ {
+			for b := 0; b < 2; b++ {
+				prod[a][b] = mp[a][0]*mq[0][b] + mp[a][1]*mq[1][b]
+			}
+		}
+		mpq := pq.Matrix()
+		for a := 0; a < 2; a++ {
+			for b := 0; b < 2; b++ {
+				if cmplx.Abs(prod[a][b]-mpq[a][b]) > 1e-12 {
+					t.Fatalf("quat product disagrees with matrix product")
+				}
+			}
+		}
+	}
+}
+
+func TestConjIsInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(81))
+	for i := 0; i < 100; i++ {
+		p := randQuat(r)
+		if d := p.Mul(p.Conj()).Dist(Identity); d > 1e-7 {
+			t.Fatalf("p·p† distance to identity: %v", d)
+		}
+	}
+}
+
+func TestFromU2RoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(82))
+	for i := 0; i < 200; i++ {
+		p := randQuat(r)
+		// Multiply in an arbitrary global phase: FromU2 must project it out.
+		phase := cmplx.Exp(complex(0, r.Float64()*6.28))
+		m := p.Matrix()
+		for a := range m {
+			for b := range m[a] {
+				m[a][b] *= phase
+			}
+		}
+		q := FromU2(m)
+		if d := p.Dist(q); d > 1e-7 {
+			t.Fatalf("FromU2 round trip distance %v", d)
+		}
+	}
+}
+
+func TestDistProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(83))
+	for i := 0; i < 100; i++ {
+		p := randQuat(r)
+		if p.Dist(p) > 1e-7 || p.Dist(p.Neg()) > 1e-7 {
+			t.Fatal("Dist not projective")
+		}
+		q := randQuat(r)
+		if math.Abs(p.Dist(q)-q.Dist(p)) > 1e-12 {
+			t.Fatal("Dist not symmetric")
+		}
+	}
+}
+
+func TestAxisAngle(t *testing.T) {
+	r := rand.New(rand.NewSource(84))
+	for i := 0; i < 200; i++ {
+		axis := [3]float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		n := math.Sqrt(axis[0]*axis[0] + axis[1]*axis[1] + axis[2]*axis[2])
+		if n < 1e-3 {
+			continue
+		}
+		for j := range axis {
+			axis[j] /= n
+		}
+		theta := r.Float64()*2.8 + 0.1
+		q := FromAxisAngle(axis, theta)
+		if math.Abs(q.Angle()-theta) > 1e-9 {
+			t.Fatalf("angle %v, want %v", q.Angle(), theta)
+		}
+		got := q.Axis()
+		for j := range axis {
+			if math.Abs(got[j]-axis[j]) > 1e-9 {
+				t.Fatalf("axis %v, want %v", got, axis)
+			}
+		}
+	}
+}
+
+func TestAlignAxes(t *testing.T) {
+	r := rand.New(rand.NewSource(85))
+	for i := 0; i < 200; i++ {
+		a := randomAxis(r)
+		b := randomAxis(r)
+		s := AlignAxes(a, b)
+		// Conjugating a rotation about a by s gives a rotation about b.
+		theta := 0.7
+		q := FromAxisAngle(a, theta)
+		conj := s.Mul(q).Mul(s.Conj()).Normalize()
+		want := FromAxisAngle(b, theta)
+		if d := conj.Dist(want); d > 1e-7 {
+			t.Fatalf("AlignAxes failed: dist %v (a=%v b=%v)", d, a, b)
+		}
+	}
+	// Opposite axes edge case.
+	s := AlignAxes([3]float64{0, 0, 1}, [3]float64{0, 0, -1})
+	q := FromAxisAngle([3]float64{0, 0, 1}, 0.5)
+	conj := s.Mul(q).Mul(s.Conj()).Normalize()
+	want := FromAxisAngle([3]float64{0, 0, -1}, 0.5)
+	if d := conj.Dist(want); d > 1e-7 {
+		t.Fatalf("opposite-axes alignment failed: %v", d)
+	}
+}
+
+func randomAxis(r *rand.Rand) [3]float64 {
+	for {
+		a := [3]float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		n := math.Sqrt(a[0]*a[0] + a[1]*a[1] + a[2]*a[2])
+		if n > 1e-3 {
+			return [3]float64{a[0] / n, a[1] / n, a[2] / n}
+		}
+	}
+}
+
+func TestRotZMatchesDiagonal(t *testing.T) {
+	theta := 0.37
+	q := RotZ(theta)
+	m := q.Matrix()
+	want00 := cmplx.Exp(complex(0, -theta/2))
+	want11 := cmplx.Exp(complex(0, theta/2))
+	if cmplx.Abs(m[0][0]-want00) > 1e-12 || cmplx.Abs(m[1][1]-want11) > 1e-12 ||
+		cmplx.Abs(m[0][1]) > 1e-12 || cmplx.Abs(m[1][0]) > 1e-12 {
+		t.Fatalf("RotZ matrix = %v", m)
+	}
+}

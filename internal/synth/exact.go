@@ -1,0 +1,226 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/alg"
+)
+
+// Exact single-qubit Clifford+T synthesis over D[ω], following
+// Kliuchnikov–Maslov–Mosca (and Giles–Selinger [8], the paper's reference
+// for "the quantum operations which can be realized exactly by Clifford+T
+// gates are precisely those with entries in D[ω]"): every unitary whose
+// entries lie in D[ω] is realized *exactly* — no Solovay–Kitaev
+// approximation — by a word over ⟨H, T⟩, found by iteratively reducing the
+// smallest denominator exponent of the first column.
+
+// Unitary2 is an exact 2×2 matrix over D[ω].
+type Unitary2 [2][2]alg.D
+
+// Mul returns a·b.
+func (a Unitary2) Mul(b Unitary2) Unitary2 {
+	var out Unitary2
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			out[i][j] = a[i][0].Mul(b[0][j]).Add(a[i][1].Mul(b[1][j]))
+		}
+	}
+	return out
+}
+
+// Adjoint returns the conjugate transpose.
+func (a Unitary2) Adjoint() Unitary2 {
+	return Unitary2{
+		{a[0][0].Conj(), a[1][0].Conj()},
+		{a[0][1].Conj(), a[1][1].Conj()},
+	}
+}
+
+// Equal reports exact entry-wise equality.
+func (a Unitary2) Equal(b Unitary2) bool {
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if !a[i][j].Equal(b[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsUnitary verifies U·U† = I exactly.
+func (a Unitary2) IsUnitary() bool {
+	p := a.Mul(a.Adjoint())
+	return p[0][0].IsOne() && p[1][1].IsOne() && p[0][1].IsZero() && p[1][0].IsZero()
+}
+
+// Exact gate matrices over D[ω].
+var (
+	exactI = Unitary2{{alg.DOne, alg.DZero}, {alg.DZero, alg.DOne}}
+	exactH = Unitary2{
+		{alg.DInvSqrt2, alg.DInvSqrt2},
+		{alg.DInvSqrt2, alg.DInvSqrt2.Neg()},
+	}
+	exactT = Unitary2{{alg.DOne, alg.DZero}, {alg.DZero, alg.DOmegaVal}}
+)
+
+// ExactMatrix returns the exact matrix of a word.
+func (w Word) ExactMatrix() Unitary2 {
+	u := exactI
+	for _, g := range w {
+		switch g {
+		case 'H':
+			u = exactH.Mul(u)
+		case 'T':
+			u = exactT.Mul(u)
+		}
+	}
+	return u
+}
+
+// sde is the smallest denominator exponent of a D[ω] value: the least k ≥ 0
+// with √2^k·x ∈ Z[ω]. In the canonical representation that is max(K, 0).
+func sde(x alg.D) int {
+	if x.K < 0 {
+		return 0
+	}
+	return x.K
+}
+
+// ExactSynthesize returns a word over ⟨H, T⟩ whose exact matrix equals u up
+// to a global phase ω^k (the residue is returned as phasePower, with
+// word-matrix · ω^{phasePower} = u). u must be unitary with entries in
+// D[ω]; an error is returned otherwise.
+func ExactSynthesize(u Unitary2) (Word, int, error) {
+	if !u.IsUnitary() {
+		return nil, 0, fmt.Errorf("synth: matrix is not exactly unitary")
+	}
+	// Accumulate gates g so that g_m … g_1 · u has first column (1, 0)
+	// — each step multiplies from the left by T^{-j} then H.
+	var applied Word // letters applied, in application order
+	cur := u
+	guard := 0
+	for sde(cur[0][0]) >= 2 {
+		j, ok := reducingPower(cur)
+		if !ok {
+			// The reduction lemma guarantees progress for large denominator
+			// exponents; small residuals fall through to the base search.
+			break
+		}
+		// Apply T^{-j} (= T^{8−j}) then H on the left.
+		for i := 0; i < (8-j)%8; i++ {
+			cur = exactT.Mul(cur)
+			applied = append(applied, 'T')
+		}
+		cur = exactH.Mul(cur)
+		applied = append(applied, 'H')
+		if guard++; guard > 4096 {
+			return nil, 0, fmt.Errorf("synth: exact synthesis failed to terminate")
+		}
+	}
+	// Base case: the residual has small denominator exponents; finish by a
+	// bounded search over short ⟨H, T⟩ words.
+	tail, ok := finishBySearch(cur)
+	if !ok {
+		return nil, 0, fmt.Errorf("synth: base-case search failed")
+	}
+	for _, g := range tail {
+		switch g {
+		case 'H':
+			cur = exactH.Mul(cur)
+		case 'T':
+			cur = exactT.Mul(cur)
+		}
+	}
+	applied = append(applied, tail...)
+	// cur is now ω^p·I; read off the phase.
+	phase, ok := phasePower(cur)
+	if !ok {
+		return nil, 0, fmt.Errorf("synth: residual is not a phase (internal error)")
+	}
+	// applied (in order) satisfies A_m … A_1 u = ω^p I, so
+	// u = A_1† … A_m† ω^p. The inverse word reverses and inverts letters.
+	inv := Word(applied).Dagger()
+	return inv, phase, nil
+}
+
+// reducingPower finds j ∈ {0..3} such that left-multiplying by H·T^{-j}
+// strictly reduces the smallest denominator exponent of the top-left entry.
+func reducingPower(u Unitary2) (int, bool) {
+	k := sde(u[0][0])
+	for j := 0; j < 4; j++ {
+		// Top-left entry of H·T^{-j}·u = (u00 + ω^{-j}·u10)/√2.
+		cand := u[0][0].Add(alg.DOmegaPow(-j).Mul(u[1][0])).Mul(alg.DInvSqrt2)
+		if sde(cand) < k {
+			return j, true
+		}
+	}
+	return 0, false
+}
+
+// phasePower recognizes ω^p·I and returns p.
+func phasePower(u Unitary2) (int, bool) {
+	if !u[0][1].IsZero() || !u[1][0].IsZero() {
+		return 0, false
+	}
+	if !u[0][0].Equal(u[1][1]) {
+		return 0, false
+	}
+	for p := 0; p < 8; p++ {
+		if u[0][0].Equal(alg.DOmegaPow(p)) {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// finishBySearch finds a short word w with w-matrix·u = ω^p·I for residuals
+// of small denominator exponent by breadth-first search over ⟨H, T⟩ with
+// exact deduplication. The residual group at sde ≤ 1 is small, so the
+// search terminates quickly.
+func finishBySearch(u Unitary2) (Word, bool) {
+	type state struct {
+		m Unitary2
+		w Word
+	}
+	key := func(m Unitary2) string {
+		return m[0][0].Key() + "/" + m[0][1].Key() + "/" + m[1][0].Key() + "/" + m[1][1].Key()
+	}
+	if _, ok := phasePower(u); ok {
+		return Word{}, true
+	}
+	seen := map[string]struct{}{key(u): {}}
+	frontier := []state{{m: u, w: Word{}}}
+	for depth := 0; depth < 24; depth++ {
+		var next []state
+		for _, s := range frontier {
+			for _, g := range []byte{'H', 'T'} {
+				var m2 Unitary2
+				if g == 'H' {
+					m2 = exactH.Mul(s.m)
+				} else {
+					m2 = exactT.Mul(s.m)
+				}
+				k := key(m2)
+				if _, ok := seen[k]; ok {
+					continue
+				}
+				seen[k] = struct{}{}
+				w2 := append(append(Word{}, s.w...), g)
+				if _, ok := phasePower(m2); ok {
+					return w2, true
+				}
+				// Prune states whose denominators grew beyond the base-case
+				// region — they cannot come back cheaply.
+				if sde(m2[0][0]) <= 3 {
+					next = append(next, state{m: m2, w: w2})
+				}
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,107 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alg"
+	"repro/internal/su2"
+)
+
+func TestExactMatrices(t *testing.T) {
+	if !exactH.IsUnitary() || !exactT.IsUnitary() {
+		t.Fatal("gate matrices not unitary")
+	}
+	// H² = I, T⁸ = I exactly.
+	if !exactH.Mul(exactH).Equal(exactI) {
+		t.Fatal("H² ≠ I")
+	}
+	u := exactI
+	for i := 0; i < 8; i++ {
+		u = exactT.Mul(u)
+	}
+	if !u.Equal(exactI) {
+		t.Fatal("T⁸ ≠ I")
+	}
+}
+
+func TestWordExactMatrixMatchesQuat(t *testing.T) {
+	r := rand.New(rand.NewSource(100))
+	letters := []byte{'H', 'T'}
+	for trial := 0; trial < 40; trial++ {
+		w := make(Word, r.Intn(20)+1)
+		for i := range w {
+			w[i] = letters[r.Intn(2)]
+		}
+		m := w.ExactMatrix()
+		if !m.IsUnitary() {
+			t.Fatalf("%s matrix not unitary", w)
+		}
+		var cm [2][2]complex128
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				cm[i][j] = m[i][j].Complex128()
+			}
+		}
+		// Projective comparison against the quaternion path.
+		got := su2.FromU2(cm)
+		if d := got.Dist(w.Quat()); d > 1e-7 {
+			t.Fatalf("%s exact/quat mismatch: %v", w, d)
+		}
+	}
+}
+
+func TestExactSynthesizeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	letters := []byte{'H', 'T'}
+	for trial := 0; trial < 40; trial++ {
+		w := make(Word, r.Intn(30)+1)
+		for i := range w {
+			w[i] = letters[r.Intn(2)]
+		}
+		target := w.ExactMatrix()
+		got, phase, err := ExactSynthesize(target)
+		if err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		// word-matrix · ω^phase must equal the target exactly.
+		m := got.ExactMatrix()
+		ph := alg.DOmegaPow(phase)
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				if !m[i][j].Mul(ph).Equal(target[i][j]) {
+					t.Fatalf("%s: synthesized %s (phase %d) does not reproduce the target",
+						w, got, phase)
+				}
+			}
+		}
+	}
+}
+
+func TestExactSynthesizeKnownGates(t *testing.T) {
+	// S = T², Z = T⁴, X = H·T⁴·H (all exact identities).
+	s := Unitary2{{alg.DOne, alg.DZero}, {alg.DZero, alg.DI}}
+	x := Unitary2{{alg.DZero, alg.DOne}, {alg.DOne, alg.DZero}}
+	for name, u := range map[string]Unitary2{"S": s, "X": x, "H": exactH, "I": exactI} {
+		w, phase, err := ExactSynthesize(u)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		m := w.ExactMatrix()
+		ph := alg.DOmegaPow(phase)
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				if !m[i][j].Mul(ph).Equal(u[i][j]) {
+					t.Fatalf("%s: wrong synthesis", name)
+				}
+			}
+		}
+	}
+}
+
+func TestExactSynthesizeRejectsNonUnitary(t *testing.T) {
+	bad := Unitary2{{alg.DOne, alg.DOne}, {alg.DZero, alg.DOne}}
+	if _, _, err := ExactSynthesize(bad); err == nil {
+		t.Fatal("non-unitary matrix accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package synth_test
+
+import (
+	"fmt"
+
+	"repro/internal/alg"
+	"repro/internal/su2"
+	"repro/internal/synth"
+)
+
+// Approximate synthesis (Solovay–Kitaev): arbitrary rotations become
+// Clifford+T words whose error shrinks with recursion depth while the word
+// length grows — the trade the paper's GSE benchmark is built on.
+func ExampleSynth_Approx() {
+	s := synth.New(10)
+	target := su2.RotZ(0.7)
+	w0 := s.Approx(target, 0)
+	w2 := s.Approx(target, 2)
+	fmt.Println("depth 0 error < 0.2:", w0.Quat().Dist(target) < 0.2)
+	fmt.Println("depth 2 improves:", w2.Quat().Dist(target) <= w0.Quat().Dist(target))
+	fmt.Println("depth 2 is longer:", len(w2) > len(w0))
+	// Output:
+	// depth 0 error < 0.2: true
+	// depth 2 improves: true
+	// depth 2 is longer: true
+}
+
+// Exact synthesis: a matrix over D[ω] is realized with NO approximation.
+func ExampleExactSynthesize() {
+	// S = diag(1, i) — exactly representable.
+	s := synth.Unitary2{{alg.DOne, alg.DZero}, {alg.DZero, alg.DI}}
+	w, phase, err := synth.ExactSynthesize(s)
+	if err != nil {
+		panic(err)
+	}
+	m := w.ExactMatrix()
+	ph := alg.DOmegaPow(phase)
+	exact := m[0][0].Mul(ph).Equal(s[0][0]) && m[1][1].Mul(ph).Equal(s[1][1])
+	fmt.Println("exactly reproduced:", exact)
+	// Output:
+	// exactly reproduced: true
+}
+
+// Word simplification cancels the seams Solovay–Kitaev concatenation leaves.
+func ExampleWord_Simplify() {
+	fmt.Println(string(synth.Word("HHTTTTTTTTH").Simplify()))
+	fmt.Println(string(synth.Word("THHT").Simplify()))
+	// Output:
+	// H
+	// TT
+}

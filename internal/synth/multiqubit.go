@@ -1,0 +1,390 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/alg"
+	"repro/internal/circuit"
+)
+
+// Multi-qubit exact synthesis, after Giles–Selinger [8] ("Exact synthesis
+// of multiqubit Clifford+T circuits") — the theorem behind the paper's ring
+// choice: an n-qubit unitary is exactly representable by Clifford+T gates
+// iff its entries lie in D[ω]. The constructive direction implemented here
+// reduces the matrix column by column to the identity with *two-level*
+// operations over D[ω]:
+//
+//   - ω-phase corrections on a single basis state (two-level T-type),
+//   - the balanced two-level Hadamard on a pair of basis states, applied
+//     when the pair's numerators agree modulo √2 so the smallest
+//     denominator exponent strictly drops,
+//   - basis-state transpositions (two-level X-type).
+//
+// Each two-level operation is then lowered to multi-controlled single-qubit
+// gates (with positive and negative controls), which the QMDD simulator
+// executes natively. The overall result: circuit C and a residual global
+// phase ω^p with U = ω^p · matrix(C).
+
+// twoLevel is one primitive operation of the reduction, acting on basis
+// states i (and j where applicable).
+type twoLevel struct {
+	kind byte // 'X' transposition, 'H' balanced Hadamard pair, 'P' phase ω^pow
+	i, j uint64
+	pow  int // for 'P'
+}
+
+// ExactSynthesizeMultiQubit synthesizes the 2^n × 2^n unitary u (row-major
+// entries in D[ω]) into a circuit over n qubits with u = matrix(circuit)
+// *exactly* — including the global phase, since two-level phase corrections
+// can address every diagonal entry individually. The matrix must be exactly
+// unitary; otherwise an error is returned.
+func ExactSynthesizeMultiQubit(u [][]alg.D, n int) (*circuit.Circuit, error) {
+	dim := uint64(1) << uint(n)
+	if uint64(len(u)) != dim {
+		return nil, fmt.Errorf("synth: matrix dimension %d does not match %d qubits", len(u), n)
+	}
+	for _, row := range u {
+		if uint64(len(row)) != dim {
+			return nil, fmt.Errorf("synth: matrix is not square")
+		}
+	}
+	// Work on a copy.
+	m := make([][]alg.D, dim)
+	for i := range m {
+		m[i] = append([]alg.D{}, u[i]...)
+	}
+	if !isUnitaryD(m) {
+		return nil, fmt.Errorf("synth: matrix is not exactly unitary over D[ω]")
+	}
+
+	// ops applied on the LEFT, in order, reducing m towards the identity.
+	var ops []twoLevel
+	apply := func(op twoLevel) {
+		ops = append(ops, op)
+		applyTwoLevel(m, op)
+	}
+
+	for col := uint64(0); col < dim; col++ {
+		if err := reduceColumn(m, col, dim, apply); err != nil {
+			return nil, err
+		}
+	}
+	// m is now diagonal with ω-power entries; clear every phase.
+	for i := uint64(0); i < dim; i++ {
+		p, ok := omegaPower(m[i][i])
+		if !ok {
+			return nil, fmt.Errorf("synth: residual diagonal is not an ω power (internal error)")
+		}
+		if p != 0 {
+			apply(twoLevel{kind: 'P', i: i, pow: (8 - p) % 8})
+		}
+	}
+
+	// ops… · u = I  ⇒  u = op₁† · … · opₘ† (phase ops invert by negating the
+	// power; X and H two-level ops are self-inverse).
+	c := circuit.New("exact-synth", n)
+	for k := len(ops) - 1; k >= 0; k-- {
+		op := ops[k]
+		if op.kind == 'P' {
+			op.pow = (8 - op.pow) % 8
+		}
+		if err := lowerTwoLevel(c, op, n); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// reduceColumn drives column col of m to the basis vector e_col.
+func reduceColumn(m [][]alg.D, col, dim uint64, apply func(twoLevel)) error {
+	for guard := 0; ; guard++ {
+		if guard > 4096 {
+			return fmt.Errorf("synth: column %d reduction did not terminate", col)
+		}
+		// Find the maximum denominator exponent among rows ≥ col.
+		k := 0
+		for i := col; i < dim; i++ {
+			if s := sde(m[i][col]); s > k {
+				k = s
+			}
+		}
+		if k == 0 {
+			break
+		}
+		// Collect the rows at the maximum exponent and pair them off.
+		var rows []uint64
+		for i := col; i < dim; i++ {
+			if !m[i][col].IsZero() && sde(m[i][col]) == k {
+				rows = append(rows, i)
+			}
+		}
+		if len(rows)%2 != 0 {
+			return fmt.Errorf("synth: odd number of max-exponent entries (matrix not unitary over D[ω]?)")
+		}
+		progressed := false
+		used := make([]bool, len(rows))
+		for a := 0; a < len(rows); a++ {
+			if used[a] {
+				continue
+			}
+			for b := a + 1; b < len(rows); b++ {
+				if used[b] {
+					continue
+				}
+				if p, ok := matchingPhase(m[rows[a]][col], m[rows[b]][col]); ok {
+					if p != 0 {
+						apply(twoLevel{kind: 'P', i: rows[b], pow: p})
+					}
+					apply(twoLevel{kind: 'H', i: rows[a], j: rows[b]})
+					used[a], used[b] = true, true
+					progressed = true
+					break
+				}
+			}
+		}
+		if !progressed {
+			return fmt.Errorf("synth: no reducible pair at exponent %d (matrix not unitary over D[ω]?)", k)
+		}
+	}
+	// Entries are now in Z[ω]; unitarity leaves exactly one nonzero ω-power.
+	pivot := col
+	found := false
+	for i := col; i < dim; i++ {
+		if !m[i][col].IsZero() {
+			if found {
+				return fmt.Errorf("synth: multiple integer entries after reduction")
+			}
+			pivot, found = i, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("synth: zero column (matrix not unitary)")
+	}
+	if pivot != col {
+		apply(twoLevel{kind: 'X', i: col, j: pivot})
+	}
+	if p, ok := omegaPower(m[col][col]); ok {
+		if p != 0 {
+			apply(twoLevel{kind: 'P', i: col, pow: (8 - p) % 8})
+		}
+	} else {
+		return fmt.Errorf("synth: pivot is not an ω power")
+	}
+	return nil
+}
+
+// matchingPhase finds p such that (x + ω^p·y)/√2 stays in the ring at a
+// strictly smaller denominator exponent — the pairing condition of the
+// Giles–Selinger reduction. x and y must share the same (maximal) sde.
+func matchingPhase(x, y alg.D) (int, bool) {
+	k := sde(x)
+	for p := 0; p < 8; p++ {
+		y2 := alg.DOmegaPow(p).Mul(y)
+		sum := x.Add(y2).Mul(alg.DInvSqrt2)
+		diff := x.Sub(y2).Mul(alg.DInvSqrt2)
+		if sde(sum) < k && sde(diff) < k {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// applyTwoLevel performs the operation on the matrix rows (left
+// multiplication).
+func applyTwoLevel(m [][]alg.D, op twoLevel) {
+	switch op.kind {
+	case 'X':
+		m[op.i], m[op.j] = m[op.j], m[op.i]
+	case 'P':
+		w := alg.DOmegaPow(op.pow)
+		for c := range m[op.i] {
+			m[op.i][c] = w.Mul(m[op.i][c])
+		}
+	case 'H':
+		for c := range m[op.i] {
+			a, b := m[op.i][c], m[op.j][c]
+			m[op.i][c] = a.Add(b).Mul(alg.DInvSqrt2)
+			m[op.j][c] = a.Sub(b).Mul(alg.DInvSqrt2)
+		}
+	}
+}
+
+// omegaPower recognizes ω^p (p ∈ 0..7) and 0 is rejected.
+func omegaPower(x alg.D) (int, bool) {
+	for p := 0; p < 8; p++ {
+		if x.Equal(alg.DOmegaPow(p)) {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// lowerTwoLevel compiles a two-level operation on basis states into
+// multi-controlled gates appended to c. Basis states that differ in several
+// bits are first aligned with multi-controlled X "Gray steps".
+func lowerTwoLevel(c *circuit.Circuit, op twoLevel, n int) error {
+	switch op.kind {
+	case 'P':
+		// Phase ω^pow on basis state |i⟩: a T^pow fully controlled on the
+		// bit pattern of i. Realized on the last qubit: T-type gates act on
+		// |1⟩; when the last bit of i is 0, use negative-control phase via
+		// conjugation with X.
+		return lowerPhase(c, op.i, op.pow, n)
+	case 'X', 'H':
+		i, j := op.i, op.j
+		if i == j {
+			return fmt.Errorf("synth: degenerate two-level op")
+		}
+		// Align: make i and j differ in exactly one bit using MCX steps.
+		var undo []circuit.Gate
+		for popcount(i^j) > 1 {
+			// Flip one differing bit of j (other than the last differing
+			// bit) conditioned on the rest of j's pattern.
+			d := i ^ j
+			flip := lowestBit(d)
+			// Keep one bit as the final target: choose flip as a non-final
+			// differing bit when more than one remains.
+			g := mcxGate(j, flip, n)
+			c.Append(g)
+			undo = append(undo, g)
+			j ^= flip
+		}
+		d := i ^ j
+		target := bitToQubit(d, n)
+		// Controls: the shared bits of i and j.
+		ctrls := controlsFor(i, d, n)
+		var name string
+		switch op.kind {
+		case 'X':
+			name = "x"
+		case 'H':
+			// The two-level balanced Hadamard sends |i⟩ → (|i⟩+|j⟩)/√2 with
+			// i the state whose target bit … we must orient it: our matrix
+			// op maps row i ← (i+j)/√2. With i < j in basis order and the
+			// target bit of i being 0, the controlled H does exactly that.
+			name = "h"
+			if i&d != 0 {
+				// i has the target bit set: conjugate with X to flip roles.
+				xg := circuit.Gate{Name: "x", Target: target, Controls: ctrls}
+				c.Append(xg)
+				undo = append(undo, xg)
+			}
+		}
+		c.Append(circuit.Gate{Name: name, Target: target, Controls: ctrls})
+		// Undo the alignment (and role flip) in reverse order.
+		for k := len(undo) - 1; k >= 0; k-- {
+			c.Append(undo[k])
+		}
+		return nil
+	}
+	return fmt.Errorf("synth: unknown two-level op %q", op.kind)
+}
+
+// lowerPhase emits ω^pow on the single basis state |i⟩.
+func lowerPhase(c *circuit.Circuit, i uint64, pow int, n int) error {
+	pow = ((pow % 8) + 8) % 8
+	if pow == 0 {
+		return nil
+	}
+	// Act on the last qubit; controls encode the other n−1 bits of i.
+	target := n - 1
+	var ctrls []circuit.Control
+	for q := 0; q < n-1; q++ {
+		bit := (i >> uint(n-1-q)) & 1
+		ctrls = append(ctrls, circuit.Control{Qubit: q, Neg: bit == 0})
+	}
+	lastSet := i&1 == 1
+	if !lastSet {
+		// Conjugate with a controlled X so the phase lands on the |…0⟩ row.
+		c.Append(circuit.Gate{Name: "x", Target: target, Controls: ctrls})
+	}
+	for _, g := range phaseGates(pow) {
+		c.Append(circuit.Gate{Name: g, Target: target, Controls: ctrls})
+	}
+	if !lastSet {
+		c.Append(circuit.Gate{Name: "x", Target: target, Controls: ctrls})
+	}
+	return nil
+}
+
+// phaseGates decomposes ω^pow (as a phase on |1⟩) into named gates.
+func phaseGates(pow int) []string {
+	switch pow {
+	case 1:
+		return []string{"t"}
+	case 2:
+		return []string{"s"}
+	case 3:
+		return []string{"s", "t"}
+	case 4:
+		return []string{"z"}
+	case 5:
+		return []string{"z", "t"}
+	case 6:
+		return []string{"sdg"}
+	case 7:
+		return []string{"tdg"}
+	}
+	return nil
+}
+
+// mcxGate builds an X on the qubit of bit `flip`, controlled on every other
+// bit of pattern (positively or negatively according to the pattern).
+func mcxGate(pattern, flip uint64, n int) circuit.Gate {
+	target := bitToQubit(flip, n)
+	return circuit.Gate{Name: "x", Target: target, Controls: controlsFor(pattern, flip, n)}
+}
+
+// controlsFor returns control lines matching `pattern` on every qubit
+// except the one addressed by bit mask `skip`.
+func controlsFor(pattern, skip uint64, n int) []circuit.Control {
+	var out []circuit.Control
+	for q := 0; q < n; q++ {
+		bit := uint64(1) << uint(n-1-q)
+		if bit == skip {
+			continue
+		}
+		out = append(out, circuit.Control{Qubit: q, Neg: pattern&bit == 0})
+	}
+	return out
+}
+
+func bitToQubit(bit uint64, n int) int {
+	for q := 0; q < n; q++ {
+		if bit == uint64(1)<<uint(n-1-q) {
+			return q
+		}
+	}
+	panic("synth: not a single bit")
+}
+
+func lowestBit(x uint64) uint64 { return x & (-x) }
+
+func popcount(x uint64) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// isUnitaryD checks U·U† = I exactly.
+func isUnitaryD(m [][]alg.D) bool {
+	dim := len(m)
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			s := alg.DZero
+			for k := 0; k < dim; k++ {
+				s = s.Add(m[i][k].Mul(m[j][k].Conj()))
+			}
+			if i == j && !s.IsOne() {
+				return false
+			}
+			if i != j && !s.IsZero() {
+				return false
+			}
+		}
+	}
+	return true
+}
