@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -38,6 +40,8 @@ func main() {
 		epsFlag   = flag.String("eps", "", "comma-separated ε list (default: paper sweep)")
 		width     = flag.Int("width", 60, "ASCII chart width")
 		numNorm   = flag.String("numnorm", "max", "numeric normalization: max (stabilized [29]) or left (classic)")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
 	numNormLeft := false
@@ -90,15 +94,51 @@ func main() {
 		p.EpsList = eps
 	}
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+	}
+
 	figs := []string{*fig}
 	if *fig == "all" {
 		figs = []string{"2", "3", "4", "5", "norms"}
 	}
+	var runErr error
 	for _, f := range figs {
-		if err := runOne(f, p, *outDir, *width); err != nil {
-			fatal(err)
+		if runErr = runOne(f, p, *outDir, *width); runErr != nil {
+			break
 		}
 	}
+
+	// Flush the profiles before reporting any error: a profile of a partial
+	// run is still a useful profile.
+	if *cpuProf != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		if err := writeHeapProfile(*memProf); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // materialize up-to-date allocation statistics
+	return pprof.WriteHeapProfile(f)
 }
 
 func runOne(fig string, p bench.FigureParams, outDir string, width int) error {
@@ -115,6 +155,7 @@ func runOne(fig string, p bench.FigureParams, outDir string, width int) error {
 		return err
 	}
 	fmt.Println(bench.Summary(res))
+	fmt.Println(bench.StatsSummary(res))
 	fmt.Println(bench.Series(res, "nodes", width))
 	if fig != "2" && fig != "norms" {
 		fmt.Println(bench.Series(res, "error", width))

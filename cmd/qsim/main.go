@@ -50,6 +50,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "sampling RNG seed")
 		topK      = flag.Int("top", 8, "print the K most probable outcomes")
 		stats     = flag.Bool("stats", false, "print manager statistics")
+		ctSize    = flag.Int("ctsize", core.DefaultCTSize, "compute-table slots (rounded up to a power of two)")
+		prune     = flag.Int("prune", 0, "garbage-collect when the unique table exceeds this many nodes (0 = never)")
 		verify    = flag.Bool("verify", false, "cross-check against the dense array simulator (n ≤ 16)")
 		expand    = flag.Bool("expand", false, "expand multi-controlled gates over ancillas before simulating")
 		writeQASM = flag.String("writeqasm", "", "write the (possibly expanded) circuit to this OpenQASM file")
@@ -89,13 +91,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *ctSize < 1 {
+		fatal(fmt.Errorf("-ctsize must be positive, got %d", *ctSize))
+	}
 	switch *repr {
 	case "alg":
-		m := core.NewManager[alg.Q](alg.Ring{}, norm)
-		runAndReport(m, c, *samples, *seed, *topK, *stats, true, *verify)
+		m := core.NewManager[alg.Q](alg.Ring{}, norm, core.WithComputeTableSize(*ctSize))
+		runAndReport(m, c, *samples, *seed, *topK, *stats, true, *verify, *prune)
 	case "num":
-		m := core.NewManager[complex128](num.NewRing(*eps), norm)
-		runAndReport(m, c, *samples, *seed, *topK, *stats, false, *verify)
+		m := core.NewManager[complex128](num.NewRing(*eps), norm, core.WithComputeTableSize(*ctSize))
+		runAndReport(m, c, *samples, *seed, *topK, *stats, false, *verify, *prune)
 	default:
 		fatal(fmt.Errorf("unknown representation %q (want alg or num)", *repr))
 	}
@@ -177,8 +182,11 @@ func buildCircuit(algName, file string, o buildOpts) (*circuit.Circuit, error) {
 	return nil, fmt.Errorf("choose a workload with -alg {grover,bwt,gse,ghz} or -file <qasm>")
 }
 
-func runAndReport[T any](m *core.Manager[T], c *circuit.Circuit, samples int, seed int64, topK int, stats, exact, verify bool) {
+func runAndReport[T any](m *core.Manager[T], c *circuit.Circuit, samples int, seed int64, topK int, stats, exact, verify bool, prune int) {
 	s := sim.New(m, c.N)
+	if prune > 0 {
+		s.EnableAutoPrune(prune)
+	}
 	start := time.Now()
 	if err := s.Run(c, nil); err != nil {
 		fatal(err)
@@ -212,6 +220,9 @@ func runAndReport[T any](m *core.Manager[T], c *circuit.Circuit, samples int, se
 		st := m.Stats()
 		fmt.Printf("manager: %d unique nodes, %d/%d unique hits, %d/%d CT hits\n",
 			st.UniqueNodes, st.UniqueHits, st.UniqueLookups, st.CTHits, st.CTLookups)
+		fmt.Printf("         %d interned weights, CT load %.1f%% (%d/%d), %d prunes (%d nodes)\n",
+			st.InternedWeights, 100*st.CTLoadFactor(), st.CTEntries, st.CTCapacity,
+			st.Prunes, st.PrunedNodes)
 	}
 }
 

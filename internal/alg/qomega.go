@@ -97,6 +97,11 @@ func (q Q) Add(y Q) Q {
 	if y.IsZero() {
 		return q
 	}
+	// With both denominators 1 (all of D[ω], i.e. the typical weight after
+	// Clifford+T circuits) the cross-multiplications are by 1 — skip them.
+	if q.E.Cmp(bigOne) == 0 && y.E.Cmp(bigOne) == 0 {
+		return reQ(q.N.Add(y.N), bigOne)
+	}
 	// q + y = (Nq·Ey + Ny·Eq) / (Eq·Ey)
 	a := CanonD(q.N.W.MulInt(y.E), q.N.K)
 	b := CanonD(y.N.W.MulInt(q.E), y.N.K)
@@ -110,10 +115,18 @@ func (q Q) Sub(y Q) Q { return q.Add(y.Neg()) }
 // Neg returns −q.
 func (q Q) Neg() Q { return Q{q.N.Neg(), cp(q.E)} }
 
-// Mul returns q · y.
+// Mul returns q · y. Multiplications by exact 0 and 1 short-circuit: edge
+// weights in QMDDs are overwhelmingly trivial, and the general path costs a
+// full Zomega product plus re-canonicalization.
 func (q Q) Mul(y Q) Q {
 	if q.IsZero() || y.IsZero() {
 		return QZero
+	}
+	if q.IsOne() {
+		return y
+	}
+	if y.IsOne() {
+		return q
 	}
 	return reQ(q.N.Mul(y.N), new(big.Int).Mul(q.E, y.E))
 }
@@ -140,8 +153,15 @@ func (q Q) Inv() Q {
 	return canonQ(num, -k, m)
 }
 
-// Div returns q / y. It panics when y is zero.
-func (q Q) Div(y Q) Q { return q.Mul(y.Inv()) }
+// Div returns q / y. It panics when y is zero. Division by exact 1 (the
+// common case under Q[ω]-inverse normalization, where most pivots are
+// trivial) returns q unchanged without constructing an inverse.
+func (q Q) Div(y Q) Q {
+	if y.IsOne() {
+		return q
+	}
+	return q.Mul(y.Inv())
+}
 
 // InD reports whether q lies in the subring D[ω] (odd denominator 1) and, if
 // so, returns the D[ω] element.

@@ -56,6 +56,33 @@ func Summary(r *Result) string {
 	return sb.String()
 }
 
+// StatsSummary renders a per-run table of the manager's hash-table counters:
+// unique-table and compute-table hit rates, compute-table load factor, and
+// the number of distinct interned weights. These are the knobs behind the
+// perf numbers (a low CT hit rate suggests a larger -ctsize, a huge intern
+// table signals weight churn under the chosen normalization scheme).
+func StatsSummary(r *Result) string {
+	rate := func(hits, lookups uint64) float64 {
+		if lookups == 0 {
+			return 0
+		}
+		return 100 * float64(hits) / float64(lookups)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "manager counters for %s\n", r.Name)
+	fmt.Fprintf(&sb, "%-22s %10s %9s %10s %9s %8s %9s\n",
+		"run", "nodes", "uniq hit%", "ct hit%", "ct load%", "weights", "prunes")
+	for _, run := range r.Runs {
+		st := run.Stats
+		fmt.Fprintf(&sb, "%-22s %10d %8.1f%% %9.1f%% %8.1f%% %8d %9d\n",
+			run.Label, st.UniqueNodes,
+			rate(st.UniqueHits, st.UniqueLookups),
+			rate(st.CTHits, st.CTLookups),
+			100*st.CTLoadFactor(), st.InternedWeights, st.Prunes)
+	}
+	return sb.String()
+}
+
 // Series renders one ASCII chart (log-ish bucketed) of a quantity over
 // applied gates for every run — a terminal stand-in for the paper's plots.
 func Series(r *Result, quantity string, width int) string {

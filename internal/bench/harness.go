@@ -38,8 +38,9 @@ type Run struct {
 	Norm     core.NormScheme
 	Samples  []Sample
 	Total    time.Duration
-	Failed   bool   // representation collapsed to the zero vector
-	FailNote string // diagnosis, e.g. "state collapsed to zero vector"
+	Stats    core.Stats // manager counters at the end of the run
+	Failed   bool       // representation collapsed to the zero vector
+	FailNote string     // diagnosis, e.g. "state collapsed to zero vector"
 }
 
 // Config parameterizes a trade-off experiment.
@@ -110,6 +111,7 @@ func Execute(name string, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("bench: algebraic run: %w", err)
 		}
 		run.Total = time.Since(start)
+		run.Stats = mAlg.Stats()
 		res.Runs = append(res.Runs, run)
 	}
 
@@ -178,5 +180,6 @@ func executeNumeric(
 		return nil, fmt.Errorf("bench: numeric run ε=%g: %w", eps, err)
 	}
 	run.Total = time.Since(start)
+	run.Stats = m.Stats()
 	return run, nil
 }

@@ -24,6 +24,7 @@ func CheckRing[T any](r Ring[T], samples []T, tol float64) error {
 	if r.IsZero(r.One()) {
 		return fmt.Errorf("One() reported zero")
 	}
+	hasher, _ := any(r).(Hasher[T])
 	near := func(a, b complex128, scale float64) bool {
 		return cmplx.Abs(a-b) <= tol*(1+scale)+1e-15
 	}
@@ -59,6 +60,9 @@ func CheckRing[T any](r Ring[T], samples []T, tol float64) error {
 		if r.Key(a) != r.Key(a) {
 			return fmt.Errorf("sample %d: Key not deterministic", i)
 		}
+		if hasher != nil && hasher.Hash(a) != hasher.Hash(a) {
+			return fmt.Errorf("sample %d: Hash not deterministic", i)
+		}
 		// Abs2 matches the complex view.
 		c := r.Complex128(a)
 		want := real(c)*real(c) + imag(c)*imag(c)
@@ -79,6 +83,9 @@ func CheckRing[T any](r Ring[T], samples []T, tol float64) error {
 		for j, b := range samples {
 			if r.Equal(a, b) != r.Equal(b, a) {
 				return fmt.Errorf("samples %d,%d: Equal not symmetric", i, j)
+			}
+			if hasher != nil && r.Key(a) == r.Key(b) && hasher.Hash(a) != hasher.Hash(b) {
+				return fmt.Errorf("samples %d,%d: equal keys with different hashes", i, j)
 			}
 			if !lawEqual(r.Add(a, b), r.Add(b, a)) {
 				return fmt.Errorf("samples %d,%d: addition not commutative", i, j)

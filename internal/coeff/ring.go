@@ -43,6 +43,18 @@ type Ring[T any] interface {
 	BitLen(a T) int
 }
 
+// Hasher is an optional fast path a Ring can implement so the QMDD core can
+// hash weights without formatting Key strings. Hash must be deterministic
+// and consistent with Key: Key(a) == Key(b) implies Hash(a) == Hash(b) (for
+// exact rings, where Key coincides with Equal, this means equal values hash
+// equally). Both built-in rings implement it — num hashes the complex128
+// bit patterns, alg hashes big.Int limbs directly — so the hot path of node
+// creation and operation memoization never builds a string. Rings without it
+// fall back to hashing the Key string.
+type Hasher[T any] interface {
+	Hash(a T) uint64
+}
+
 // GCDRing is implemented by coefficient rings that additionally support
 // Euclidean GCDs, enabling the GCD normalization scheme (Algorithm 3).
 type GCDRing[T any] interface {

@@ -2,19 +2,51 @@ package core
 
 // computeTable memoizes operation results. Like classic DD packages it is a
 // fixed-size hash table with overwrite-on-collision: bounded memory, O(1)
-// access, and stale entries simply fall out. Keys are the canonical string
-// keys built by the operations; values are verified by full key comparison,
-// so a collision can only cost a recomputation, never a wrong result.
-type computeTable[T any] struct {
-	mask    uint64
-	entries []ctEntry[T]
+// access, and stale entries simply fall out. Keys are fixed-size integer
+// tuples — an operation tag plus the operand node IDs and interned weight
+// IDs — so a lookup neither formats nor allocates; entries are verified by
+// comparing the stored operands, so a collision can only cost a
+// recomputation, never a wrong result.
 
-	lookups, hits uint64
+// ctOp tags the operation a compute-table entry memoizes. ctFree marks an
+// empty slot, so real tags start at 1.
+type ctOp uint8
+
+const (
+	ctFree ctOp = iota
+	ctAdd
+	ctMul
+	ctKron
+	ctAdjoint
+	ctTranspose
+	ctInner
+)
+
+// ctKey is the fixed-size compute-table key. Unary operations leave the b
+// operand zero; node-only operations (Mul, Kron, …) leave the WIDs zero.
+type ctKey struct {
+	aID, bID   uint64
+	aWID, bWID uint32
+	op         ctOp
+}
+
+func (k ctKey) hash() uint64 {
+	h := mix64(uint64(k.op)<<56 ^ k.aID)
+	h = mix64(h ^ k.bID)
+	return mix64(h ^ uint64(k.aWID) ^ uint64(k.bWID)<<32)
 }
 
 type ctEntry[T any] struct {
-	key string
+	key ctKey
 	val Edge[T]
+}
+
+type computeTable[T any] struct {
+	mask    uint64
+	entries []ctEntry[T]
+	filled  int // occupied slots (load-factor reporting)
+
+	lookups, hits uint64
 }
 
 func newComputeTable[T any](size int) *computeTable[T] {
@@ -28,27 +60,14 @@ func (t *computeTable[T]) clear() {
 	for i := range t.entries {
 		t.entries[i] = ctEntry[T]{}
 	}
+	t.filled = 0
 	t.lookups, t.hits = 0, 0
 }
 
-// fnv1a hashes the key.
-func fnv1a(s string) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= prime
-	}
-	return h
-}
-
-func (t *computeTable[T]) get(key string) (Edge[T], bool) {
+func (t *computeTable[T]) get(k ctKey) (Edge[T], bool) {
 	t.lookups++
-	e := &t.entries[fnv1a(key)&t.mask]
-	if e.key == key {
+	e := &t.entries[k.hash()&t.mask]
+	if e.key == k {
 		t.hits++
 		return e.val, true
 	}
@@ -56,7 +75,10 @@ func (t *computeTable[T]) get(key string) (Edge[T], bool) {
 	return zero, false
 }
 
-func (t *computeTable[T]) put(key string, val Edge[T]) {
-	e := &t.entries[fnv1a(key)&t.mask]
-	e.key, e.val = key, val
+func (t *computeTable[T]) put(k ctKey, val Edge[T]) {
+	e := &t.entries[k.hash()&t.mask]
+	if e.key.op == ctFree {
+		t.filled++
+	}
+	e.key, e.val = k, val
 }

@@ -2,14 +2,17 @@ package core
 
 // Garbage collection. Long simulations (thousands of matrix-vector
 // multiplications) leave the unique table full of nodes only reachable from
-// stale intermediate states. Prune performs a mark-and-sweep against a set
-// of live roots: unreachable nodes leave the unique table (Go's collector
-// then reclaims them) and the compute table is cleared, since its entries
-// may reference swept nodes.
+// stale intermediate states — and the weight intern table full of WIDs only
+// those nodes (and transient compute-table operands) referenced. Prune
+// performs a mark-and-sweep against a set of live roots: the intern table is
+// rebuilt from the weights of the surviving nodes (releasing dead WIDs),
+// every survivor gets fresh WIDs and a fresh hash, and both open-addressed
+// tables are rebuilt right-sized. The compute table is cleared, since its
+// entries may reference swept nodes and stale WIDs.
 //
 // Hash-consing identity is preserved for the surviving nodes — diagrams
-// reachable from the given roots keep their pointers, so O(1) equality
-// comparisons among them remain valid across a Prune.
+// reachable from the given roots keep their pointers and IDs, so O(1)
+// equality comparisons among them remain valid across a Prune.
 
 // Prune drops every node not reachable from the given roots. It returns the
 // number of nodes removed.
@@ -31,18 +34,47 @@ func (m *Manager[T]) Prune(roots ...Edge[T]) int {
 	for _, r := range roots {
 		mark(r.N)
 	}
-	removed := 0
-	for key, n := range m.unique {
-		if _, ok := live[n]; !ok {
-			delete(m.unique, key)
-			removed++
+	removed := m.ut.used - len(live)
+
+	// Rebuild the intern table from the survivors: dead WIDs are released and
+	// WID 0 stays pinned to zero. Every live node is re-interned (its weights
+	// collapse onto the new canonical representatives), rehashed, and
+	// reinserted into a right-sized unique table.
+	old := m.ut.slots
+	m.wt.init(tableSizeFor(len(live)*MatrixArity + 1))
+	m.internWeight(m.R.Zero())
+	m.ut.init(tableSizeFor(len(live)))
+	for _, n := range old {
+		if n == nil {
+			continue
 		}
+		if _, ok := live[n]; !ok {
+			continue
+		}
+		for i := range n.E {
+			wid := m.internWeight(n.E[i].W)
+			n.wids[i] = wid
+			n.E[i].W = m.wt.weights[wid]
+		}
+		n.hash = nodeHash(n.Level, n.E, &n.wids)
+		m.ut.insert(n)
 	}
-	// Compute-table entries may point at swept nodes; drop them all.
+	// Compute-table entries may reference swept nodes or stale WIDs; drop
+	// them all.
 	m.ct.clear()
 	m.stats.Prunes++
 	m.stats.PrunedNodes += uint64(removed)
 	return removed
+}
+
+// tableSizeFor returns an open-addressing slot count that keeps n entries
+// at a load factor ≤ ½ (and at least the tables' minimum size).
+func tableSizeFor(n int) int {
+	size := ceilPow2(2 * n)
+	if size < 1<<8 {
+		size = 1 << 8
+	}
+	return size
 }
 
 // AutoPruner returns a per-gate hook suitable for Simulator.Run that prunes
@@ -53,7 +85,7 @@ func AutoPruner[T any](m *Manager[T], highWater int, live func() Edge[T]) func()
 		highWater = 1
 	}
 	return func() {
-		if len(m.unique) > highWater {
+		if m.ut.used > highWater {
 			m.Prune(live())
 		}
 	}

@@ -2,8 +2,6 @@ package core
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
 
 	"repro/internal/coeff"
 )
@@ -56,13 +54,24 @@ func ParseNormScheme(s string) (NormScheme, error) {
 
 // Stats aggregates manager counters.
 type Stats struct {
-	UniqueNodes   int    // live nodes in the unique table
-	UniqueLookups uint64 // makeNode calls that reached the unique table
-	UniqueHits    uint64 // ... of which found an existing node
-	CTLookups     uint64
-	CTHits        uint64
-	Prunes        uint64 // garbage-collection runs
-	PrunedNodes   uint64 // nodes removed across all Prune calls
+	UniqueNodes     int    // live nodes in the unique table
+	UniqueLookups   uint64 // MakeNode calls that reached the unique table
+	UniqueHits      uint64 // ... of which found an existing node
+	CTLookups       uint64
+	CTHits          uint64
+	CTEntries       int    // occupied compute-table slots
+	CTCapacity      int    // compute-table slot count
+	InternedWeights int    // distinct weights in the intern table
+	Prunes          uint64 // garbage-collection runs
+	PrunedNodes     uint64 // nodes removed across all Prune calls
+}
+
+// CTLoadFactor returns the fraction of compute-table slots in use.
+func (s Stats) CTLoadFactor() float64 {
+	if s.CTCapacity == 0 {
+		return 0
+	}
+	return float64(s.CTEntries) / float64(s.CTCapacity)
 }
 
 // Manager owns the unique table, the compute tables and the normalization
@@ -74,27 +83,90 @@ type Manager[T any] struct {
 	R    coeff.Ring[T]
 	Norm NormScheme
 
-	unique map[string]*Node[T]
+	hashW  func(T) uint64 // weight hash: coeff.Hasher fast path or Key fallback
+	wt     internTable[T]
+	ut     uniqueTable[T]
 	ct     *computeTable[T]
 	nextID uint64
 	stats  Stats
 }
 
-// NewManager returns a manager over the given coefficient ring.
-func NewManager[T any](r coeff.Ring[T], norm NormScheme) *Manager[T] {
-	return &Manager[T]{
-		R:      r,
-		Norm:   norm,
-		unique: make(map[string]*Node[T]),
-		ct:     newComputeTable[T](1 << 18),
-	}
+// Option configures a Manager at construction time.
+type Option func(*managerOptions)
+
+type managerOptions struct {
+	ctSize int
 }
+
+// DefaultCTSize is the compute-table slot count used when no
+// WithComputeTableSize option is given.
+const DefaultCTSize = 1 << 18
+
+// WithComputeTableSize sets the number of compute-table slots (rounded up to
+// a power of two). Smaller tables bound memory at the cost of more
+// overwrite collisions; results stay correct either way because every entry
+// verifies its stored operands on lookup.
+func WithComputeTableSize(n int) Option {
+	if n < 1 {
+		panic("core: compute table size must be positive")
+	}
+	return func(o *managerOptions) { o.ctSize = ceilPow2(n) }
+}
+
+// NewManager returns a manager over the given coefficient ring.
+func NewManager[T any](r coeff.Ring[T], norm NormScheme, opts ...Option) *Manager[T] {
+	o := managerOptions{ctSize: DefaultCTSize}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	m := &Manager[T]{
+		R:    r,
+		Norm: norm,
+		ct:   newComputeTable[T](o.ctSize),
+	}
+	if h, ok := any(r).(coeff.Hasher[T]); ok {
+		m.hashW = h.Hash
+	} else {
+		m.hashW = func(w T) uint64 { return fnv1a(r.Key(w)) }
+	}
+	m.wt.init(1 << 8)
+	m.ut.init(1 << 8)
+	m.internWeight(r.Zero()) // WID 0 is pinned to the ring's zero
+	return m
+}
+
+// internWeight canonicalizes w through the per-manager intern table and
+// returns its dense weight ID. The hit path hashes w (via the ring's Hasher
+// fast path when available) and compares candidates with Ring.Equal — no
+// strings, no allocation.
+func (m *Manager[T]) internWeight(w T) uint32 {
+	h := mix64(m.hashW(w))
+	t := &m.wt
+	i := h & t.mask
+	for {
+		s := t.slots[i]
+		if s == 0 {
+			break
+		}
+		if wid := s - 1; t.hashes[wid] == h && m.R.Equal(t.weights[wid], w) {
+			return wid
+		}
+		i = (i + 1) & t.mask
+	}
+	return t.add(w, h, i)
+}
+
+// Weight returns the canonical representative interned under the given
+// weight ID (WID 0 is the ring's zero).
+func (m *Manager[T]) Weight(wid uint32) T { return m.wt.weights[wid] }
 
 // Stats returns a snapshot of the manager counters.
 func (m *Manager[T]) Stats() Stats {
 	s := m.stats
-	s.UniqueNodes = len(m.unique)
+	s.UniqueNodes = m.ut.used
+	s.InternedWeights = len(m.wt.weights)
 	s.CTLookups, s.CTHits = m.ct.lookups, m.ct.hits
+	s.CTEntries, s.CTCapacity = m.ct.filled, len(m.ct.entries)
 	return s
 }
 
@@ -143,11 +215,17 @@ func (m *Manager[T]) MakeNode(level int, es []Edge[T]) Edge[T] {
 	if level < 1 {
 		panic("core: MakeNode at level < 1")
 	}
+	if len(es) != VectorArity && len(es) != MatrixArity {
+		panic("core: MakeNode arity must be 2 (vector) or 4 (matrix)")
+	}
+	// Stack-allocated scratch: nothing is heap-allocated until a genuinely
+	// new node has to be created.
+	var buf [MatrixArity]Edge[T]
+	out := buf[:len(es)]
 	allZero := true
-	out := make([]Edge[T], len(es))
 	for i, e := range es {
 		if m.R.IsZero(e.W) {
-			out[i] = m.ZeroEdge()
+			out[i] = Edge[T]{W: m.R.Zero()}
 		} else {
 			out[i] = e
 			allZero = false
@@ -157,39 +235,64 @@ func (m *Manager[T]) MakeNode(level int, es []Edge[T]) Edge[T] {
 		return m.ZeroEdge()
 	}
 	factor := m.normalize(out)
-	var sb strings.Builder
-	sb.Grow(64)
-	sb.WriteString(strconv.Itoa(level))
-	sb.WriteByte(':')
-	for _, e := range out {
-		sb.WriteString(m.R.Key(e.W))
-		sb.WriteByte('@')
-		if e.N != nil {
-			sb.WriteString(strconv.FormatUint(e.N.ID, 36))
-		}
-		sb.WriteByte(';')
+	return Edge[T]{W: factor, N: m.internNode(level, out)}
+}
+
+// internNode hash-conses the normalized edge vector: each weight is interned
+// to its WID, the (level, child IDs, WIDs) key is hashed, and the unique
+// table is probed. es is scratch owned by the caller — it is copied only
+// when a new node is created.
+func (m *Manager[T]) internNode(level int, es []Edge[T]) *Node[T] {
+	var wids [MatrixArity]uint32
+	for i := range es {
+		wid := m.internWeight(es[i].W)
+		wids[i] = wid
+		es[i].W = m.wt.weights[wid] // share the canonical representative
 	}
-	key := sb.String()
+	h := nodeHash(level, es, &wids)
 	m.stats.UniqueLookups++
-	if n, ok := m.unique[key]; ok {
-		m.stats.UniqueHits++
-		return Edge[T]{W: factor, N: n}
+	i := h & m.ut.mask
+	for {
+		n := m.ut.slots[i]
+		if n == nil {
+			break
+		}
+		if n.hash == h && n.Level == level && len(n.E) == len(es) && sameKids(n, es, &wids) {
+			m.stats.UniqueHits++
+			return n
+		}
+		i = (i + 1) & m.ut.mask
 	}
+	kids := make([]Edge[T], len(es))
+	copy(kids, es)
 	m.nextID++
-	n := &Node[T]{ID: m.nextID, Level: level, E: out}
-	m.unique[key] = n
-	return Edge[T]{W: factor, N: n}
+	n := &Node[T]{ID: m.nextID, Level: level, E: kids, wids: wids, hash: h}
+	m.ut.insert(n)
+	return n
+}
+
+// sameKids reports whether n's outgoing edges match the probe key: identical
+// child pointers and identical interned weight IDs.
+func sameKids[T any](n *Node[T], es []Edge[T], wids *[MatrixArity]uint32) bool {
+	for j := range es {
+		if n.E[j].N != es[j].N || n.wids[j] != wids[j] {
+			return false
+		}
+	}
+	return true
 }
 
 // MakeVectorNode is MakeNode for the two halves of a state vector.
 func (m *Manager[T]) MakeVectorNode(level int, e0, e1 Edge[T]) Edge[T] {
-	return m.MakeNode(level, []Edge[T]{e0, e1})
+	es := [VectorArity]Edge[T]{e0, e1}
+	return m.MakeNode(level, es[:])
 }
 
 // MakeMatrixNode is MakeNode for the four quadrants of a matrix
 // (top-left, top-right, bottom-left, bottom-right).
 func (m *Manager[T]) MakeMatrixNode(level int, e00, e01, e10, e11 Edge[T]) Edge[T] {
-	return m.MakeNode(level, []Edge[T]{e00, e01, e10, e11})
+	es := [MatrixArity]Edge[T]{e00, e01, e10, e11}
+	return m.MakeNode(level, es[:])
 }
 
 // Scale returns s · e.

@@ -35,6 +35,13 @@ type Node[T any] struct {
 	ID    uint64
 	Level int
 	E     []Edge[T]
+
+	// wids caches the interned weight ID of each outgoing edge and hash the
+	// node's unique-table hash over (Level, child IDs, wids). Both are owned
+	// by the manager (set in MakeNode, refreshed by Prune) and are not part
+	// of the public API.
+	wids [MatrixArity]uint32
+	hash uint64
 }
 
 // IsTerminal reports whether e points to the terminal node.

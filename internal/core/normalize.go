@@ -32,6 +32,12 @@ func (m *Manager[T]) normalizeLeft(es []Edge[T]) T {
 	}
 	eta := es[i].W
 	es[i].W = m.R.One()
+	// Division by an exact 1 is the identity in every ring (bit-exact even
+	// for complex128), and trivial pivots dominate in practice — skip the
+	// whole division pass for them.
+	if m.R.IsOne(eta) {
+		return eta
+	}
 	for j := i + 1; j < len(es); j++ {
 		if !m.R.IsZero(es[j].W) {
 			es[j].W = m.R.Div(es[j].W, eta)
@@ -55,6 +61,9 @@ func (m *Manager[T]) normalizeMax(es []Edge[T]) T {
 	}
 	eta := es[best].W
 	es[best].W = m.R.One()
+	if m.R.IsOne(eta) {
+		return eta
+	}
 	for j := range es {
 		if j != best && !m.R.IsZero(es[j].W) {
 			es[j].W = m.R.Div(es[j].W, eta)

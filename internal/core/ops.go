@@ -1,19 +1,10 @@
 package core
 
-import "strconv"
-
 // Operations on QMDDs. All of them are memoized in the compute table and all
 // of them produce canonical (normalized, hash-consed) results, so the
 // complexity is polynomial in the diagram sizes rather than in the
-// exponential dimension of the represented objects.
-
-func edgeKey[T any](m *Manager[T], e Edge[T]) string {
-	id := ""
-	if e.N != nil {
-		id = strconv.FormatUint(e.N.ID, 36)
-	}
-	return m.R.Key(e.W) + "@" + id
-}
+// exponential dimension of the represented objects. Memoization keys are
+// integer tuples over node IDs and interned weight IDs — never strings.
 
 // Add returns the element-wise sum of two equally-shaped diagrams
 // (two vectors or two matrices over the same number of qubits).
@@ -33,22 +24,23 @@ func (m *Manager[T]) Add(x, y Edge[T]) Edge[T] {
 	if x.N.Level != y.N.Level || len(x.N.E) != len(y.N.E) {
 		panic("core: Add of diagrams with different levels/arities")
 	}
-	// Addition is commutative; canonicalize the operand order for CT hits.
-	kx, ky := edgeKey(m, x), edgeKey(m, y)
-	if kx > ky {
-		x, y, kx, ky = y, x, ky, kx
+	// Addition is commutative; canonicalize the operand order by
+	// (node ID, weight ID) for CT hits.
+	xw, yw := m.internWeight(x.W), m.internWeight(y.W)
+	if y.N.ID < x.N.ID || (y.N.ID == x.N.ID && yw < xw) {
+		x, y, xw, yw = y, x, yw, xw
 	}
-	key := "A;" + kx + ";" + ky
-	if r, ok := m.ct.get(key); ok {
+	k := ctKey{op: ctAdd, aID: x.N.ID, aWID: xw, bID: y.N.ID, bWID: yw}
+	if r, ok := m.ct.get(k); ok {
 		return r
 	}
 	arity := len(x.N.E)
-	sums := make([]Edge[T], arity)
+	var sums [MatrixArity]Edge[T]
 	for i := 0; i < arity; i++ {
 		sums[i] = m.Add(m.weightedChild(x, i), m.weightedChild(y, i))
 	}
-	r := m.MakeNode(x.N.Level, sums)
-	m.ct.put(key, r)
+	r := m.MakeNode(x.N.Level, sums[:arity])
+	m.ct.put(k, r)
 	return r
 }
 
@@ -77,14 +69,14 @@ func (m *Manager[T]) Mul(x, y Edge[T]) Edge[T] {
 
 // mulNodes multiplies weight-one edges to the two nodes.
 func (m *Manager[T]) mulNodes(xn, yn *Node[T]) Edge[T] {
-	key := "M;" + strconv.FormatUint(xn.ID, 36) + ";" + strconv.FormatUint(yn.ID, 36)
+	key := ctKey{op: ctMul, aID: xn.ID, bID: yn.ID}
 	if r, ok := m.ct.get(key); ok {
 		return r
 	}
 	level := xn.Level
 	var res Edge[T]
 	if len(yn.E) == MatrixArity {
-		es := make([]Edge[T], MatrixArity)
+		var es [MatrixArity]Edge[T]
 		for i := 0; i < 2; i++ {
 			for j := 0; j < 2; j++ {
 				s := m.ZeroEdge()
@@ -94,9 +86,9 @@ func (m *Manager[T]) mulNodes(xn, yn *Node[T]) Edge[T] {
 				es[2*i+j] = s
 			}
 		}
-		res = m.MakeNode(level, es)
+		res = m.MakeNode(level, es[:])
 	} else {
-		es := make([]Edge[T], VectorArity)
+		var es [VectorArity]Edge[T]
 		for i := 0; i < 2; i++ {
 			s := m.ZeroEdge()
 			for k := 0; k < 2; k++ {
@@ -104,7 +96,7 @@ func (m *Manager[T]) mulNodes(xn, yn *Node[T]) Edge[T] {
 			}
 			es[i] = s
 		}
-		res = m.MakeNode(level, es)
+		res = m.MakeNode(level, es[:])
 	}
 	m.ct.put(key, res)
 	return res
@@ -143,11 +135,12 @@ func (m *Manager[T]) Kron(x, y Edge[T]) Edge[T] {
 }
 
 func (m *Manager[T]) kronNodes(xn, yn *Node[T]) Edge[T] {
-	key := "K;" + strconv.FormatUint(xn.ID, 36) + ";" + strconv.FormatUint(yn.ID, 36)
-	if r, ok := m.ct.get(key); ok {
+	k := ctKey{op: ctKron, aID: xn.ID, bID: yn.ID}
+	if r, ok := m.ct.get(k); ok {
 		return r
 	}
-	es := make([]Edge[T], len(xn.E))
+	var es [MatrixArity]Edge[T]
+	arity := len(xn.E)
 	for i, c := range xn.E {
 		switch {
 		case m.R.IsZero(c.W):
@@ -159,8 +152,8 @@ func (m *Manager[T]) kronNodes(xn, yn *Node[T]) Edge[T] {
 			es[i] = m.Scale(sub, c.W)
 		}
 	}
-	res := m.MakeNode(xn.Level+yn.Level, es)
-	m.ct.put(key, res)
+	res := m.MakeNode(xn.Level+yn.Level, es[:arity])
+	m.ct.put(k, res)
 	return res
 }
 
@@ -175,27 +168,27 @@ func (m *Manager[T]) Adjoint(x Edge[T]) Edge[T] {
 }
 
 func (m *Manager[T]) adjointNode(n *Node[T]) Edge[T] {
-	key := "D;" + strconv.FormatUint(n.ID, 36)
-	if r, ok := m.ct.get(key); ok {
+	k := ctKey{op: ctAdjoint, aID: n.ID}
+	if r, ok := m.ct.get(k); ok {
 		return r
 	}
 	var res Edge[T]
 	if len(n.E) == MatrixArity {
-		es := make([]Edge[T], MatrixArity)
+		var es [MatrixArity]Edge[T]
 		for i := 0; i < 2; i++ {
 			for j := 0; j < 2; j++ {
 				es[2*i+j] = m.Adjoint(n.E[2*j+i])
 			}
 		}
-		res = m.MakeNode(n.Level, es)
+		res = m.MakeNode(n.Level, es[:])
 	} else {
-		es := make([]Edge[T], VectorArity)
+		var es [VectorArity]Edge[T]
 		for i := range es {
 			es[i] = m.Adjoint(n.E[i])
 		}
-		res = m.MakeNode(n.Level, es)
+		res = m.MakeNode(n.Level, es[:])
 	}
-	m.ct.put(key, res)
+	m.ct.put(k, res)
 	return res
 }
 
@@ -209,25 +202,25 @@ func (m *Manager[T]) Transpose(x Edge[T]) Edge[T] {
 }
 
 func (m *Manager[T]) transposeNode(n *Node[T]) Edge[T] {
-	key := "T;" + strconv.FormatUint(n.ID, 36)
-	if r, ok := m.ct.get(key); ok {
+	k := ctKey{op: ctTranspose, aID: n.ID}
+	if r, ok := m.ct.get(k); ok {
 		return r
 	}
 	var res Edge[T]
 	if len(n.E) == MatrixArity {
-		es := make([]Edge[T], MatrixArity)
+		var es [MatrixArity]Edge[T]
 		for i := 0; i < 2; i++ {
 			for j := 0; j < 2; j++ {
 				es[2*i+j] = m.Transpose(n.E[2*j+i])
 			}
 		}
-		res = m.MakeNode(n.Level, es)
+		res = m.MakeNode(n.Level, es[:])
 	} else {
-		es := make([]Edge[T], len(n.E))
-		copy(es, n.E)
-		res = m.MakeNode(n.Level, es)
+		var es [VectorArity]Edge[T]
+		copy(es[:], n.E)
+		res = m.MakeNode(n.Level, es[:])
 	}
-	m.ct.put(key, res)
+	m.ct.put(k, res)
 	return res
 }
 
@@ -247,14 +240,14 @@ func (m *Manager[T]) ipEdges(a, b Edge[T], level int) T {
 		panic("core: malformed diagram in InnerProduct")
 	}
 	w := m.R.Mul(m.R.Conj(a.W), b.W)
-	key := "I;" + strconv.FormatUint(a.N.ID, 36) + ";" + strconv.FormatUint(b.N.ID, 36)
-	if r, ok := m.ct.get(key); ok {
+	k := ctKey{op: ctInner, aID: a.N.ID, bID: b.N.ID}
+	if r, ok := m.ct.get(k); ok {
 		return m.R.Mul(w, r.W)
 	}
 	s := m.R.Zero()
 	for i := range a.N.E {
 		s = m.R.Add(s, m.ipEdges(a.N.E[i], b.N.E[i], level-1))
 	}
-	m.ct.put(key, m.Terminal(s))
+	m.ct.put(k, m.Terminal(s))
 	return m.R.Mul(w, s)
 }

@@ -1,6 +1,7 @@
 package num
 
 import (
+	"math"
 	"math/cmplx"
 
 	"repro/internal/alg"
@@ -57,6 +58,17 @@ func (r *Ring) Equal(a, b complex128) bool { return Near(a, b, r.T.Tol) }
 
 // Key returns the bit-exact key of the (already interned) value.
 func (r *Ring) Key(a complex128) string { return KeyOf(a) }
+
+// Hash returns a 64-bit hash of the exact bit pattern of a — the
+// coeff.Hasher fast path, consistent with Key and allocation-free.
+func (r *Ring) Hash(a complex128) uint64 {
+	const (
+		offset uint64 = 14695981039346656037
+		prime  uint64 = 1099511628211
+	)
+	h := (offset ^ math.Float64bits(real(a))) * prime
+	return (h ^ math.Float64bits(imag(a))) * prime
+}
 
 // FromQ approximates an exact Q[ω] value by the nearest complex128.
 func (r *Ring) FromQ(q alg.Q) complex128 { return r.intern(q.Complex128()) }
