@@ -12,14 +12,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 )
@@ -36,7 +40,10 @@ func main() {
 		netLen    = flag.Int("netlen", 0, "override synthesizer net length")
 		stride    = flag.Int("stride", 0, "override sampling stride")
 		noError   = flag.Bool("noerror", false, "skip the per-sample accuracy metric (faster)")
-		nodeCap   = flag.Int("nodecap", 0, "override node cap for numeric runs")
+		nodeCap   = flag.Int("nodecap", 0, "deprecated alias for -max-nodes")
+		maxNodes  = flag.Int("max-nodes", 0, "budget: max live QMDD nodes per run (0 = default 200000)")
+		maxMem    = flag.Int64("max-mem", 0, "budget: approximate max bytes of nodes+weights per run (0 = unlimited)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock limit for the whole invocation (0 = none); partial results are printed on expiry")
 		epsFlag   = flag.String("eps", "", "comma-separated ε list (default: paper sweep)")
 		width     = flag.Int("width", 60, "ASCII chart width")
 		numNorm   = flag.String("numnorm", "max", "numeric normalization: max (stabilized [29]) or left (classic)")
@@ -79,7 +86,16 @@ func main() {
 		p.MeasureError = false
 	}
 	if *nodeCap > 0 {
-		p.NodeCap = *nodeCap
+		p.Budget.MaxNodes = *nodeCap
+	}
+	if *maxNodes > 0 {
+		p.Budget.MaxNodes = *maxNodes
+	}
+	if *maxMem > 0 {
+		p.Budget.MaxBytes = *maxMem
+	}
+	if *timeout > 0 {
+		p.Budget.Deadline = time.Now().Add(*timeout)
 	}
 	p.NumNormLeft = numNormLeft
 	if *epsFlag != "" {
@@ -105,15 +121,29 @@ func main() {
 		}
 	}
 
+	// SIGINT (and -timeout) cancel the experiment cooperatively: completed
+	// runs and partial samples are still summarized below instead of dying.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	figs := []string{*fig}
 	if *fig == "all" {
 		figs = []string{"2", "3", "4", "5", "norms"}
 	}
 	var runErr error
 	for _, f := range figs {
-		if runErr = runOne(f, p, *outDir, *width); runErr != nil {
+		if runErr = runOne(ctx, f, p, *outDir, *width); runErr != nil {
 			break
 		}
+	}
+	if runErr != nil && (errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded)) {
+		fmt.Printf("qbench: stopped early (%v); partial results above\n", runErr)
+		runErr = nil
 	}
 
 	// Flush the profiles before reporting any error: a profile of a partial
@@ -141,19 +171,23 @@ func writeHeapProfile(path string) error {
 	return pprof.WriteHeapProfile(f)
 }
 
-func runOne(fig string, p bench.FigureParams, outDir string, width int) error {
+func runOne(ctx context.Context, fig string, p bench.FigureParams, outDir string, width int) error {
 	var (
 		res *bench.Result
 		err error
 	)
 	if fig == "norms" {
-		res, err = bench.NormSchemeComparison(bench.BWTCircuit(p), p.Stride)
+		res, err = bench.NormSchemeComparisonCtx(ctx, bench.BWTCircuit(p), p.Stride)
 	} else {
-		res, err = bench.Figure(fig, p)
+		res, err = bench.FigureCtx(ctx, fig, p)
 	}
-	if err != nil {
+	if err != nil && !(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 		return err
 	}
+	if res == nil || len(res.Runs) == 0 {
+		return err
+	}
+	cancelErr := err
 	fmt.Println(bench.Summary(res))
 	fmt.Println(bench.StatsSummary(res))
 	fmt.Println(bench.Series(res, "nodes", width))
@@ -179,7 +213,7 @@ func runOne(fig string, p bench.FigureParams, outDir string, width int) error {
 		}
 		fmt.Printf("wrote %s\n", path)
 	}
-	return nil
+	return cancelErr
 }
 
 func fatal(err error) {

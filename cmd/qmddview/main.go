@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/alg"
 	"repro/internal/algorithms"
@@ -34,8 +35,15 @@ func main() {
 		state    = flag.Bool("state", true, "render the final state (false: the circuit unitary)")
 		out      = flag.String("out", "", "output file (default stdout)")
 		save     = flag.String("save", "", "also serialize the diagram to this file (ddio format)")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget for building the diagram (0 = none)")
+		maxNodes = flag.Int("max-nodes", 0, "budget: max live QMDD nodes (0 = unlimited)")
+		maxMem   = flag.Int64("max-mem", 0, "budget: approximate max bytes of nodes+weights (0 = unlimited)")
 	)
 	flag.Parse()
+	budget := core.Budget{MaxNodes: *maxNodes, MaxBytes: *maxMem}
+	if *timeout > 0 {
+		budget.Deadline = time.Now().Add(*timeout)
+	}
 
 	c, err := buildCircuit(*algName, *file, *n)
 	if err != nil {
@@ -57,9 +65,11 @@ func main() {
 	switch *repr {
 	case "alg":
 		m := core.NewManager[alg.Q](alg.Ring{}, norm)
+		m.SetBudget(budget)
 		err = render(m, c, *state, w, *save, ddio.AlgCodec{})
 	case "num":
 		m := core.NewManager[complex128](num.NewRing(*eps), norm)
+		m.SetBudget(budget)
 		err = render(m, c, *state, w, *save, ddio.NumCodec{})
 	default:
 		err = fmt.Errorf("unknown representation %q", *repr)

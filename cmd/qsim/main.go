@@ -12,11 +12,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/cmplx"
 	"math/rand"
 	"os"
+	"os/signal"
 	"sort"
 	"time"
 
@@ -52,6 +55,9 @@ func main() {
 		stats     = flag.Bool("stats", false, "print manager statistics")
 		ctSize    = flag.Int("ctsize", core.DefaultCTSize, "compute-table slots (rounded up to a power of two)")
 		prune     = flag.Int("prune", 0, "garbage-collect when the unique table exceeds this many nodes (0 = never)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget (0 = none); on expiry partial stats are printed, not a crash")
+		maxNodes  = flag.Int("max-nodes", 0, "budget: max live QMDD nodes (0 = unlimited)")
+		maxMem    = flag.Int64("max-mem", 0, "budget: approximate max bytes of nodes+weights (0 = unlimited)")
 		verify    = flag.Bool("verify", false, "cross-check against the dense array simulator (n ≤ 16)")
 		expand    = flag.Bool("expand", false, "expand multi-controlled gates over ancillas before simulating")
 		writeQASM = flag.String("writeqasm", "", "write the (possibly expanded) circuit to this OpenQASM file")
@@ -94,13 +100,31 @@ func main() {
 	if *ctSize < 1 {
 		fatal(fmt.Errorf("-ctsize must be positive, got %d", *ctSize))
 	}
+
+	// The run governor: a resource budget installed into the manager plus a
+	// context cancelled by SIGINT or -timeout. Either way the run ends with
+	// the statistics collected so far instead of an OOM, a hang or a panic.
+	budget := core.Budget{MaxNodes: *maxNodes, MaxBytes: *maxMem}
+	if *timeout > 0 {
+		budget.Deadline = time.Now().Add(*timeout)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	switch *repr {
 	case "alg":
 		m := core.NewManager[alg.Q](alg.Ring{}, norm, core.WithComputeTableSize(*ctSize))
-		runAndReport(m, c, *samples, *seed, *topK, *stats, true, *verify, *prune)
+		m.SetBudget(budget)
+		runAndReport(ctx, m, c, *samples, *seed, *topK, *stats, true, *verify, *prune)
 	case "num":
 		m := core.NewManager[complex128](num.NewRing(*eps), norm, core.WithComputeTableSize(*ctSize))
-		runAndReport(m, c, *samples, *seed, *topK, *stats, false, *verify, *prune)
+		m.SetBudget(budget)
+		runAndReport(ctx, m, c, *samples, *seed, *topK, *stats, false, *verify, *prune)
 	default:
 		fatal(fmt.Errorf("unknown representation %q (want alg or num)", *repr))
 	}
@@ -182,13 +206,22 @@ func buildCircuit(algName, file string, o buildOpts) (*circuit.Circuit, error) {
 	return nil, fmt.Errorf("choose a workload with -alg {grover,bwt,gse,ghz} or -file <qasm>")
 }
 
-func runAndReport[T any](m *core.Manager[T], c *circuit.Circuit, samples int, seed int64, topK int, stats, exact, verify bool, prune int) {
+func runAndReport[T any](ctx context.Context, m *core.Manager[T], c *circuit.Circuit, samples int, seed int64, topK int, stats, exact, verify bool, prune int) {
 	s := sim.New(m, c.N)
 	if prune > 0 {
 		s.EnableAutoPrune(prune)
 	}
 	start := time.Now()
-	if err := s.Run(c, nil); err != nil {
+	if err := s.RunCtx(ctx, c, nil); err != nil {
+		if governed(err) {
+			// A refused/interrupted run is a graceful outcome: report the
+			// partial statistics and exit cleanly.
+			fmt.Printf("run stopped early: %v\n", err)
+			fmt.Printf("partial state after %v: %d nodes; %s\n",
+				time.Since(start).Round(time.Millisecond), s.State.NodeCount(), m.Peak())
+			printStats(m)
+			return
+		}
 		fatal(err)
 	}
 	elapsed := time.Since(start)
@@ -217,13 +250,25 @@ func runAndReport[T any](m *core.Manager[T], c *circuit.Circuit, samples int, se
 		printCounts(counts, c.N)
 	}
 	if stats {
-		st := m.Stats()
-		fmt.Printf("manager: %d unique nodes, %d/%d unique hits, %d/%d CT hits\n",
-			st.UniqueNodes, st.UniqueHits, st.UniqueLookups, st.CTHits, st.CTLookups)
-		fmt.Printf("         %d interned weights, CT load %.1f%% (%d/%d), %d prunes (%d nodes)\n",
-			st.InternedWeights, 100*st.CTLoadFactor(), st.CTEntries, st.CTCapacity,
-			st.Prunes, st.PrunedNodes)
+		printStats(m)
 	}
+}
+
+// governed reports whether err is a run-governor outcome — budget exceeded,
+// deadline, SIGINT — rather than a genuine failure.
+func governed(err error) bool {
+	return errors.Is(err, core.ErrBudgetExceeded) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+func printStats[T any](m *core.Manager[T]) {
+	st := m.Stats()
+	fmt.Printf("manager: %d unique nodes, %d/%d unique hits, %d/%d CT hits\n",
+		st.UniqueNodes, st.UniqueHits, st.UniqueLookups, st.CTHits, st.CTLookups)
+	fmt.Printf("         %d interned weights, CT load %.1f%% (%d/%d), %d prunes (%d nodes)\n",
+		st.InternedWeights, 100*st.CTLoadFactor(), st.CTEntries, st.CTCapacity,
+		st.Prunes, st.PrunedNodes)
 }
 
 func printTop[T any](m *core.Manager[T], s *sim.Simulator[T], n, k int) {

@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -24,15 +27,20 @@ import (
 
 func main() {
 	var (
-		algName  = flag.String("alg", "grover", "workload: grover, bwt, dj, bv")
-		n        = flag.Int("n", 8, "grover/dj/bv: input qubits")
-		depth    = flag.Int("depth", 5, "bwt: tree depth")
-		steps    = flag.Int("steps", 24, "bwt: walk steps")
-		maxNodes = flag.Int("maxnodes", 0, "node budget (default: 4× the exact size)")
-		maxErr   = flag.Float64("maxerror", 1e-10, "final-state error budget")
-		epsFlag  = flag.String("eps", "1e-3,1e-5,1e-10,1e-13,1e-15", "candidate tolerances, largest first")
+		algName   = flag.String("alg", "grover", "workload: grover, bwt, dj, bv")
+		n         = flag.Int("n", 8, "grover/dj/bv: input qubits")
+		depth     = flag.Int("depth", 5, "bwt: tree depth")
+		steps     = flag.Int("steps", 24, "bwt: walk steps")
+		maxNodes  = flag.Int("maxnodes", 0, "node budget (default: 4× the exact size)")
+		maxNodes2 = flag.Int("max-nodes", 0, "alias for -maxnodes")
+		maxErr    = flag.Float64("maxerror", 1e-10, "final-state error budget")
+		epsFlag   = flag.String("eps", "1e-3,1e-5,1e-10,1e-13,1e-15", "candidate tolerances, largest first")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole tuning session (0 = none); partial trials are reported on expiry")
 	)
 	flag.Parse()
+	if *maxNodes == 0 {
+		*maxNodes = *maxNodes2
+	}
 
 	var c *circuit.Circuit
 	switch *algName {
@@ -60,19 +68,40 @@ func main() {
 
 	fmt.Printf("tuning ε for %s (%d qubits, %d gates), budgets: error ≤ %.0e\n",
 		c.Name, c.N, c.Len(), *maxErr)
+
+	// The run governor: SIGINT or -timeout cancels the tuning session; the
+	// trials completed so far are still reported.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	budget := *maxNodes
 	if budget == 0 {
 		budget = -1 // resolved after the reference run below
 	}
 	// First pass with a provisional huge budget to learn the exact size.
-	res, err := bench.Tune(c, candidates, chooseBudget(budget), *maxErr)
+	res, err := bench.TuneCtx(ctx, c, candidates, chooseBudget(budget), *maxErr)
+	if stopped(err) {
+		fmt.Printf("qtune: tuning stopped early (%v); partial trials below\n", err)
+		fmt.Print(res.Report())
+		return
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qtune:", err)
 		os.Exit(1)
 	}
 	if budget == -1 {
 		// Re-evaluate acceptance against 4× the exact size.
-		res, err = bench.Tune(c, candidates, 4*res.AlgebraicNodes, *maxErr)
+		res, err = bench.TuneCtx(ctx, c, candidates, 4*res.AlgebraicNodes, *maxErr)
+		if stopped(err) {
+			fmt.Printf("qtune: tuning stopped early (%v); partial trials below\n", err)
+			fmt.Print(res.Report())
+			return
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "qtune:", err)
 			os.Exit(1)
@@ -80,6 +109,12 @@ func main() {
 		fmt.Printf("node budget: 4 × exact size = %d\n", 4*res.AlgebraicNodes)
 	}
 	fmt.Print(res.Report())
+}
+
+// stopped reports whether the tuning session ended through the governor
+// (SIGINT or -timeout) rather than through a genuine failure.
+func stopped(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 func chooseBudget(b int) int {

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +34,9 @@ func main() {
 		eps      = flag.Float64("eps", 0, "tolerance for -repr num")
 		normFlag = flag.String("norm", "left", "normalization scheme: left, max, gcd")
 		phase    = flag.Bool("phase", false, "compare up to a global phase")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
+		maxNodes = flag.Int("max-nodes", 0, "budget: max live QMDD nodes (0 = unlimited)")
+		maxMem   = flag.Int64("max-mem", 0, "budget: approximate max bytes of nodes+weights (0 = unlimited)")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -55,17 +59,29 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	budget := core.Budget{MaxNodes: *maxNodes, MaxBytes: *maxMem}
+	if *timeout > 0 {
+		budget.Deadline = time.Now().Add(*timeout)
+	}
 	var eq bool
 	start := time.Now()
 	switch *repr {
 	case "alg":
 		m := core.NewManager[alg.Q](alg.Ring{}, norm)
+		m.SetBudget(budget)
 		eq, err = check(m, a, b, *phase)
 	case "num":
 		m := core.NewManager[complex128](num.NewRing(*eps), norm)
+		m.SetBudget(budget)
 		eq, err = check(m, a, b, *phase)
 	default:
 		err = fmt.Errorf("unknown representation %q", *repr)
+	}
+	if errors.Is(err, core.ErrBudgetExceeded) {
+		// Governed outcome: the diagrams outgrew the declared budget before
+		// the comparison finished. Report it as "undecided", not a crash.
+		fmt.Printf("UNDECIDED: %v\n", err)
+		os.Exit(2)
 	}
 	if err != nil {
 		fatal(err)

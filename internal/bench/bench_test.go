@@ -178,7 +178,7 @@ func TestNodeCapAbortsRun(t *testing.T) {
 		Circuit: GroverCircuit(p),
 		EpsList: []float64{0},
 		Stride:  8,
-		NodeCap: 10, // absurdly low: must trip immediately
+		PeakCap: 10, // absurdly low: must trip immediately
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -203,6 +203,10 @@ func TestExecuteRejectsNothing(t *testing.T) {
 // symptoms appears depends on the instance size.
 func TestInvalidStateFailure(t *testing.T) {
 	p := smallParams()
+	// 8 qubits: enough Grover iterations for ε = 10⁻³ rounding to snowball
+	// into the zero vector. (At 7 qubits the nearest-representative interning
+	// rule keeps the state merely inaccurate, norm ≈ 0.9, not invalid.)
+	p.GroverQubits = 8
 	res, err := Execute("collapse", Config{
 		Circuit:     GroverCircuit(p),
 		EpsList:     []float64{1e-3},

@@ -119,6 +119,10 @@ func Series(r *Result, quantity string, width int) string {
 		fmt.Fprintf(&sb, "%-22s ", run.Label)
 		// Resample the trace to the requested width.
 		n := len(run.Samples)
+		if n == 0 { // cancelled or refused before the first sample point
+			sb.WriteString("(no samples)\n")
+			continue
+		}
 		for i := 0; i < width; i++ {
 			idx := i * n / width
 			if idx >= n {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/algorithms"
@@ -25,8 +26,12 @@ type FigureParams struct {
 	SynthNetLen  int // base-net word length for the synthesizer
 	Stride       int
 	MeasureError bool
-	NodeCap      int
-	EpsList      []float64
+	// Budget governs every run's manager (max live nodes / interned
+	// weights / approximate bytes / deadline); replaces the old ad-hoc
+	// node cap. A run that trips it is reported Failed with partial
+	// samples, never aborted by panic or OOM.
+	Budget  core.Budget
+	EpsList []float64
 	// NumNormLeft switches the numerical runs to the classic leftmost
 	// normalization (see Config.NumNormLeft).
 	NumNormLeft bool
@@ -44,7 +49,7 @@ func DefaultParams() FigureParams {
 		SynthNetLen:  10,
 		Stride:       16,
 		MeasureError: true,
-		NodeCap:      200000,
+		Budget:       core.Budget{MaxNodes: 200000},
 		EpsList:      PaperEpsList,
 	}
 }
@@ -78,15 +83,21 @@ func GSECircuit(p FigureParams) (*circuit.Circuit, error) {
 // Figure runs one of the paper's experiments by figure number:
 // "2" (GSE size-vs-ε), "3" (Grover), "4" (BWT), "5" (GSE, full panels).
 func Figure(fig string, p FigureParams) (*Result, error) {
+	return FigureCtx(context.Background(), fig, p)
+}
+
+// FigureCtx is Figure under a context; on cancellation the partial Result
+// is returned alongside the context error.
+func FigureCtx(ctx context.Context, fig string, p FigureParams) (*Result, error) {
 	mk := func(name string, c *circuit.Circuit, measureErr bool) (*Result, error) {
-		return Execute(name, Config{
+		return ExecuteCtx(ctx, name, Config{
 			Circuit:      c,
 			EpsList:      p.EpsList,
 			Algebraic:    true,
 			AlgNorm:      core.NormLeft,
 			Stride:       p.Stride,
 			MeasureError: measureErr,
-			NodeCap:      p.NodeCap,
+			Budget:       p.Budget,
 			NumNormLeft:  p.NumNormLeft,
 		})
 	}
@@ -117,18 +128,25 @@ func Figure(fig string, p FigureParams) (*Result, error) {
 // the max-magnitude variant, reproducing the paper's Section V-B
 // observation that the GCD scheme never wins.
 func NormSchemeComparison(c *circuit.Circuit, stride int) (*Result, error) {
+	return NormSchemeComparisonCtx(context.Background(), c, stride)
+}
+
+// NormSchemeComparisonCtx is NormSchemeComparison under a context.
+func NormSchemeComparisonCtx(ctx context.Context, c *circuit.Circuit, stride int) (*Result, error) {
 	res := &Result{Name: "norm-schemes", N: c.N}
 	for _, norm := range []core.NormScheme{core.NormLeft, core.NormMax, core.NormGCD} {
-		r, err := Execute(fmt.Sprintf("norm-%s", norm), Config{
+		r, err := ExecuteCtx(ctx, fmt.Sprintf("norm-%s", norm), Config{
 			Circuit:   c,
 			Algebraic: true,
 			AlgNorm:   norm,
 			Stride:    stride,
 		})
-		if err != nil {
-			return nil, err
+		if r != nil {
+			res.Runs = append(res.Runs, r.Runs...)
 		}
-		res.Runs = append(res.Runs, r.Runs...)
+		if err != nil {
+			return res, err
+		}
 	}
 	return res, nil
 }

@@ -6,9 +6,18 @@
 // (‖v_num/‖v_num‖ − v_alg‖₂), and cumulative run time — plus the
 // algebraic-only statistics (coefficient bit widths, trivial-weight
 // fraction) behind the paper's overhead discussion.
+//
+// Every run is governed: the Config's core.Budget is installed into each
+// run's manager, so a run that would blow up (ε = 0 on GSE, say) is refused
+// with partial samples and a failure note instead of exhausting memory, and
+// the context passed to ExecuteCtx cancels runs cooperatively — between
+// gates and inside individual diagram operations — returning whatever was
+// measured up to that point.
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -33,14 +42,19 @@ type Sample struct {
 
 // Run is one full simulation trace.
 type Run struct {
-	Label    string
-	Eps      float64 // −1 for algebraic runs
-	Norm     core.NormScheme
-	Samples  []Sample
-	Total    time.Duration
-	Stats    core.Stats // manager counters at the end of the run
-	Failed   bool       // representation collapsed to the zero vector
-	FailNote string     // diagnosis, e.g. "state collapsed to zero vector"
+	Label   string
+	Eps     float64 // −1 for algebraic runs
+	Norm    core.NormScheme
+	Samples []Sample
+	// PeakNodes is the largest state size observed: exact (every gate) when
+	// Config.TrackPeak is set, otherwise the maximum over the strided
+	// samples (which can miss a between-samples peak — the bug the exact
+	// mode exists to fix).
+	PeakNodes int
+	Total     time.Duration
+	Stats     core.Stats // manager counters at the end of the run
+	Failed    bool       // collapsed, diverged, over budget, or cancelled
+	FailNote  string     // diagnosis, e.g. "state collapsed to zero vector"
 }
 
 // Config parameterizes a trade-off experiment.
@@ -65,9 +79,19 @@ type Config struct {
 	// Algebraic (the exact reference) and expands 2^n amplitudes per sample
 	// point, so keep n moderate when it is on.
 	MeasureError bool
-	// NodeCap aborts a numerical run whose diagram exceeds this size
-	// (0 = no cap) — the "infeasible run time" regime of the paper.
-	NodeCap int
+	// Budget is installed into every run's manager (replacing the old
+	// ad-hoc NodeCap): a run that trips any limit is marked Failed with its
+	// partial samples kept, never aborted by panic. When Budget.MaxNodes is
+	// set, auto-pruning at half the limit keeps stale intermediates from
+	// tripping it spuriously.
+	Budget core.Budget
+	// TrackPeak records the exact per-gate peak state size in
+	// Run.PeakNodes, at O(state size) cost per gate instead of per stride.
+	TrackPeak bool
+	// PeakCap aborts a run as soon as its exact per-gate state size exceeds
+	// this many nodes (implies per-gate tracking; 0 = no cap) — the
+	// "infeasible run time" regime of the paper.
+	PeakCap int
 }
 
 // Result bundles all runs of one experiment.
@@ -79,6 +103,13 @@ type Result struct {
 
 // Execute runs the experiment.
 func Execute(name string, cfg Config) (*Result, error) {
+	return ExecuteCtx(context.Background(), name, cfg)
+}
+
+// ExecuteCtx runs the experiment under a context. On cancellation the
+// partially-measured Result is returned alongside the context error, so
+// callers can report whatever completed.
+func ExecuteCtx(ctx context.Context, name string, cfg Config) (*Result, error) {
 	if cfg.Stride < 1 {
 		cfg.Stride = 1
 	}
@@ -91,44 +122,112 @@ func Execute(name string, cfg Config) (*Result, error) {
 	if cfg.Algebraic {
 		run := &Run{Label: "algebraic/" + cfg.AlgNorm.String(), Eps: -1, Norm: cfg.AlgNorm}
 		mAlg = core.NewManager[alg.Q](alg.Ring{}, cfg.AlgNorm)
-		s := sim.New(mAlg, c.N)
+		s := newGovernedSim(mAlg, c.N, cfg)
 		start := time.Now()
-		err := s.Run(c, func(i int, g circuit.Gate) bool {
-			if (i+1)%cfg.Stride == 0 || i == c.Len()-1 {
+		err := s.RunCtx(ctx, c, func(i int, g circuit.Gate) bool {
+			nodes, stop := trackGate(run, s.State, i, c, cfg)
+			if nodes >= 0 {
 				elapsed := time.Since(start).Seconds()
 				run.Samples = append(run.Samples, Sample{
 					Gate:       i + 1,
-					Nodes:      s.State.NodeCount(),
+					Nodes:      nodes,
 					CumSeconds: elapsed,
 					MaxBits:    mAlg.MaxWeightBitLen(s.State),
 					Norm:       math.Sqrt(mAlg.Norm2(s.State)),
 				})
 				algStates = append(algStates, s.State)
 			}
-			return true
+			return !stop
 		})
-		if err != nil {
-			return nil, fmt.Errorf("bench: algebraic run: %w", err)
-		}
 		run.Total = time.Since(start)
 		run.Stats = mAlg.Stats()
+		cancelled, ferr := noteRunError(run, err)
+		if ferr != nil {
+			return nil, fmt.Errorf("bench: algebraic run: %w", ferr)
+		}
 		res.Runs = append(res.Runs, run)
+		if cancelled {
+			return res, ctx.Err()
+		}
 	}
 
 	for _, eps := range cfg.EpsList {
-		run, err := executeNumeric(c, eps, cfg, mAlg, algStates)
+		run, cancelled, err := executeNumeric(ctx, c, eps, cfg, mAlg, algStates)
 		if err != nil {
 			return nil, err
 		}
 		res.Runs = append(res.Runs, run)
+		if cancelled {
+			return res, ctx.Err()
+		}
 	}
 	return res, nil
 }
 
+// newGovernedSim builds a simulator with the config's budget installed; when
+// the budget caps live nodes, auto-pruning at half the cap keeps stale
+// intermediates from tripping it before the live working set does.
+func newGovernedSim[T any](m *core.Manager[T], n int, cfg Config) *sim.Simulator[T] {
+	s := sim.New(m, n)
+	if !cfg.Budget.IsZero() {
+		m.SetBudget(cfg.Budget)
+		if cfg.Budget.MaxNodes > 1 {
+			s.EnableAutoPrune(cfg.Budget.MaxNodes / 2)
+		}
+	}
+	return s
+}
+
+// trackGate implements the per-gate bookkeeping shared by both run kinds:
+// exact peak tracking (when requested), the peak cap, and the stride test.
+// It returns the node count to sample (−1 when this gate is not a sample
+// point) and whether the run must stop.
+func trackGate[T any](run *Run, state core.Edge[T], i int, c *circuit.Circuit, cfg Config) (nodes int, stop bool) {
+	nodes = -1
+	sampling := (i+1)%cfg.Stride == 0 || i == c.Len()-1
+	if cfg.TrackPeak || cfg.PeakCap > 0 || sampling {
+		nodes = state.NodeCount()
+		if nodes > run.PeakNodes {
+			run.PeakNodes = nodes
+		}
+		if cfg.PeakCap > 0 && nodes > cfg.PeakCap {
+			run.Failed = true
+			run.FailNote = fmt.Sprintf("node cap %d exceeded", cfg.PeakCap)
+			stop = true
+		}
+	}
+	if !sampling {
+		nodes = -1
+	}
+	return nodes, stop
+}
+
+// noteRunError folds a run error into the Run record: governor outcomes
+// (budget exceeded, cancellation) mark the run Failed and keep its partial
+// samples; hook stops are normal; anything else is a real error.
+func noteRunError(run *Run, err error) (cancelled bool, fatal error) {
+	switch {
+	case err == nil:
+		return false, nil
+	case errors.Is(err, sim.ErrStopped):
+		return false, nil // PeakCap stop; run already annotated
+	case errors.Is(err, core.ErrBudgetExceeded):
+		run.Failed = true
+		run.FailNote = err.Error()
+		return false, nil
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		run.Failed = true
+		run.FailNote = "cancelled: " + err.Error()
+		return true, nil
+	default:
+		return false, err
+	}
+}
+
 func executeNumeric(
-	c *circuit.Circuit, eps float64, cfg Config,
+	ctx context.Context, c *circuit.Circuit, eps float64, cfg Config,
 	mAlg *core.Manager[alg.Q], algStates []core.Edge[alg.Q],
-) (*Run, error) {
+) (*Run, bool, error) {
 	// Numerical runs default to the max-magnitude normalization rule [29]:
 	// keeping every edge weight at magnitude ≤ 1 is the numerically
 	// stabilized state-of-the-art configuration the paper evaluates against.
@@ -141,15 +240,16 @@ func executeNumeric(
 		run.Label = "eps=0"
 	}
 	m := core.NewManager[complex128](num.NewRing(eps), norm)
-	s := sim.New(m, c.N)
+	s := newGovernedSim(m, c.N, cfg)
 	start := time.Now()
 	sampleIdx := 0
-	err := s.Run(c, func(i int, g circuit.Gate) bool {
-		if (i+1)%cfg.Stride == 0 || i == c.Len()-1 {
+	err := s.RunCtx(ctx, c, func(i int, g circuit.Gate) bool {
+		nodes, stop := trackGate(run, s.State, i, c, cfg)
+		if nodes >= 0 {
 			elapsed := time.Since(start).Seconds()
 			sample := Sample{
 				Gate:       i + 1,
-				Nodes:      s.State.NodeCount(),
+				Nodes:      nodes,
 				CumSeconds: elapsed,
 				Norm:       math.Sqrt(m.Norm2(s.State)),
 			}
@@ -168,18 +268,14 @@ func executeNumeric(
 				run.Failed = true
 				run.FailNote = fmt.Sprintf("state norm diverged to %.3g", sample.Norm)
 			}
-			if cfg.NodeCap > 0 && sample.Nodes > cfg.NodeCap {
-				run.Failed = true
-				run.FailNote = fmt.Sprintf("node cap %d exceeded", cfg.NodeCap)
-				return false
-			}
 		}
-		return true
+		return !stop
 	})
-	if err != nil && err != sim.ErrStopped {
-		return nil, fmt.Errorf("bench: numeric run ε=%g: %w", eps, err)
-	}
 	run.Total = time.Since(start)
 	run.Stats = m.Stats()
-	return run, nil
+	cancelled, ferr := noteRunError(run, err)
+	if ferr != nil {
+		return nil, false, fmt.Errorf("bench: numeric run ε=%g: %w", eps, ferr)
+	}
+	return run, cancelled, nil
 }

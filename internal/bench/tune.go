@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -23,7 +25,10 @@ import (
 
 // TuneTrial is the outcome of one candidate tolerance.
 type TuneTrial struct {
-	Eps       float64
+	Eps float64
+	// PeakNodes is the exact per-gate peak state size of the trial run (not
+	// the old strided-sample maximum, which could miss an over-budget peak
+	// between samples and wrongly accept the tolerance).
 	PeakNodes int
 	Error     float64
 	Time      time.Duration
@@ -51,53 +56,72 @@ type TuneResult struct {
 // to small) for the largest ε whose run keeps the peak diagram size within
 // maxNodes and the final state error within maxError.
 func Tune(c *circuit.Circuit, candidates []float64, maxNodes int, maxError float64) (*TuneResult, error) {
+	return TuneCtx(context.Background(), c, candidates, maxNodes, maxError)
+}
+
+// TuneCtx is Tune under a context. On cancellation the trials completed so
+// far are returned alongside the context error, so a caller can still
+// report the partial search.
+func TuneCtx(ctx context.Context, c *circuit.Circuit, candidates []float64, maxNodes int, maxError float64) (*TuneResult, error) {
 	start := time.Now()
 	res := &TuneResult{Best: math.NaN()}
+	defer func() { res.TotalTuningTime = time.Since(start) }()
 
-	// Exact reference run.
+	// Exact reference run, tracking the exact per-gate peak.
 	mAlg := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
 	sa := sim.New(mAlg, c.N)
 	algStart := time.Now()
 	peakAlg := 0
-	err := sa.Run(c, func(i int, g circuit.Gate) bool {
+	err := sa.RunCtx(ctx, c, func(i int, g circuit.Gate) bool {
 		if n := sa.State.NodeCount(); n > peakAlg {
 			peakAlg = n
 		}
 		return true
 	})
-	if err != nil {
-		return nil, fmt.Errorf("bench: tuning reference run: %w", err)
-	}
 	res.AlgebraicTime = time.Since(algStart)
 	res.AlgebraicNodes = peakAlg
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return res, ctx.Err()
+		}
+		return nil, fmt.Errorf("bench: tuning reference run: %w", err)
+	}
 
 	for _, eps := range candidates {
-		r, err := Execute(fmt.Sprintf("tune-%g", eps), Config{
+		r, err := ExecuteCtx(ctx, fmt.Sprintf("tune-%g", eps), Config{
 			Circuit:      c,
 			EpsList:      []float64{eps},
 			Algebraic:    true, // reference for the error metric
 			Stride:       maxInt(1, c.Len()/16),
 			MeasureError: true,
-			NodeCap:      maxNodes * 4, // abort hopeless runs early
+			TrackPeak:    true,         // exact peaks: a between-samples spike must count
+			PeakCap:      maxNodes * 4, // abort hopeless runs early
 		})
-		if err != nil {
+		cancelled := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+		if err != nil && !cancelled {
 			return nil, err
 		}
-		run := r.Runs[len(r.Runs)-1] // the numeric run
-		trial := TuneTrial{Eps: eps, Time: run.Total, Failed: run.Failed, FailNote: run.FailNote}
-		for _, s := range run.Samples {
-			if s.Nodes > trial.PeakNodes {
-				trial.PeakNodes = s.Nodes
+		if len(r.Runs) > 0 {
+			run := r.Runs[len(r.Runs)-1] // the numeric run (or partial reference)
+			if run.Eps >= 0 {            // only record actual numeric trials
+				trial := TuneTrial{
+					Eps: eps, PeakNodes: run.PeakNodes, Time: run.Total,
+					Failed: run.Failed, FailNote: run.FailNote,
+				}
+				for _, s := range run.Samples {
+					trial.Error = s.Error
+				}
+				trial.Accepted = !trial.Failed && trial.PeakNodes <= maxNodes && trial.Error <= maxError
+				res.Trials = append(res.Trials, trial)
+				if trial.Accepted && (math.IsNaN(res.Best) || eps > res.Best) {
+					res.Best = eps
+				}
 			}
-			trial.Error = s.Error
 		}
-		trial.Accepted = !trial.Failed && trial.PeakNodes <= maxNodes && trial.Error <= maxError
-		res.Trials = append(res.Trials, trial)
-		if trial.Accepted && (math.IsNaN(res.Best) || eps > res.Best) {
-			res.Best = eps
+		if cancelled {
+			return res, ctx.Err()
 		}
 	}
-	res.TotalTuningTime = time.Since(start)
 	return res, nil
 }
 

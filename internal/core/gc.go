@@ -36,6 +36,12 @@ func (m *Manager[T]) Prune(roots ...Edge[T]) int {
 	}
 	removed := m.ut.used - len(live)
 
+	// Suspend the budget while rebuilding: the survivor re-interning below
+	// only ever shrinks the tables, and a governor panic mid-rebuild would
+	// leave the manager half-rebuilt.
+	defer func(b Budget) { m.budget = b }(m.budget)
+	m.budget = Budget{}
+
 	// Rebuild the intern table from the survivors: dead WIDs are released and
 	// WID 0 stays pinned to zero. Every live node is re-interned (its weights
 	// collapse onto the new canonical representatives), rehashed, and

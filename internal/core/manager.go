@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/coeff"
 )
@@ -89,6 +91,15 @@ type Manager[T any] struct {
 	ct     *computeTable[T]
 	nextID uint64
 	stats  Stats
+
+	// Run governor (budget.go): optional resource budget, optional
+	// cooperative-cancellation context, and always-on peak tracking.
+	budget      Budget
+	ctx         context.Context
+	budgetStart time.Time
+	budgetTick  uint64
+	peakNodes   int
+	peakWeights int
 }
 
 // Option configures a Manager at construction time.
@@ -120,9 +131,10 @@ func NewManager[T any](r coeff.Ring[T], norm NormScheme, opts ...Option) *Manage
 		opt(&o)
 	}
 	m := &Manager[T]{
-		R:    r,
-		Norm: norm,
-		ct:   newComputeTable[T](o.ctSize),
+		R:           r,
+		Norm:        norm,
+		ct:          newComputeTable[T](o.ctSize),
+		budgetStart: time.Now(),
 	}
 	if h, ok := any(r).(coeff.Hasher[T]); ok {
 		m.hashW = h.Hash
@@ -153,7 +165,9 @@ func (m *Manager[T]) internWeight(w T) uint32 {
 		}
 		i = (i + 1) & t.mask
 	}
-	return t.add(w, h, i)
+	wid := t.add(w, h, i)
+	m.noteWeight()
+	return wid
 }
 
 // Weight returns the canonical representative interned under the given
@@ -268,6 +282,7 @@ func (m *Manager[T]) internNode(level int, es []Edge[T]) *Node[T] {
 	m.nextID++
 	n := &Node[T]{ID: m.nextID, Level: level, E: kids, wids: wids, hash: h}
 	m.ut.insert(n)
+	m.noteNode()
 	return n
 }
 

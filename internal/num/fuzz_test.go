@@ -1,0 +1,53 @@
+package num
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzTableLookup drives the ε-interning table with arbitrary values and
+// tolerances. Invariants checked on every finite input with a positive
+// finite tolerance:
+//
+//  1. no panic (also checked, trivially, for degenerate tolerances);
+//  2. the canonical representative is within Tol of the input, or is the
+//     input itself (fresh insertion);
+//  3. idempotence — a representative is a fixed point of Lookup;
+//  4. determinism — looking the same value up again yields the same
+//     representative.
+//
+// The checked-in corpus (testdata/fuzz/FuzzTableLookup) seeds the paper's
+// interesting cases: cell-boundary values, near-seed values, the ε = 0
+// exact mode and denormal-scale tolerances.
+func FuzzTableLookup(f *testing.F) {
+	f.Add(0.206, 0.0, 1e-2)                      // between two representatives' cells
+	f.Add(1/math.Sqrt2+2e-4, 0.0, 1e-3)          // collapses onto a seed
+	f.Add(0.123456, -0.654321, 0.0)              // exact mode: inert
+	f.Add(3e-8-2.5e-9, 0.0, 1e-8)                // straddles a cell boundary
+	f.Add(-1.0, 1.0, 1e-15)                      // seed corner
+	f.Add(math.MaxFloat64, -math.MaxFloat64, 1.) // quantize fold region
+	f.Add(5e-324, 5e-324, 5e-324)                // denormal everything
+	f.Fuzz(func(t *testing.T, re, im, tol float64) {
+		tb := NewTable(tol)
+		v := complex(re, im)
+		r := tb.Lookup(v) // invariant 1: must not panic, whatever the input
+		if math.IsNaN(re) || math.IsNaN(im) || math.IsInf(re, 0) || math.IsInf(im, 0) {
+			return
+		}
+		if tol <= 0 || math.IsNaN(tol) || math.IsInf(tol, 0) {
+			if !math.IsNaN(tol) && tol <= 0 && r != v {
+				t.Fatalf("exact mode changed the value: Lookup(%v) = %v", v, r)
+			}
+			return
+		}
+		if r != v && !Near(v, r, tol) {
+			t.Fatalf("representative out of tolerance: Lookup(%v) = %v (tol %g)", v, r, tol)
+		}
+		if rr := tb.Lookup(r); rr != r {
+			t.Fatalf("not idempotent: Lookup(%v) = %v, then Lookup(%v) = %v", v, r, r, rr)
+		}
+		if r2 := tb.Lookup(v); r2 != r {
+			t.Fatalf("not deterministic: Lookup(%v) = %v then %v", v, r, r2)
+		}
+	})
+}

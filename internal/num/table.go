@@ -66,9 +66,13 @@ func (t *Table) insert(v complex128) {
 	t.buckets[c] = append(t.buckets[c], v)
 }
 
-// Lookup returns the canonical representative for v: the first previously
-// interned value within Tol of v (component-wise), inserting v as a new
-// representative if none exists. With Tol = 0 it returns v unchanged.
+// Lookup returns the canonical representative for v: the *nearest*
+// previously interned value within Tol of v (component-wise admission,
+// squared-Euclidean tie-break), inserting v as a new representative if none
+// qualifies. Nearest-wins matters near cell boundaries: fixed scan order
+// used to keep the first in-tolerance candidate, which could canonicalize v
+// past a strictly closer — even pre-seeded exact — representative. An exact
+// match short-circuits the scan. With Tol = 0 it returns v unchanged.
 func (t *Table) Lookup(v complex128) complex128 {
 	if t.Tol <= 0 {
 		return v
@@ -76,14 +80,21 @@ func (t *Table) Lookup(v complex128) complex128 {
 	t.Lookups++
 	c := t.cellOf(v)
 	var best complex128
+	bestDist := math.Inf(1)
 	found := false
 	for dx := int64(-1); dx <= 1; dx++ {
 		for dy := int64(-1); dy <= 1; dy++ {
 			for _, w := range t.buckets[cell{c.x + dx, c.y + dy}] {
-				if Near(v, w, t.Tol) {
-					if !found {
-						best, found = w, true
-					}
+				if !Near(v, w, t.Tol) {
+					continue
+				}
+				if w == v { // exact representative: no closer candidate exists
+					t.Hits++
+					return w
+				}
+				dr, di := real(v)-real(w), imag(v)-imag(w)
+				if d := dr*dr + di*di; d < bestDist {
+					best, bestDist, found = w, d, true
 				}
 			}
 		}

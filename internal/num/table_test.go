@@ -2,7 +2,9 @@ package num
 
 import (
 	"math"
+	"math/rand"
 	"testing"
+	"testing/quick"
 )
 
 func TestTableExactModeIsInert(t *testing.T) {
@@ -48,6 +50,67 @@ func TestTableDistinctValuesStayDistinct(t *testing.T) {
 	b := tb.Lookup(complex(0.25+1e-3, 0))
 	if a == b {
 		t.Fatalf("values 1e-3 apart collapsed at ε = 1e-6")
+	}
+}
+
+// TestTableLookupNearestWins is the regression test for the fixed-scan-order
+// bug: with two representatives in tolerance of v, the scan used to keep the
+// *first* one it met (lower grid cell first), not the nearest. Here the
+// farther representative 0.199 lives in cell 19 and the nearer 0.211 in cell
+// 21; v = 0.206 (cell 20) must canonicalize to 0.211.
+func TestTableLookupNearestWins(t *testing.T) {
+	tol := 1e-2
+	tb := NewTable(tol)
+	far := complex(0.199, 0)  // cell 19 — scanned first
+	near := complex(0.211, 0) // cell 21 — strictly closer to v
+	if got := tb.Lookup(far); got != far {
+		t.Fatalf("far representative not inserted: %v", got)
+	}
+	if got := tb.Lookup(near); got != near {
+		t.Fatalf("near representative not inserted (collapsed to %v)", got)
+	}
+	v := complex(0.206, 0) // |v−far| = 0.007, |v−near| = 0.005, both ≤ tol
+	if got := tb.Lookup(v); got != near {
+		t.Fatalf("Lookup(%v) = %v, want nearest representative %v", v, got, near)
+	}
+}
+
+// TestTableLookupExactRepShortCircuits: a value that *is* a representative
+// must map to itself and be accounted as exactly one hit (the scan
+// short-circuits on an exact match instead of iterating on).
+func TestTableLookupExactRepShortCircuits(t *testing.T) {
+	tol := 1e-2
+	tb := NewTable(tol)
+	s := complex(1/math.Sqrt2, 0) // pre-seeded exact representative
+	hits := tb.Hits
+	if got := tb.Lookup(s); got != s {
+		t.Fatalf("Lookup of the exact seed returned %v, want %v", got, s)
+	}
+	if tb.Hits != hits+1 {
+		t.Fatalf("exact lookup not accounted as a hit")
+	}
+	// A nearby value in a *different* cell still canonicalizes onto the
+	// seed, exercising the cross-cell path of the nearest-wins scan.
+	if got := tb.Lookup(s + complex(0.009, 0)); got != s {
+		t.Fatalf("near-seed value interned to %v, want the seed %v", got, s)
+	}
+}
+
+// TestTableLookupIdempotent: Lookup(Lookup(v)) == Lookup(v) over random
+// values and tolerances — every canonical representative is a fixed point.
+func TestTableLookupIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tol := range []float64{1e-12, 1e-8, 1e-4, 1e-2} {
+		tb := NewTable(tol)
+		f := func(a, b int16) bool {
+			// Cluster values tightly enough that tolerances actually bind.
+			v := complex(float64(a)*tol/3, float64(b)*tol/3)
+			r := tb.Lookup(v)
+			return tb.Lookup(r) == r && tb.Lookup(v) == r
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rng}); err != nil {
+			t.Fatalf("tol %g: %v", tol, err)
+		}
 	}
 }
 

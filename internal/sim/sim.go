@@ -6,6 +6,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -28,10 +30,23 @@ type Simulator[T any] struct {
 // EnableAutoPrune garbage-collects the manager whenever its unique table
 // exceeds highWater nodes after a gate application, keeping the current
 // state and all cached gate diagrams alive. Pass 0 to disable (the default).
+// When a prune reclaims less than 10% of the table — the live working set
+// itself has outgrown the watermark — the watermark is raised to twice the
+// live size, so a saturated table costs one cheap comparison per gate
+// instead of a full O(live) sweep (see the thrash-guard test).
 func (s *Simulator[T]) EnableAutoPrune(highWater int) { s.pruneHighWater = highWater }
 
-// New returns a simulator initialized to |0…0⟩.
+// ctxCheckEvery is the gate-application period of the cooperative
+// context poll in RunCtx.
+const ctxCheckEvery = 8
+
+// New returns a simulator initialized to |0…0⟩. The n+1-node basis state is
+// built with the budget suspended: under a budget too small for any state the
+// refusal belongs to the first gate application, where it surfaces as an
+// error, not as a constructor panic.
 func New[T any](m *core.Manager[T], n int) *Simulator[T] {
+	defer m.SetBudget(m.Budget())
+	m.SetBudget(core.Budget{})
 	return &Simulator[T]{
 		M:         m,
 		N:         n,
@@ -40,8 +55,12 @@ func New[T any](m *core.Manager[T], n int) *Simulator[T] {
 	}
 }
 
-// Reset returns the state to |0…0⟩.
-func (s *Simulator[T]) Reset() { s.State = s.M.BasisState(s.N, 0) }
+// Reset returns the state to |0…0⟩ (budget-exempt, as in New).
+func (s *Simulator[T]) Reset() {
+	defer s.M.SetBudget(s.M.Budget())
+	s.M.SetBudget(core.Budget{})
+	s.State = s.M.BasisState(s.N, 0)
+}
 
 // baseFor resolves the 2×2 base matrix of a gate in the manager's ring.
 func baseFor[T any](m *core.Manager[T], g circuit.Gate) ([2][2]T, error) {
@@ -107,20 +126,45 @@ func (s *Simulator[T]) GateDD(g circuit.Gate) (core.Edge[T], error) {
 	return dd, nil
 }
 
-// Apply evolves the state by one gate.
-func (s *Simulator[T]) Apply(g circuit.Gate) error {
+// Apply evolves the state by one gate. Panics from the diagram core —
+// budget violations, malformed circuits, non-invertible weights — are
+// converted to errors; on error the state is left at its pre-gate value.
+func (s *Simulator[T]) Apply(g circuit.Gate) (err error) {
+	defer core.RecoverTo(&err)
 	dd, err := s.GateDD(g)
 	if err != nil {
 		return err
 	}
+	prev := s.State
 	s.State = s.M.Mul(dd, s.State)
-	if s.pruneHighWater > 0 && s.M.Stats().UniqueNodes > s.pruneHighWater {
-		roots := make([]core.Edge[T], 0, len(s.gateCache)+1)
-		roots = append(roots, s.State)
-		for _, e := range s.gateCache {
-			roots = append(roots, e)
-		}
-		s.M.Prune(roots...)
+	if err := s.maybePrune(); err != nil {
+		s.State = prev
+		return err
+	}
+	return nil
+}
+
+// maybePrune runs the auto-prune policy with the thrash guard: when the
+// last prune reclaimed less than 10% of the table, the watermark is raised
+// to twice the surviving live size so near-useless full sweeps stop.
+func (s *Simulator[T]) maybePrune() (err error) {
+	defer core.RecoverTo(&err)
+	if s.pruneHighWater <= 0 {
+		return nil
+	}
+	before := s.M.Stats().UniqueNodes
+	if before <= s.pruneHighWater {
+		return nil
+	}
+	roots := make([]core.Edge[T], 0, len(s.gateCache)+1)
+	roots = append(roots, s.State)
+	for _, e := range s.gateCache {
+		roots = append(roots, e)
+	}
+	removed := s.M.Prune(roots...)
+	if removed*10 < before {
+		live := before - removed
+		s.pruneHighWater = 2 * live
 	}
 	return nil
 }
@@ -129,11 +173,53 @@ func (s *Simulator[T]) Apply(g circuit.Gate) error {
 // The hook receives the 0-based index of the gate just applied; returning
 // false stops the run early (Run then returns ErrStopped).
 func (s *Simulator[T]) Run(c *circuit.Circuit, hook func(i int, g circuit.Gate) bool) error {
+	return s.RunCtx(context.Background(), c, hook)
+}
+
+// RunCtx is Run under a context: cancellation is polled cooperatively every
+// few gate applications — and, via the manager, inside long-running
+// individual operations — so both a slow gate stream and one giant Mul are
+// interruptible. On cancellation the context error is returned and the
+// state remains at the last completed gate, so partial statistics stay
+// readable. Deadlines carried by ctx are installed into the manager budget
+// for the duration of the run.
+func (s *Simulator[T]) RunCtx(ctx context.Context, c *circuit.Circuit, hook func(i int, g circuit.Gate) bool) error {
 	if c.N != s.N {
 		return fmt.Errorf("sim: circuit has %d qubits, simulator has %d", c.N, s.N)
 	}
+	ctxOwnsDeadline := false
+	if ctx != context.Background() {
+		s.M.SetContext(ctx)
+		defer s.M.SetContext(nil)
+		if dl, ok := ctx.Deadline(); ok {
+			b := s.M.Budget()
+			if b.Deadline.IsZero() || dl.Before(b.Deadline) {
+				defer s.M.SetBudget(s.M.Budget())
+				b.Deadline = dl
+				s.M.SetBudget(b)
+				ctxOwnsDeadline = true
+			}
+		}
+	}
 	for i, g := range c.Gates {
+		if i%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("sim: cancelled before gate %d: %w", i, err)
+			}
+		}
 		if err := s.Apply(g); err != nil {
+			// A deadline carried by ctx trips inside the manager as a budget
+			// error; report it as the cancellation it is, so callers see one
+			// error shape for "the context ended this run". The explicit
+			// ctxOwnsDeadline test covers the instants where the budget clock
+			// has passed the deadline but ctx's timer has not yet fired.
+			if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, core.ErrBudgetExceeded) {
+				return fmt.Errorf("sim: cancelled at gate %d: %w", i, ctxErr)
+			}
+			var be *core.BudgetError
+			if ctxOwnsDeadline && errors.As(err, &be) && be.Limit == "deadline" {
+				return fmt.Errorf("sim: cancelled at gate %d: %w", i, context.DeadlineExceeded)
+			}
 			return fmt.Errorf("sim: gate %d (%s): %w", i, g, err)
 		}
 		if hook != nil && !hook(i, g) {
@@ -148,10 +234,12 @@ func (s *Simulator[T]) Run(c *circuit.Circuit, hook func(i int, g circuit.Gate) 
 var ErrStopped = fmt.Errorf("sim: stopped by hook")
 
 // BuildUnitary computes the full circuit unitary by matrix-matrix
-// multiplication (gates applied in order, i.e. U = G_k ··· G_1).
-func BuildUnitary[T any](m *core.Manager[T], c *circuit.Circuit) (core.Edge[T], error) {
+// multiplication (gates applied in order, i.e. U = G_k ··· G_1). Core
+// panics (budget violations, malformed circuits) surface as errors.
+func BuildUnitary[T any](m *core.Manager[T], c *circuit.Circuit) (u core.Edge[T], err error) {
+	defer core.RecoverTo(&err)
 	s := New(m, c.N)
-	u := m.Identity(c.N)
+	u = m.Identity(c.N)
 	for i, g := range c.Gates {
 		dd, err := s.GateDD(g)
 		if err != nil {
@@ -165,7 +253,8 @@ func BuildUnitary[T any](m *core.Manager[T], c *circuit.Circuit) (core.Edge[T], 
 // Equivalent checks two circuits for exact functional equivalence by
 // building both unitaries and comparing root edges — the O(1) comparison the
 // paper highlights as a payoff of canonical exact diagrams.
-func Equivalent[T any](m *core.Manager[T], a, b *circuit.Circuit) (bool, error) {
+func Equivalent[T any](m *core.Manager[T], a, b *circuit.Circuit) (eq bool, err error) {
+	defer core.RecoverTo(&err)
 	if a.N != b.N {
 		return false, nil
 	}
@@ -183,7 +272,8 @@ func Equivalent[T any](m *core.Manager[T], a, b *circuit.Circuit) (bool, error) 
 // EquivalentUpToPhase is Equivalent modulo a global phase — the relation
 // that matters physically (e.g. a circuit compiled via Rz-based phase gates
 // differs from its P-gate original by exactly a global phase).
-func EquivalentUpToPhase[T any](m *core.Manager[T], a, b *circuit.Circuit) (bool, error) {
+func EquivalentUpToPhase[T any](m *core.Manager[T], a, b *circuit.Circuit) (eq bool, err error) {
+	defer core.RecoverTo(&err)
 	if a.N != b.N {
 		return false, nil
 	}
