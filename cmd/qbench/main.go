@@ -47,6 +47,7 @@ func main() {
 		epsFlag   = flag.String("eps", "", "comma-separated ε list (default: paper sweep)")
 		width     = flag.Int("width", 60, "ASCII chart width")
 		numNorm   = flag.String("numnorm", "max", "numeric normalization: max (stabilized [29]) or left (classic)")
+		parallel  = flag.Int("parallel", 0, "worker pool for the sweep cells, each on a private manager (0 = GOMAXPROCS, 1 = sequential); output is identical for every setting")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
@@ -98,6 +99,7 @@ func main() {
 		p.Budget.Deadline = time.Now().Add(*timeout)
 	}
 	p.NumNormLeft = numNormLeft
+	p.Parallel = *parallel
 	if *epsFlag != "" {
 		var eps []float64
 		for _, part := range strings.Split(*epsFlag, ",") {
@@ -177,7 +179,7 @@ func runOne(ctx context.Context, fig string, p bench.FigureParams, outDir string
 		err error
 	)
 	if fig == "norms" {
-		res, err = bench.NormSchemeComparisonCtx(ctx, bench.BWTCircuit(p), p.Stride)
+		res, err = bench.NormSchemeComparisonCtx(ctx, bench.BWTCircuit(p), p.Stride, p.Parallel)
 	} else {
 		res, err = bench.FigureCtx(ctx, fig, p)
 	}
@@ -188,6 +190,11 @@ func runOne(ctx context.Context, fig string, p bench.FigureParams, outDir string
 		return err
 	}
 	cancelErr := err
+	// Per-worker pool stats go to stderr: stdout (summaries, series, CSV)
+	// must stay byte-identical across -parallel settings.
+	if len(res.Workers) > 0 {
+		fmt.Fprint(os.Stderr, bench.WorkerReport(res.Workers))
+	}
 	fmt.Println(bench.Summary(res))
 	fmt.Println(bench.StatsSummary(res))
 	fmt.Println(bench.Series(res, "nodes", width))

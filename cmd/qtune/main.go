@@ -36,6 +36,7 @@ func main() {
 		maxErr    = flag.Float64("maxerror", 1e-10, "final-state error budget")
 		epsFlag   = flag.String("eps", "1e-3,1e-5,1e-10,1e-13,1e-15", "candidate tolerances, largest first")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole tuning session (0 = none); partial trials are reported on expiry")
+		parallel  = flag.Int("parallel", 0, "worker pool for the candidate trials, each on private managers (0 = GOMAXPROCS, 1 = sequential); the trial table is identical for every setting")
 	)
 	flag.Parse()
 	if *maxNodes == 0 {
@@ -83,8 +84,23 @@ func main() {
 	if budget == 0 {
 		budget = -1 // resolved after the reference run below
 	}
+	tune := func(maxNodes int) (*bench.TuneResult, error) {
+		res, err := bench.TuneWith(ctx, c, bench.TuneParams{
+			Candidates: candidates,
+			MaxNodes:   maxNodes,
+			MaxError:   *maxErr,
+			Parallel:   *parallel,
+		})
+		// Per-worker pool stats go to stderr so the trial report on stdout
+		// stays byte-identical across -parallel settings.
+		if res != nil && len(res.Workers) > 0 {
+			fmt.Fprint(os.Stderr, bench.WorkerReport(res.Workers))
+		}
+		return res, err
+	}
+
 	// First pass with a provisional huge budget to learn the exact size.
-	res, err := bench.TuneCtx(ctx, c, candidates, chooseBudget(budget), *maxErr)
+	res, err := tune(chooseBudget(budget))
 	if stopped(err) {
 		fmt.Printf("qtune: tuning stopped early (%v); partial trials below\n", err)
 		fmt.Print(res.Report())
@@ -96,7 +112,7 @@ func main() {
 	}
 	if budget == -1 {
 		// Re-evaluate acceptance against 4× the exact size.
-		res, err = bench.TuneCtx(ctx, c, candidates, 4*res.AlgebraicNodes, *maxErr)
+		res, err = tune(4 * res.AlgebraicNodes)
 		if stopped(err) {
 			fmt.Printf("qtune: tuning stopped early (%v); partial trials below\n", err)
 			fmt.Print(res.Report())

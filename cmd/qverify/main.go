@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/alg"
@@ -37,6 +39,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
 		maxNodes = flag.Int("max-nodes", 0, "budget: max live QMDD nodes (0 = unlimited)")
 		maxMem   = flag.Int64("max-mem", 0, "budget: approximate max bytes of nodes+weights (0 = unlimited)")
+		parallel = flag.Int("parallel", 1, "build the two unitaries concurrently on private share-nothing managers (2 or 0 = auto; 1 = one shared manager). With -repr num and ε > 0 the shared- and split-table interning can legitimately differ within the tolerance")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -63,17 +66,35 @@ func main() {
 	if *timeout > 0 {
 		budget.Deadline = time.Now().Add(*timeout)
 	}
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	var eq bool
 	start := time.Now()
 	switch *repr {
 	case "alg":
-		m := core.NewManager[alg.Q](alg.Ring{}, norm)
-		m.SetBudget(budget)
-		eq, err = check(m, a, b, *phase)
+		mk := func() *core.Manager[alg.Q] {
+			m := core.NewManager[alg.Q](alg.Ring{}, norm)
+			m.SetBudget(budget)
+			return m
+		}
+		if workers >= 2 {
+			eq, err = checkParallel(mk, a, b, *phase)
+		} else {
+			eq, err = check(mk(), a, b, *phase)
+		}
 	case "num":
-		m := core.NewManager[complex128](num.NewRing(*eps), norm)
-		m.SetBudget(budget)
-		eq, err = check(m, a, b, *phase)
+		mk := func() *core.Manager[complex128] {
+			m := core.NewManager[complex128](num.NewRing(*eps), norm)
+			m.SetBudget(budget)
+			return m
+		}
+		if workers >= 2 {
+			eq, err = checkParallel(mk, a, b, *phase)
+		} else {
+			eq, err = check(mk(), a, b, *phase)
+		}
 	default:
 		err = fmt.Errorf("unknown representation %q", *repr)
 	}
@@ -111,6 +132,47 @@ func check[T any](m *core.Manager[T], a, b *circuit.Circuit, phase bool) (bool, 
 		return sim.EquivalentUpToPhase(m, a, b)
 	}
 	return sim.Equivalent(m, a, b)
+}
+
+// checkParallel builds the two circuit unitaries concurrently, each in a
+// private share-nothing manager, and compares them structurally across the
+// managers (core.CrossEqual) — the two-worker special case of the bench
+// pool layout. Per-side wall time and peak nodes go to stderr so stdout
+// stays identical to the sequential path.
+func checkParallel[T any](newM func() *core.Manager[T], a, b *circuit.Circuit, phase bool) (bool, error) {
+	type side struct {
+		m    *core.Manager[T]
+		u    core.Edge[T]
+		err  error
+		took time.Duration
+		peak int
+	}
+	circs := [2]*circuit.Circuit{a, b}
+	var sides [2]side
+	var wg sync.WaitGroup
+	for i := range circs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start := time.Now()
+			m := newM() // constructed in-worker: nothing shared, not even creation order
+			u, err := sim.BuildUnitary(m, circs[i])
+			sides[i] = side{m: m, u: u, err: err, took: time.Since(start), peak: m.Peak().Nodes}
+		}(i)
+	}
+	wg.Wait()
+	for i := range sides {
+		if sides[i].err != nil {
+			return false, sides[i].err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "pool: 2 workers; side A %v (peak %d nodes), side B %v (peak %d nodes)\n",
+		sides[0].took.Round(time.Millisecond), sides[0].peak,
+		sides[1].took.Round(time.Millisecond), sides[1].peak)
+	if phase {
+		return core.CrossEqualUpToPhase(sides[0].m, sides[0].u, sides[1].m, sides[1].u), nil
+	}
+	return core.CrossEqual(sides[0].m, sides[0].u, sides[1].m, sides[1].u), nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,133 @@
+package repro
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/alg"
+	"repro/internal/core"
+	"repro/internal/num"
+	"repro/internal/sim"
+)
+
+// The concurrent differential stress test behind the share-nothing claim:
+// every worker owns a private manager (per-manager unique/compute/intern
+// tables), so K goroutines running the identical seeded Clifford+T circuit
+// must reproduce the sequential baseline exactly — same amplitudes, same
+// canonical node count, isomorphic root diagrams (core.CrossEqual) — under
+// every representation, with auto-pruning racing on half the workers, and
+// with no findings from the race detector (the CI race job runs this).
+
+// stressWorkers is the K of the stress test; -short halves it.
+func stressWorkers(t *testing.T) int {
+	if testing.Short() {
+		return 2
+	}
+	return 4
+}
+
+// stressRepr runs one representation: a sequential baseline, then K
+// concurrent private-manager replicas that must match it exactly.
+func stressRepr[T any](
+	t *testing.T, name string,
+	newM func() *core.Manager[T],
+	sameAmp func(a, b T) bool,
+) {
+	t.Run(name, func(t *testing.T) {
+		t.Parallel() // representations stress each other's package-level state
+		const n, gateCount = 5, 160
+		c := randomCliffordT(rand.New(rand.NewSource(2026)), n, gateCount)
+
+		mBase := newM()
+		vBase := runCircuit(t, mBase, c)
+		ampBase := mBase.ToVector(vBase, n)
+		nodesBase := vBase.NodeCount()
+
+		workers := stressWorkers(t)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				m := newM() // constructed in-worker: nothing shared
+				s := sim.New(m, n)
+				if w%2 == 1 {
+					// Odd workers prune aggressively mid-run: reclamation must
+					// never change canonical results, concurrently or not.
+					s.EnableAutoPrune(32)
+				}
+				if err := s.Run(c, nil); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if got := s.State.NodeCount(); got != nodesBase {
+					t.Errorf("worker %d: node count %d, baseline %d", w, got, nodesBase)
+				}
+				amp := m.ToVector(s.State, n)
+				for i := range ampBase {
+					if !sameAmp(amp[i], ampBase[i]) {
+						t.Errorf("worker %d amp %d: %v vs baseline %v", w, i, amp[i], ampBase[i])
+						return
+					}
+				}
+				if !core.CrossEqual(mBase, vBase, m, s.State) {
+					t.Errorf("worker %d: root edge disagrees with baseline (CrossEqual)", w)
+				}
+			}(w)
+		}
+		wg.Wait()
+	})
+}
+
+func TestConcurrentDifferentialStress(t *testing.T) {
+	algEq := func(a, b alg.Q) bool { return a.Equal(b) }
+	numEq := func(a, b complex128) bool { return a == b } // identical op sequence ⇒ bitwise equal
+	stressRepr(t, "alg-left", func() *core.Manager[alg.Q] {
+		return core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
+	}, algEq)
+	stressRepr(t, "alg-gcd", func() *core.Manager[alg.Q] {
+		return core.NewManager[alg.Q](alg.Ring{}, core.NormGCD)
+	}, algEq)
+	stressRepr(t, "num-exact", func() *core.Manager[complex128] {
+		return core.NewManager[complex128](num.NewRing(0), core.NormMax)
+	}, numEq)
+	stressRepr(t, "num-1e-10", func() *core.Manager[complex128] {
+		return core.NewManager[complex128](num.NewRing(1e-10), core.NormMax)
+	}, numEq)
+}
+
+// TestConcurrentAmplitudeExport races the one shared piece of alg state —
+// the √2-per-precision cache behind amplitude export — from many goroutines
+// with fresh managers, asserting every export agrees with a sequential one.
+func TestConcurrentAmplitudeExport(t *testing.T) {
+	const n, gateCount = 4, 60
+	c := randomCliffordT(rand.New(rand.NewSource(7)), n, gateCount)
+	mBase := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
+	base := mBase.ToVector(runCircuit(t, mBase, c), n)
+	want := make([]complex128, len(base))
+	for i, q := range base {
+		want[i] = q.Complex128()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
+			s := sim.New(m, n)
+			if err := s.Run(c, nil); err != nil {
+				t.Error(err)
+				return
+			}
+			for i, q := range m.ToVector(s.State, n) {
+				if got := q.Complex128(); got != want[i] {
+					t.Errorf("amp %d: %v vs %v", i, got, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

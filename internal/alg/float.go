@@ -11,15 +11,21 @@ import (
 // accuracy metric ‖v_num − v_alg‖₂ (in big.Float so the comparison itself
 // does not drown in float64 noise), and when sampling measurement outcomes.
 
-var sqrt2Cache sync.Map // prec uint -> *big.Float
+// sqrt2Cache is the only mutable package-level state in alg, shared by
+// every manager/goroutine that exports amplitudes. It memoizes √2 per
+// precision as a *big.Float that is treated as strictly immutable once
+// published: all users read it via big.Float operations (Quo/Mul with a
+// fresh receiver) and never pass it as a receiver. LoadOrStore keeps the
+// published value canonical — two goroutines racing on a cold precision
+// both end up holding the same pointer, not two equal-but-distinct ones.
+var sqrt2Cache sync.Map // prec uint -> *big.Float (immutable after publish)
 
 func sqrt2At(prec uint) *big.Float {
 	if v, ok := sqrt2Cache.Load(prec); ok {
 		return v.(*big.Float)
 	}
-	s := sqrt2Float(prec)
-	sqrt2Cache.Store(prec, s)
-	return s
+	v, _ := sqrt2Cache.LoadOrStore(prec, sqrt2Float(prec))
+	return v.(*big.Float)
 }
 
 // Float returns the real and imaginary parts of z at the given precision.

@@ -35,6 +35,10 @@ type FigureParams struct {
 	// NumNormLeft switches the numerical runs to the classic leftmost
 	// normalization (see Config.NumNormLeft).
 	NumNormLeft bool
+	// Parallel bounds the worker pool fanning the sweep cells out to
+	// share-nothing managers (see Config.Parallel): 0 = GOMAXPROCS,
+	// 1 = sequential. Output is identical for every setting.
+	Parallel int
 }
 
 // DefaultParams returns CI-scale parameters.
@@ -99,6 +103,7 @@ func FigureCtx(ctx context.Context, fig string, p FigureParams) (*Result, error)
 			MeasureError: measureErr,
 			Budget:       p.Budget,
 			NumNormLeft:  p.NumNormLeft,
+			Parallel:     p.Parallel,
 		})
 	}
 	switch fig {
@@ -128,25 +133,36 @@ func FigureCtx(ctx context.Context, fig string, p FigureParams) (*Result, error)
 // the max-magnitude variant, reproducing the paper's Section V-B
 // observation that the GCD scheme never wins.
 func NormSchemeComparison(c *circuit.Circuit, stride int) (*Result, error) {
-	return NormSchemeComparisonCtx(context.Background(), c, stride)
+	return NormSchemeComparisonCtx(context.Background(), c, stride, 1)
 }
 
-// NormSchemeComparisonCtx is NormSchemeComparison under a context.
-func NormSchemeComparisonCtx(ctx context.Context, c *circuit.Circuit, stride int) (*Result, error) {
+// NormSchemeComparisonCtx is NormSchemeComparison under a context, with the
+// three scheme runs fanned out as an ExecuteBatch over share-nothing
+// managers (parallel: 0 = GOMAXPROCS, 1 = sequential). The merged runs are
+// always in scheme order — left, max, gcd — whatever the worker count.
+func NormSchemeComparisonCtx(ctx context.Context, c *circuit.Circuit, stride, parallel int) (*Result, error) {
+	schemes := []core.NormScheme{core.NormLeft, core.NormMax, core.NormGCD}
+	items := make([]BatchItem, len(schemes))
+	for i, norm := range schemes {
+		items[i] = BatchItem{
+			Name: fmt.Sprintf("norm-%s", norm),
+			Config: Config{
+				Circuit:   c,
+				Algebraic: true,
+				AlgNorm:   norm,
+				Stride:    stride,
+			},
+		}
+	}
+	results, stats, err := ExecuteBatch(ctx, items, parallel)
 	res := &Result{Name: "norm-schemes", N: c.N}
-	for _, norm := range []core.NormScheme{core.NormLeft, core.NormMax, core.NormGCD} {
-		r, err := ExecuteCtx(ctx, fmt.Sprintf("norm-%s", norm), Config{
-			Circuit:   c,
-			Algebraic: true,
-			AlgNorm:   norm,
-			Stride:    stride,
-		})
+	for _, r := range results {
 		if r != nil {
 			res.Runs = append(res.Runs, r.Runs...)
 		}
-		if err != nil {
-			return res, err
-		}
 	}
-	return res, nil
+	if len(stats) > 1 {
+		res.Workers = stats
+	}
+	return res, err
 }

@@ -92,6 +92,11 @@ type Config struct {
 	// this many nodes (implies per-gate tracking; 0 = no cap) — the
 	// "infeasible run time" regime of the paper.
 	PeakCap int
+	// Parallel bounds the worker pool that fans the ε cells out to
+	// share-nothing managers: 0 resolves to runtime.GOMAXPROCS(0), 1 runs
+	// sequentially. The merged Result is identical (modulo timing fields)
+	// for every setting — cells are merged by index, never by completion.
+	Parallel int
 }
 
 // Result bundles all runs of one experiment.
@@ -99,6 +104,10 @@ type Result struct {
 	Name string
 	N    int
 	Runs []*Run
+	// Workers holds the pool's per-worker utilization when the ε cells ran
+	// on more than one worker. Diagnostics only: not part of the CSV or
+	// figure output, which stays independent of the worker count.
+	Workers []WorkerStat
 }
 
 // Execute runs the experiment.
@@ -109,6 +118,13 @@ func Execute(name string, cfg Config) (*Result, error) {
 // ExecuteCtx runs the experiment under a context. On cancellation the
 // partially-measured Result is returned alongside the context error, so
 // callers can report whatever completed.
+//
+// The ε cells run on a share-nothing worker pool bounded by Config.Parallel
+// (each cell owns a private manager); results are merged in ε-list order,
+// so the Result — and any CSV/figure derived from it — is identical to a
+// sequential sweep up to the timing fields. The algebraic run always goes
+// first and alone: it produces the exact reference amplitudes every numeric
+// cell reads (immutably) for the error metric.
 func ExecuteCtx(ctx context.Context, name string, cfg Config) (*Result, error) {
 	if cfg.Stride < 1 {
 		cfg.Stride = 1
@@ -116,12 +132,13 @@ func ExecuteCtx(ctx context.Context, name string, cfg Config) (*Result, error) {
 	c := cfg.Circuit
 	res := &Result{Name: name, N: c.N}
 
-	// The algebraic run goes first: it provides the exact reference states.
-	var algStates []core.Edge[alg.Q] // state after each sampled prefix
-	var mAlg *core.Manager[alg.Q]
+	// The algebraic run goes first: it provides the exact reference states,
+	// expanded once to amplitude vectors so the numeric workers share only
+	// immutable data (a live *Manager[alg.Q] is not safe to share).
+	var algAmps [][]alg.Q // amplitudes after each sampled prefix
 	if cfg.Algebraic {
 		run := &Run{Label: "algebraic/" + cfg.AlgNorm.String(), Eps: -1, Norm: cfg.AlgNorm}
-		mAlg = core.NewManager[alg.Q](alg.Ring{}, cfg.AlgNorm)
+		mAlg := core.NewManager[alg.Q](alg.Ring{}, cfg.AlgNorm)
 		s := newGovernedSim(mAlg, c.N, cfg)
 		start := time.Now()
 		err := s.RunCtx(ctx, c, func(i int, g circuit.Gate) bool {
@@ -135,7 +152,9 @@ func ExecuteCtx(ctx context.Context, name string, cfg Config) (*Result, error) {
 					MaxBits:    mAlg.MaxWeightBitLen(s.State),
 					Norm:       math.Sqrt(mAlg.Norm2(s.State)),
 				})
-				algStates = append(algStates, s.State)
+				if cfg.MeasureError {
+					algAmps = append(algAmps, mAlg.ToVector(s.State, c.N))
+				}
 			}
 			return !stop
 		})
@@ -151,17 +170,69 @@ func ExecuteCtx(ctx context.Context, name string, cfg Config) (*Result, error) {
 		}
 	}
 
-	for _, eps := range cfg.EpsList {
-		run, cancelled, err := executeNumeric(ctx, c, eps, cfg, mAlg, algStates)
-		if err != nil {
-			return nil, err
+	runs := make([]*Run, len(cfg.EpsList))
+	pool := Pool{Workers: cfg.Parallel}
+	stats, err := pool.Run(ctx, len(cfg.EpsList), func(ctx context.Context, i int) (int, error) {
+		run, err := executeNumeric(ctx, c, cfg.EpsList[i], cfg, algAmps)
+		runs[i] = run // sole writer of this slot
+		if run != nil {
+			return run.PeakNodes, err
 		}
-		res.Runs = append(res.Runs, run)
-		if cancelled {
-			return res, ctx.Err()
+		return 0, err
+	})
+	// Merge in ε-list order, independent of completion order. Under
+	// cancellation, cells that never started leave nil slots.
+	for _, run := range runs {
+		if run != nil {
+			res.Runs = append(res.Runs, run)
 		}
 	}
+	if len(stats) > 1 {
+		res.Workers = stats
+	}
+	if err != nil {
+		if isCtxErr(err) {
+			return res, ctx.Err()
+		}
+		return nil, err
+	}
 	return res, nil
+}
+
+// BatchItem names one experiment of an ExecuteBatch run list.
+type BatchItem struct {
+	Name   string
+	Config Config
+}
+
+// ExecuteBatch fans an arbitrary list of experiments out to a share-nothing
+// worker pool — the batching entry point for run lists that are not a
+// single ε sweep (mixed circuits, mixed normalization schemes, service
+// queues). Each item runs as one pool cell with its own managers (the
+// item's internal ε cells stay sequential: the pool parallelizes across
+// items). Results come back indexed like items; under cancellation,
+// entries whose item never started are nil and the context error is
+// returned alongside the partial slice. A non-governor error aborts the
+// batch and reports the smallest-index failure.
+func ExecuteBatch(ctx context.Context, items []BatchItem, parallel int) ([]*Result, []WorkerStat, error) {
+	results := make([]*Result, len(items))
+	pool := Pool{Workers: parallel}
+	stats, err := pool.Run(ctx, len(items), func(ctx context.Context, i int) (int, error) {
+		cfg := items[i].Config
+		cfg.Parallel = 1 // one pool: no nested fan-out inside a cell
+		res, err := ExecuteCtx(ctx, items[i].Name, cfg)
+		results[i] = res // sole writer of this slot
+		peak := 0
+		if res != nil {
+			for _, run := range res.Runs {
+				if run.PeakNodes > peak {
+					peak = run.PeakNodes
+				}
+			}
+		}
+		return peak, err
+	})
+	return results, stats, err
 }
 
 // newGovernedSim builds a simulator with the config's budget installed; when
@@ -224,10 +295,15 @@ func noteRunError(run *Run, err error) (cancelled bool, fatal error) {
 	}
 }
 
+// executeNumeric runs one ε cell on a private manager. algAmps is read-only
+// shared data (the reference amplitudes from the algebraic run). The
+// returned error is nil for completed (possibly Failed) runs, the context
+// error for cancelled runs (whose partial Run is still returned), and a
+// genuine error otherwise.
 func executeNumeric(
 	ctx context.Context, c *circuit.Circuit, eps float64, cfg Config,
-	mAlg *core.Manager[alg.Q], algStates []core.Edge[alg.Q],
-) (*Run, bool, error) {
+	algAmps [][]alg.Q,
+) (*Run, error) {
 	// Numerical runs default to the max-magnitude normalization rule [29]:
 	// keeping every edge weight at magnitude ≤ 1 is the numerically
 	// stabilized state-of-the-art configuration the paper evaluates against.
@@ -253,8 +329,8 @@ func executeNumeric(
 				CumSeconds: elapsed,
 				Norm:       math.Sqrt(m.Norm2(s.State)),
 			}
-			if cfg.MeasureError && mAlg != nil && sampleIdx < len(algStates) {
-				sample.Error = accuracy.StateError(m, s.State, mAlg, algStates[sampleIdx], c.N)
+			if cfg.MeasureError && sampleIdx < len(algAmps) {
+				sample.Error = accuracy.VectorError(m.ToVector(s.State, c.N), algAmps[sampleIdx])
 			}
 			run.Samples = append(run.Samples, sample)
 			sampleIdx++
@@ -275,7 +351,10 @@ func executeNumeric(
 	run.Stats = m.Stats()
 	cancelled, ferr := noteRunError(run, err)
 	if ferr != nil {
-		return nil, false, fmt.Errorf("bench: numeric run ε=%g: %w", eps, ferr)
+		return nil, fmt.Errorf("bench: numeric run ε=%g: %w", eps, ferr)
 	}
-	return run, cancelled, nil
+	if cancelled {
+		return run, ctx.Err()
+	}
+	return run, nil
 }

@@ -50,6 +50,25 @@ type TuneResult struct {
 	// TotalTuningTime is the wall-clock cost of the whole search
 	// (reference + every trial).
 	TotalTuningTime time.Duration
+	// Workers holds the pool's per-worker utilization when the candidate
+	// trials ran on more than one worker (diagnostics only).
+	Workers []WorkerStat
+}
+
+// TuneParams parameterizes a tuning session.
+type TuneParams struct {
+	// Candidates are the tolerances to try, typically descending from large
+	// to small.
+	Candidates []float64
+	// MaxNodes is the peak-diagram-size acceptance budget.
+	MaxNodes int
+	// MaxError is the final-state error acceptance budget.
+	MaxError float64
+	// Parallel bounds the worker pool fanning the candidate trials out to
+	// share-nothing managers: 0 = GOMAXPROCS, 1 = sequential. The trial
+	// table, Best and everything except timing fields are identical for
+	// every setting.
+	Parallel int
 }
 
 // Tune searches the candidate tolerances (typically descending from large
@@ -59,13 +78,23 @@ func Tune(c *circuit.Circuit, candidates []float64, maxNodes int, maxError float
 	return TuneCtx(context.Background(), c, candidates, maxNodes, maxError)
 }
 
-// TuneCtx is Tune under a context. On cancellation the trials completed so
-// far are returned alongside the context error, so a caller can still
-// report the partial search.
+// TuneCtx is Tune under a context (sequential trials, for compatibility).
+// On cancellation the trials completed so far are returned alongside the
+// context error, so a caller can still report the partial search.
 func TuneCtx(ctx context.Context, c *circuit.Circuit, candidates []float64, maxNodes int, maxError float64) (*TuneResult, error) {
+	return TuneWith(ctx, c, TuneParams{Candidates: candidates, MaxNodes: maxNodes, MaxError: maxError, Parallel: 1})
+}
+
+// TuneWith is the pool-aware tuner: the exact reference run goes first
+// (it anchors the node budget), then every candidate trial runs as one
+// pool cell with private managers. Trials are merged in candidate order
+// and Best is chosen after the merge, so the session is deterministic for
+// any worker count.
+func TuneWith(ctx context.Context, c *circuit.Circuit, p TuneParams) (*TuneResult, error) {
 	start := time.Now()
 	res := &TuneResult{Best: math.NaN()}
 	defer func() { res.TotalTuningTime = time.Since(start) }()
+	candidates, maxNodes, maxError := p.Candidates, p.MaxNodes, p.MaxError
 
 	// Exact reference run, tracking the exact per-gate peak.
 	mAlg := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
@@ -87,7 +116,10 @@ func TuneCtx(ctx context.Context, c *circuit.Circuit, candidates []float64, maxN
 		return nil, fmt.Errorf("bench: tuning reference run: %w", err)
 	}
 
-	for _, eps := range candidates {
+	trials := make([]*TuneTrial, len(candidates))
+	pool := Pool{Workers: p.Parallel}
+	stats, perr := pool.Run(ctx, len(candidates), func(ctx context.Context, i int) (int, error) {
+		eps := candidates[i]
 		r, err := ExecuteCtx(ctx, fmt.Sprintf("tune-%g", eps), Config{
 			Circuit:      c,
 			EpsList:      []float64{eps},
@@ -96,15 +128,17 @@ func TuneCtx(ctx context.Context, c *circuit.Circuit, candidates []float64, maxN
 			MeasureError: true,
 			TrackPeak:    true,         // exact peaks: a between-samples spike must count
 			PeakCap:      maxNodes * 4, // abort hopeless runs early
+			Parallel:     1,            // one pool: the cell is the unit of fan-out
 		})
-		cancelled := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+		cancelled := err != nil && isCtxErr(err)
 		if err != nil && !cancelled {
-			return nil, err
+			return 0, err
 		}
-		if len(r.Runs) > 0 {
+		peak := 0
+		if r != nil && len(r.Runs) > 0 {
 			run := r.Runs[len(r.Runs)-1] // the numeric run (or partial reference)
 			if run.Eps >= 0 {            // only record actual numeric trials
-				trial := TuneTrial{
+				trial := &TuneTrial{
 					Eps: eps, PeakNodes: run.PeakNodes, Time: run.Total,
 					Failed: run.Failed, FailNote: run.FailNote,
 				}
@@ -112,15 +146,33 @@ func TuneCtx(ctx context.Context, c *circuit.Circuit, candidates []float64, maxN
 					trial.Error = s.Error
 				}
 				trial.Accepted = !trial.Failed && trial.PeakNodes <= maxNodes && trial.Error <= maxError
-				res.Trials = append(res.Trials, trial)
-				if trial.Accepted && (math.IsNaN(res.Best) || eps > res.Best) {
-					res.Best = eps
-				}
+				trials[i] = trial // sole writer of this slot
+				peak = run.PeakNodes
 			}
 		}
 		if cancelled {
+			return peak, ctx.Err()
+		}
+		return peak, nil
+	})
+	// Merge in candidate order; Best falls out deterministically.
+	for _, trial := range trials {
+		if trial == nil {
+			continue
+		}
+		res.Trials = append(res.Trials, *trial)
+		if trial.Accepted && (math.IsNaN(res.Best) || trial.Eps > res.Best) {
+			res.Best = trial.Eps
+		}
+	}
+	if len(stats) > 1 {
+		res.Workers = stats
+	}
+	if perr != nil {
+		if isCtxErr(perr) {
 			return res, ctx.Err()
 		}
+		return nil, perr
 	}
 	return res, nil
 }

@@ -1,0 +1,60 @@
+package core
+
+// Cross-manager comparison. RootsEqual is O(1) but requires both diagrams
+// to live in one manager's unique table. The parallel harness deliberately
+// gives every worker a private manager (share-nothing tables, as the
+// per-thread-table layout of arXiv:1911.12691 recommends), so comparing
+// results across workers needs a structural check instead: two canonical
+// diagrams built under the same ring and normalization scheme represent the
+// same object iff they are isomorphic with pairwise Ring.Equal weights.
+// The walk memoizes on node-ID pairs, so it is linear in the smaller
+// diagram — still far from expanding 2^n amplitudes.
+
+// CrossEqual reports whether two diagrams from two different managers over
+// the same coefficient ring and normalization scheme represent the same
+// vector/matrix. For managers with a comparison tolerance (the numerical
+// ring) this is equality as the ring sees it, like RootsEqual.
+func CrossEqual[T any](ma *Manager[T], a Edge[T], mb *Manager[T], b Edge[T]) bool {
+	if !ma.R.Equal(a.W, b.W) {
+		return false
+	}
+	return crossIso(ma, a.N, b.N, make(map[[2]uint64]bool))
+}
+
+// CrossEqualUpToPhase is CrossEqual modulo a global phase: isomorphic nodes
+// and root weights of equal squared magnitude (cf. RootsEqualUpToPhase).
+func CrossEqualUpToPhase[T any](ma *Manager[T], a Edge[T], mb *Manager[T], b Edge[T]) bool {
+	na := ma.R.Mul(ma.R.Conj(a.W), a.W)
+	nb := ma.R.Mul(ma.R.Conj(b.W), b.W)
+	if !ma.R.Equal(na, nb) {
+		return false
+	}
+	return crossIso(ma, a.N, b.N, make(map[[2]uint64]bool))
+}
+
+// crossIso decides isomorphism of two hash-consed nodes from different
+// managers: same level, same arity, pairwise equal edge weights and
+// isomorphic children. Visited pairs are memoized — canonicity makes a
+// revisited pair's verdict stable, and recording it before descending keeps
+// the walk linear (a pair is expanded at most once; diagrams are acyclic so
+// the in-progress entry is only ever read as the correct "so far equal").
+func crossIso[T any](m *Manager[T], a, b *Node[T], seen map[[2]uint64]bool) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	key := [2]uint64{a.ID, b.ID}
+	if v, ok := seen[key]; ok {
+		return v
+	}
+	if a.Level != b.Level || len(a.E) != len(b.E) {
+		return false
+	}
+	seen[key] = true
+	for i := range a.E {
+		if !m.R.Equal(a.E[i].W, b.E[i].W) || !crossIso(m, a.E[i].N, b.E[i].N, seen) {
+			seen[key] = false
+			return false
+		}
+	}
+	return true
+}

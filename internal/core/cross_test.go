@@ -1,0 +1,60 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alg"
+)
+
+// TestCrossEqualMatchesRootsEqual: for random vectors built in two private
+// managers, the structural cross-manager comparison must agree with the
+// O(1) single-manager root comparison on the same pairs.
+func TestCrossEqualMatchesRootsEqual(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		ampsA := randQVals(r, 16)
+		ampsB := randQVals(r, 16)
+		same := trial%2 == 0
+		if same {
+			ampsB = ampsA
+		}
+
+		// Reference verdict from one shared manager.
+		mRef := algManager(NormLeft)
+		want := mRef.RootsEqual(mRef.FromVector(ampsA), mRef.FromVector(ampsB))
+		wantPhase := mRef.RootsEqualUpToPhase(mRef.FromVector(ampsA), mRef.FromVector(ampsB))
+
+		// The same pair split across two private managers.
+		ma, mb := algManager(NormLeft), algManager(NormLeft)
+		va, vb := ma.FromVector(ampsA), mb.FromVector(ampsB)
+		if got := CrossEqual(ma, va, mb, vb); got != want {
+			t.Fatalf("trial %d: CrossEqual %v, RootsEqual %v", trial, got, want)
+		}
+		if got := CrossEqualUpToPhase(ma, va, mb, vb); got != wantPhase {
+			t.Fatalf("trial %d: CrossEqualUpToPhase %v, RootsEqualUpToPhase %v", trial, got, wantPhase)
+		}
+	}
+}
+
+// TestCrossEqualUpToPhase: a global ω-phase must be invisible to the
+// up-to-phase comparison and visible to the exact one, across managers.
+func TestCrossEqualUpToPhase(t *testing.T) {
+	amps := randQVals(rand.New(rand.NewSource(3)), 8)
+	phased := make([]alg.Q, len(amps))
+	omega := alg.QFromD(alg.DOmegaVal)
+	for i, a := range amps {
+		phased[i] = a.Mul(omega)
+	}
+	ma, mb := algManager(NormLeft), algManager(NormLeft)
+	va, vb := ma.FromVector(amps), mb.FromVector(phased)
+	if ma.IsZero(va) {
+		t.Fatal("degenerate test vector")
+	}
+	if CrossEqual(ma, va, mb, vb) {
+		t.Fatal("global phase invisible to exact CrossEqual")
+	}
+	if !CrossEqualUpToPhase(ma, va, mb, vb) {
+		t.Fatal("global phase broke CrossEqualUpToPhase")
+	}
+}

@@ -29,6 +29,12 @@ func (g Matrix2) Complex() [2][2]complex128 {
 }
 
 // The exactly representable standard gates. ω = e^{iπ/4}.
+//
+// Concurrency: these package-level matrices (and the two constants below)
+// are immutable after package init — alg.Q arithmetic never mutates its
+// operands' big.Ints, and BaseFor/Exact only read them — so share-nothing
+// workers may build gate diagrams from them concurrently without locking.
+// Never write to them or to their embedded big.Int pointers.
 var (
 	I = Matrix2{{alg.QOne, alg.QZero}, {alg.QZero, alg.QOne}}
 	X = Matrix2{{alg.QZero, alg.QOne}, {alg.QOne, alg.QZero}}

@@ -23,8 +23,13 @@ type Simulator[T any] struct {
 	N     int
 	State core.Edge[T]
 
-	gateCache      map[string]core.Edge[T]
-	pruneHighWater int
+	gateCache map[string]core.Edge[T]
+	// pruneHighWater is the active auto-prune watermark; the thrash guard
+	// may raise it during a run. pruneConfigured remembers the caller's
+	// setting so Reset can restore it — guard inflation is run-local, never
+	// a property of the simulator's next circuit.
+	pruneHighWater  int
+	pruneConfigured int
 }
 
 // EnableAutoPrune garbage-collects the manager whenever its unique table
@@ -33,8 +38,12 @@ type Simulator[T any] struct {
 // When a prune reclaims less than 10% of the table — the live working set
 // itself has outgrown the watermark — the watermark is raised to twice the
 // live size, so a saturated table costs one cheap comparison per gate
-// instead of a full O(live) sweep (see the thrash-guard test).
-func (s *Simulator[T]) EnableAutoPrune(highWater int) { s.pruneHighWater = highWater }
+// instead of a full O(live) sweep (see the thrash-guard test). The raise
+// lasts until the end of the run: Reset restores this configured value.
+func (s *Simulator[T]) EnableAutoPrune(highWater int) {
+	s.pruneHighWater = highWater
+	s.pruneConfigured = highWater
+}
 
 // ctxCheckEvery is the gate-application period of the cooperative
 // context poll in RunCtx.
@@ -55,10 +64,19 @@ func New[T any](m *core.Manager[T], n int) *Simulator[T] {
 	}
 }
 
-// Reset returns the state to |0…0⟩ (budget-exempt, as in New).
+// Reset returns the state to |0…0⟩ (budget-exempt, as in New) and restores
+// the simulator's run-local policy state: the auto-prune watermark goes
+// back to its configured value (a thrash-guard raise from a previous
+// table-saturating run must not leave the reused simulator effectively
+// prune-free), and the gate-diagram cache is dropped (cached DDs are prune
+// roots, so carrying them across circuits would pin dead gate diagrams
+// forever). The manager's tables are left as-is — the next prune sweeps
+// what the dropped cache no longer protects.
 func (s *Simulator[T]) Reset() {
 	defer s.M.SetBudget(s.M.Budget())
 	s.M.SetBudget(core.Budget{})
+	s.pruneHighWater = s.pruneConfigured
+	s.gateCache = make(map[string]core.Edge[T])
 	s.State = s.M.BasisState(s.N, 0)
 }
 
@@ -187,18 +205,24 @@ func (s *Simulator[T]) RunCtx(ctx context.Context, c *circuit.Circuit, hook func
 	if c.N != s.N {
 		return fmt.Errorf("sim: circuit has %d qubits, simulator has %d", c.N, s.N)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Unconditional install: the manager polls ctx inside long op recursions.
+	// The previous `ctx != context.Background()` pointer-identity test was a
+	// landmine — any wrapper that compares equal to the background context
+	// silently lost in-recursion cancellation. Installing the background
+	// context costs one nil-error read per few hundred node creations.
+	s.M.SetContext(ctx)
+	defer s.M.SetContext(nil)
 	ctxOwnsDeadline := false
-	if ctx != context.Background() {
-		s.M.SetContext(ctx)
-		defer s.M.SetContext(nil)
-		if dl, ok := ctx.Deadline(); ok {
-			b := s.M.Budget()
-			if b.Deadline.IsZero() || dl.Before(b.Deadline) {
-				defer s.M.SetBudget(s.M.Budget())
-				b.Deadline = dl
-				s.M.SetBudget(b)
-				ctxOwnsDeadline = true
-			}
+	if dl, ok := ctx.Deadline(); ok {
+		b := s.M.Budget()
+		if b.Deadline.IsZero() || dl.Before(b.Deadline) {
+			defer s.M.SetBudget(s.M.Budget())
+			b.Deadline = dl
+			s.M.SetBudget(b)
+			ctxOwnsDeadline = true
 		}
 	}
 	for i, g := range c.Gates {
