@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/buildinfo"
 )
 
 func main() {
@@ -51,7 +52,12 @@ func main() {
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("qbench", buildinfo.Read())
+		return
+	}
 	numNormLeft := false
 	switch *numNorm {
 	case "max":

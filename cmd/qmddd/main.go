@@ -1,0 +1,107 @@
+// Command qmddd is the networked QMDD simulation daemon: it accepts
+// OpenQASM circuits over HTTP/JSON, runs them on a fixed-size worker pool
+// with per-request resource governors, and serves observability endpoints.
+//
+//	qmddd -addr :8080 -workers 4 -queue 128 -timeout-cap 30s
+//
+// Endpoints:
+//
+//	POST /v1/jobs             submit a circuit ({"qasm": …, "wait": true})
+//	GET  /v1/jobs/{id}        poll job status
+//	GET  /v1/jobs/{id}/result fetch the finished job's result
+//	GET  /v1/version          build identity
+//	GET  /healthz             liveness (503 while draining)
+//	GET  /metrics             Prometheus text metrics
+//
+// On SIGTERM/SIGINT the daemon stops intake, drains in-flight jobs through
+// the run governor until -drain expires (then cancels them cooperatively),
+// and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queueSize   = flag.Int("queue", 64, "bounded job queue capacity (full queue answers 429)")
+		maxBody     = flag.Int64("max-body", 1<<20, "request body cap in bytes (larger answers 413)")
+		maxJobs     = flag.Int("max-jobs", 1024, "retained job records")
+		maxQubits   = flag.Int("max-qubits", 64, "circuit width cap")
+		ctSize      = flag.Int("ctsize", core.DefaultCTSize, "per-manager compute-table slots")
+		nodeCap     = flag.Int("node-cap", 0, "server-side cap on per-job MaxNodes budget (0 = none)")
+		weightCap   = flag.Int("weight-cap", 0, "server-side cap on per-job MaxWeights budget (0 = none)")
+		byteCap     = flag.Int64("byte-cap", 0, "server-side cap on per-job MaxBytes budget (0 = none)")
+		timeoutCap  = flag.Duration("timeout-cap", 0, "server-side cap on per-job wall clock; also the default when a job asks for none (0 = none)")
+		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline for in-flight jobs")
+		showVersion = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Println("qmddd", buildinfo.Read())
+		return
+	}
+
+	srv := server.New(server.Config{
+		Workers:      *workers,
+		QueueSize:    *queueSize,
+		MaxBodyBytes: *maxBody,
+		MaxJobs:      *maxJobs,
+		MaxQubits:    *maxQubits,
+		CTSize:       *ctSize,
+		NodeCap:      *nodeCap,
+		WeightCap:    *weightCap,
+		ByteCap:      *byteCap,
+		TimeoutCap:   *timeoutCap,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	log.SetPrefix("qmddd: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (%s)", *addr, buildinfo.Read())
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	select {
+	case err := <-errCh:
+		log.Fatalf("listener failed: %v", err)
+	case <-sigCtx.Done():
+	}
+
+	// Drain order matters: finish the accepted jobs first so handlers blocked
+	// on "wait": true jobs can flush their responses, then shut the listener
+	// down gracefully.
+	log.Printf("signal received; draining (deadline %v)", *drain)
+	start := time.Now()
+	srv.Shutdown(*drain)
+	httpCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(httpCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Printf("drained in %v; exiting", time.Since(start).Round(time.Millisecond))
+}

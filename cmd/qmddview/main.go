@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/alg"
 	"repro/internal/algorithms"
+	"repro/internal/buildinfo"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/ddio"
@@ -39,7 +40,12 @@ func main() {
 		maxNodes = flag.Int("max-nodes", 0, "budget: max live QMDD nodes (0 = unlimited)")
 		maxMem   = flag.Int64("max-mem", 0, "budget: approximate max bytes of nodes+weights (0 = unlimited)")
 	)
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("qmddview", buildinfo.Read())
+		return
+	}
 	budget := core.Budget{MaxNodes: *maxNodes, MaxBytes: *maxMem}
 	if *timeout > 0 {
 		budget.Deadline = time.Now().Add(*timeout)

@@ -13,7 +13,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"math/cmplx"
@@ -25,6 +24,7 @@ import (
 
 	"repro/internal/alg"
 	"repro/internal/algorithms"
+	"repro/internal/buildinfo"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/dense"
@@ -62,7 +62,12 @@ func main() {
 		expand    = flag.Bool("expand", false, "expand multi-controlled gates over ancillas before simulating")
 		writeQASM = flag.String("writeqasm", "", "write the (possibly expanded) circuit to this OpenQASM file")
 	)
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("qsim", buildinfo.Read())
+		return
+	}
 
 	c, err := buildCircuit(*algName, *file, buildOpts{
 		n: *n, marked: *marked, depth: *depth, steps: *steps,
@@ -256,11 +261,7 @@ func runAndReport[T any](ctx context.Context, m *core.Manager[T], c *circuit.Cir
 
 // governed reports whether err is a run-governor outcome — budget exceeded,
 // deadline, SIGINT — rather than a genuine failure.
-func governed(err error) bool {
-	return errors.Is(err, core.ErrBudgetExceeded) ||
-		errors.Is(err, context.Canceled) ||
-		errors.Is(err, context.DeadlineExceeded)
-}
+func governed(err error) bool { return sim.Governed(err) }
 
 func printStats[T any](m *core.Manager[T]) {
 	st := m.Stats()

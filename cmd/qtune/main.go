@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/algorithms"
 	"repro/internal/bench"
+	"repro/internal/buildinfo"
 	"repro/internal/circuit"
 )
 
@@ -38,7 +39,12 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole tuning session (0 = none); partial trials are reported on expiry")
 		parallel  = flag.Int("parallel", 0, "worker pool for the candidate trials, each on private managers (0 = GOMAXPROCS, 1 = sequential); the trial table is identical for every setting")
 	)
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("qtune", buildinfo.Read())
+		return
+	}
 	if *maxNodes == 0 {
 		*maxNodes = *maxNodes2
 	}

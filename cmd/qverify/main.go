@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/alg"
+	"repro/internal/buildinfo"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/num"
@@ -41,7 +42,12 @@ func main() {
 		maxMem   = flag.Int64("max-mem", 0, "budget: approximate max bytes of nodes+weights (0 = unlimited)")
 		parallel = flag.Int("parallel", 1, "build the two unitaries concurrently on private share-nothing managers (2 or 0 = auto; 1 = one shared manager). With -repr num and ε > 0 the shared- and split-table interning can legitimately differ within the tolerance")
 	)
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("qverify", buildinfo.Read())
+		return
+	}
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "qverify: need exactly two OpenQASM files")
 		os.Exit(2)

@@ -1,0 +1,60 @@
+// Package buildinfo reports the identity of the running binary — module
+// version, VCS revision and Go toolchain — via runtime/debug.ReadBuildInfo,
+// so deployed CLIs (-version) and the qmddd daemon (/v1/version) can be told
+// apart in the field without guessing from behaviour.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the structured build identity, JSON-taggable for the daemon's
+// /v1/version endpoint.
+type Info struct {
+	Version  string `json:"version"`            // module version ("devel" for local builds)
+	Revision string `json:"revision,omitempty"` // VCS commit, "" when built outside a checkout
+	Modified bool   `json:"modified,omitempty"` // true when the checkout had local edits
+	Go       string `json:"go"`                 // Go toolchain (runtime.Version())
+}
+
+// Read collects the build identity of the running binary. It never fails:
+// binaries built without module support report version "unknown".
+func Read() Info {
+	info := Info{Version: "unknown", Go: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.Version = bi.Main.Version
+	if info.Version == "" || info.Version == "(devel)" {
+		info.Version = "devel"
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the identity as the one-line form the CLIs print for
+// -version, e.g. "devel rev 1a2b3c4d (modified) go1.22.0".
+func (i Info) String() string {
+	s := i.Version
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+		if i.Modified {
+			s += " (modified)"
+		}
+	}
+	return fmt.Sprintf("%s %s", s, i.Go)
+}

@@ -52,10 +52,10 @@ func (b Budget) IsZero() bool {
 // garbage collection the live counts include unreachable-but-unswept nodes,
 // so peaks measure table pressure, not minimal diagram size.
 type PeakStats struct {
-	Nodes       int           // peak unique-table occupancy
-	Weights     int           // peak interned-weight count
-	ApproxBytes int64         // structural-byte estimate at the node/weight peaks
-	Elapsed     time.Duration // wall-clock since SetBudget (or manager creation)
+	Nodes       int           `json:"nodes"`        // peak unique-table occupancy
+	Weights     int           `json:"weights"`      // peak interned-weight count
+	ApproxBytes int64         `json:"approx_bytes"` // structural-byte estimate at the node/weight peaks
+	Elapsed     time.Duration `json:"elapsed_ns"`   // wall-clock since SetBudget (or manager creation)
 }
 
 func (p PeakStats) String() string {

@@ -74,15 +74,79 @@ func Write[T any](w io.Writer, m *core.Manager[T], c Codec[T], e core.Edge[T], q
 	return bw.Flush()
 }
 
+// Limits bounds what ReadLimited accepts — the defense against hostile
+// input now that diagrams arrive over the network (qmddd). The zero value
+// of any field selects its default.
+type Limits struct {
+	// MaxNodes caps the number of node records (default DefaultMaxNodes).
+	MaxNodes int
+	// MaxLineBytes caps the length of a single input line (default
+	// DefaultMaxLineBytes); longer lines fail with a clear error instead of
+	// buffering unboundedly.
+	MaxLineBytes int
+	// MaxQubits caps the header's qubit count (default DefaultMaxQubits).
+	MaxQubits int
+}
+
+// Default caps applied by Read and by ReadLimited for zero Limits fields.
+const (
+	DefaultMaxNodes     = 1 << 20
+	DefaultMaxLineBytes = 1 << 24
+	DefaultMaxQubits    = 1 << 16
+)
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxNodes <= 0 {
+		l.MaxNodes = DefaultMaxNodes
+	}
+	if l.MaxLineBytes <= 0 {
+		l.MaxLineBytes = DefaultMaxLineBytes
+	}
+	if l.MaxQubits <= 0 {
+		l.MaxQubits = DefaultMaxQubits
+	}
+	return l
+}
+
 // Read deserializes a diagram into the manager (re-normalizing through
 // MakeNode, so the result is canonical in the target manager regardless of
 // the writer's normalization scheme). It returns the root edge and the
-// qubit count recorded in the header.
+// qubit count recorded in the header. Input is validated under the default
+// Limits; use ReadLimited to tighten them.
 func Read[T any](r io.Reader, m *core.Manager[T], c Codec[T]) (core.Edge[T], int, error) {
+	return ReadLimited(r, m, c, Limits{})
+}
+
+// ReadLimited is Read under explicit input caps. Malformed input — duplicate
+// or out-of-order node indices, references to undefined indices, children at
+// a level not strictly below their parent, mixed vector/matrix arities, or
+// input exceeding the caps — is rejected with a descriptive error. Panics
+// from the diagram core (e.g. a manager budget tripping mid-decode) are
+// converted to errors, so a network front end never crashes on a payload.
+func ReadLimited[T any](r io.Reader, m *core.Manager[T], c Codec[T], lim Limits) (_ core.Edge[T], _ int, err error) {
+	defer core.RecoverTo(&err)
+	lim = lim.withDefaults()
 	var zero core.Edge[T]
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	// The scanner's cap is the larger of the initial buffer and max, so the
+	// initial buffer must not exceed the configured line cap.
+	bufSize := 64 << 10
+	if lim.MaxLineBytes < bufSize {
+		bufSize = lim.MaxLineBytes
+	}
+	sc.Buffer(make([]byte, bufSize), lim.MaxLineBytes)
+	scanErr := func() error {
+		if e := sc.Err(); e == bufio.ErrTooLong {
+			return fmt.Errorf("ddio: line exceeds %d bytes", lim.MaxLineBytes)
+		} else if e != nil {
+			return e
+		}
+		return nil
+	}
 	if !sc.Scan() {
+		if e := scanErr(); e != nil {
+			return zero, 0, e
+		}
 		return zero, 0, fmt.Errorf("ddio: empty input")
 	}
 	header := strings.Fields(sc.Text())
@@ -93,13 +157,21 @@ func Read[T any](r io.Reader, m *core.Manager[T], c Codec[T]) (core.Edge[T], int
 		return zero, 0, fmt.Errorf("ddio: diagram uses ring %q, codec provides %q", header[2], c.RingName())
 	}
 	qubits, err := strconv.Atoi(header[3])
-	if err != nil {
-		return zero, 0, fmt.Errorf("ddio: bad qubit count: %v", err)
+	if err != nil || qubits < 0 {
+		return zero, 0, fmt.Errorf("ddio: bad qubit count %q", header[3])
+	}
+	if qubits > lim.MaxQubits {
+		return zero, 0, fmt.Errorf("ddio: %d qubits exceeds cap %d", qubits, lim.MaxQubits)
 	}
 
-	// edge i = the normalized edge standing in for written node i.
+	// edge i = the normalized edge standing in for written node i; levels[i]
+	// remembers the written level so child references can be checked for
+	// strict level decrease (MakeNode canonicalization may collapse a node,
+	// so the normalized edge's own level is not the written one).
 	var edges []core.Edge[T]
-	parseEdge := func(tok string) (core.Edge[T], error) {
+	var levels []int
+	arity := 0 // fan-out of the first node; all nodes must match
+	parseEdge := func(tok string, parentLevel int) (core.Edge[T], error) {
 		colon := strings.LastIndexByte(tok, ':')
 		if colon < 0 {
 			return zero, fmt.Errorf("ddio: bad edge token %q", tok)
@@ -113,7 +185,11 @@ func Read[T any](r io.Reader, m *core.Manager[T], c Codec[T]) (core.Edge[T], int
 		}
 		id, err := strconv.Atoi(tok[colon+1:])
 		if err != nil || id < 0 || id >= len(edges) {
-			return zero, fmt.Errorf("ddio: bad child reference %q", tok)
+			return zero, fmt.Errorf("ddio: reference to undefined node in %q", tok)
+		}
+		if levels[id] >= parentLevel {
+			return zero, fmt.Errorf("ddio: child %d at level %d not below parent level %d",
+				id, levels[id], parentLevel)
 		}
 		return m.Scale(edges[id], w), nil
 	}
@@ -129,29 +205,41 @@ func Read[T any](r io.Reader, m *core.Manager[T], c Codec[T]) (core.Edge[T], int
 			}
 			id, err := strconv.Atoi(fields[1])
 			if err != nil || id != len(edges) {
-				return zero, 0, fmt.Errorf("ddio: nodes must be numbered consecutively (got %q)", fields[1])
+				return zero, 0, fmt.Errorf("ddio: nodes must be numbered consecutively without duplicates (got %q, want %d)", fields[1], len(edges))
+			}
+			if id >= lim.MaxNodes {
+				return zero, 0, fmt.Errorf("ddio: node count exceeds cap %d", lim.MaxNodes)
 			}
 			level, err := strconv.Atoi(fields[2])
 			if err != nil || level < 1 {
 				return zero, 0, fmt.Errorf("ddio: bad level %q", fields[2])
 			}
+			if level > qubits {
+				return zero, 0, fmt.Errorf("ddio: node %d at level %d exceeds the %d-qubit header", id, level, qubits)
+			}
 			kids := fields[3:]
 			if len(kids) != core.VectorArity && len(kids) != core.MatrixArity {
 				return zero, 0, fmt.Errorf("ddio: node %d has %d children", id, len(kids))
 			}
+			if arity == 0 {
+				arity = len(kids)
+			} else if len(kids) != arity {
+				return zero, 0, fmt.Errorf("ddio: node %d has arity %d, diagram started with arity %d", id, len(kids), arity)
+			}
 			es := make([]core.Edge[T], len(kids))
 			for i, tok := range kids {
-				es[i], err = parseEdge(tok)
+				es[i], err = parseEdge(tok, level)
 				if err != nil {
 					return zero, 0, err
 				}
 			}
 			edges = append(edges, m.MakeNode(level, es))
+			levels = append(levels, level)
 		case "root":
 			if len(fields) != 2 {
 				return zero, 0, fmt.Errorf("ddio: bad root line %q", sc.Text())
 			}
-			root, err := parseEdge(fields[1])
+			root, err := parseEdge(fields[1], qubits+1)
 			if err != nil {
 				return zero, 0, err
 			}
@@ -160,8 +248,8 @@ func Read[T any](r io.Reader, m *core.Manager[T], c Codec[T]) (core.Edge[T], int
 			return zero, 0, fmt.Errorf("ddio: unknown record %q", fields[0])
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return zero, 0, err
+	if e := scanErr(); e != nil {
+		return zero, 0, e
 	}
 	return zero, 0, fmt.Errorf("ddio: missing root record")
 }

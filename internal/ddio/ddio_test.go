@@ -1,6 +1,8 @@
 package ddio
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -142,4 +144,163 @@ func TestReadRejectsGarbage(t *testing.T) {
 			t.Fatalf("no error for %q", src)
 		}
 	}
+}
+
+// TestReadHardening is the table-driven malformed-input suite for the
+// network-facing decode path: every hostile shape must come back as a
+// descriptive error (never a panic), and the configurable caps must trip.
+func TestReadHardening(t *testing.T) {
+	one := "0,0,0,1,0,1"  // Q[ω] encoding of 1
+	zero := "0,0,0,0,0,1" // Q[ω] encoding of 0
+	vec := func(id, level int, c0, c1 string) string {
+		return fmt.Sprintf("n %d %d %s %s\n", id, level, c0, c1)
+	}
+	cases := []struct {
+		name string
+		src  string
+		lim  Limits
+		want string // substring of the error
+	}{
+		{
+			name: "duplicate index",
+			src: "qmdd v1 qomega 2\n" +
+				vec(0, 1, one+":t", zero+":t") +
+				vec(0, 1, zero+":t", one+":t") +
+				"root " + one + ":0\n",
+			want: "consecutively without duplicates",
+		},
+		{
+			name: "out of order index",
+			src: "qmdd v1 qomega 2\n" +
+				vec(1, 1, one+":t", zero+":t") +
+				"root " + one + ":1\n",
+			want: "consecutively without duplicates",
+		},
+		{
+			name: "undefined child index",
+			src: "qmdd v1 qomega 2\n" +
+				vec(0, 2, one+":3", zero+":t") +
+				"root " + one + ":0\n",
+			want: "undefined node",
+		},
+		{
+			name: "undefined root index",
+			src:  "qmdd v1 qomega 2\nroot " + one + ":0\n",
+			want: "undefined node",
+		},
+		{
+			name: "negative child index",
+			src: "qmdd v1 qomega 2\n" +
+				vec(0, 1, one+":-1", zero+":t") +
+				"root " + one + ":0\n",
+			want: "undefined node",
+		},
+		{
+			name: "child not below parent level",
+			src: "qmdd v1 qomega 2\n" +
+				vec(0, 2, one+":t", zero+":t") +
+				vec(1, 2, one+":0", zero+":t") +
+				"root " + one + ":1\n",
+			want: "not below parent",
+		},
+		{
+			name: "self reference",
+			src: "qmdd v1 qomega 2\n" +
+				vec(0, 1, one+":0", zero+":t") +
+				"root " + one + ":0\n",
+			want: "undefined node",
+		},
+		{
+			name: "level above header qubits",
+			src: "qmdd v1 qomega 2\n" +
+				vec(0, 3, one+":t", zero+":t") +
+				"root " + one + ":0\n",
+			want: "exceeds the 2-qubit header",
+		},
+		{
+			name: "mixed arity",
+			src: "qmdd v1 qomega 2\n" +
+				vec(0, 1, one+":t", zero+":t") +
+				"n 1 2 " + one + ":0 " + zero + ":t " + zero + ":t " + zero + ":t\n" +
+				"root " + one + ":1\n",
+			want: "arity",
+		},
+		{
+			name: "negative qubit count",
+			src:  "qmdd v1 qomega -4\nroot " + one + ":t\n",
+			want: "bad qubit count",
+		},
+		{
+			name: "qubit cap",
+			src:  "qmdd v1 qomega 100\nroot " + one + ":t\n",
+			lim:  Limits{MaxQubits: 10},
+			want: "exceeds cap 10",
+		},
+		{
+			name: "node cap",
+			src: "qmdd v1 qomega 3\n" +
+				vec(0, 1, one+":t", zero+":t") +
+				vec(1, 2, one+":0", zero+":t") +
+				"root " + one + ":1\n",
+			lim:  Limits{MaxNodes: 1},
+			want: "exceeds cap 1",
+		},
+		{
+			name: "line cap",
+			src:  "qmdd v1 qomega 2\nn 0 1 " + strings.Repeat("9", 4096) + ",0,0,1,0,1:t " + zero + ":t\nroot " + one + ":0\n",
+			lim:  Limits{MaxLineBytes: 256},
+			want: "exceeds 256 bytes",
+		},
+		{
+			name: "huge decimal level",
+			src: "qmdd v1 qomega 2\n" +
+				"n 0 99999999999999999999999 " + one + ":t " + zero + ":t\n" +
+				"root " + one + ":0\n",
+			want: "bad level",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
+			_, _, err := ReadLimited(strings.NewReader(tc.src), m, AlgCodec{}, tc.lim)
+			if err == nil {
+				t.Fatalf("no error for %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReadBudgetedManager pins the panic-free contract: a manager whose
+// budget trips mid-decode yields a *core.BudgetError from ReadLimited, not a
+// panic escaping into the server.
+func TestReadBudgetedManager(t *testing.T) {
+	src := buildGroverDump(t)
+	m := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
+	m.SetBudget(core.Budget{MaxNodes: 2})
+	_, _, err := Read(strings.NewReader(src), m, AlgCodec{})
+	if err == nil {
+		t.Fatal("no error under a 2-node budget")
+	}
+	if !errors.Is(err, core.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+// buildGroverDump serializes a 6-qubit Grover state for reuse in tests and
+// as a fuzz seed.
+func buildGroverDump(t *testing.T) string {
+	t.Helper()
+	m := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
+	s := sim.New(m, 6)
+	if err := s.Run(algorithms.Grover(6, 11, 0), nil); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, m, AlgCodec{}, s.State, 6); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
 }

@@ -1,0 +1,21 @@
+package qasm
+
+import "fmt"
+
+// ParseError is the typed error every lexer and parser failure returns, so
+// callers serving structured responses (the qmddd daemon) can extract the
+// offending source line with errors.As instead of scraping the message. The
+// rendered string is exactly the historical "qasm: line %d: %s" form.
+type ParseError struct {
+	Line int    // 1-based source line of the offending token
+	Msg  string // message without the "qasm: line N:" prefix
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("qasm: line %d: %s", e.Line, e.Msg)
+}
+
+// errAt builds a *ParseError at the given line.
+func errAt(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,6 +1,6 @@
 package qasm
 
-import "fmt"
+
 
 // User-defined gates: OpenQASM 2.0 `gate` declarations are recorded as token
 // streams and macro-expanded at application time, with formal parameters
@@ -88,15 +88,15 @@ func (p *parser) parseGateDef(opaque bool) error {
 // given actual parameters and global qubit arguments.
 func (p *parser) expandDef(def *gateDef, params []float64, args []int, line int) ([]pendingGate, error) {
 	if def.opaque {
-		return nil, fmt.Errorf("qasm: line %d: opaque gate %q has no body to simulate", line, def.name)
+		return nil, errAt(line, "opaque gate %q has no body to simulate", def.name)
 	}
 	if len(params) != len(def.params) {
-		return nil, fmt.Errorf("qasm: line %d: gate %s expects %d parameter(s), got %d",
-			line, def.name, len(def.params), len(params))
+		return nil, errAt(line, "gate %s expects %d parameter(s), got %d",
+			def.name, len(def.params), len(params))
 	}
 	if len(args) != len(def.args) {
-		return nil, fmt.Errorf("qasm: line %d: gate %s expects %d argument(s), got %d",
-			line, def.name, len(def.args), len(args))
+		return nil, errAt(line, "gate %s expects %d argument(s), got %d",
+			def.name, len(def.args), len(args))
 	}
 	bindings := make(map[string]float64, len(params))
 	for i, name := range def.params {

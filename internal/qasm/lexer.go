@@ -5,7 +5,6 @@
 package qasm
 
 import (
-	"fmt"
 	"strings"
 	"unicode"
 )
@@ -37,7 +36,7 @@ type lexer struct {
 func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
 
 func (l *lexer) errf(format string, args ...any) error {
-	return fmt.Errorf("qasm: line %d: %s", l.line, fmt.Sprintf(format, args...))
+	return errAt(l.line, format, args...)
 }
 
 func (l *lexer) next() (token, error) {

@@ -57,7 +57,7 @@ func (p *parser) next() token {
 }
 
 func (p *parser) errf(t token, format string, args ...any) error {
-	return fmt.Errorf("qasm: line %d: %s", t.line, fmt.Sprintf(format, args...))
+	return errAt(t.line, format, args...)
 }
 
 func (p *parser) expectSymbol(s string) error {
@@ -366,10 +366,10 @@ func (p *parser) parseUnary() (float64, error) {
 func applyGate(c *circuit.Circuit, g pendingGate) error {
 	need := func(nArgs, nParams int) error {
 		if len(g.args) != nArgs {
-			return fmt.Errorf("qasm: line %d: %s expects %d operand(s), got %d", g.line, g.name, nArgs, len(g.args))
+			return errAt(g.line, "%s expects %d operand(s), got %d", g.name, nArgs, len(g.args))
 		}
 		if len(g.params) != nParams {
-			return fmt.Errorf("qasm: line %d: %s expects %d parameter(s), got %d", g.line, g.name, nParams, len(g.params))
+			return errAt(g.line, "%s expects %d parameter(s), got %d", g.name, nParams, len(g.params))
 		}
 		return nil
 	}
@@ -455,7 +455,7 @@ func applyGate(c *circuit.Circuit, g pendingGate) error {
 		c.Append(circuit.Gate{Name: "x", Target: a, Controls: ctl(ctlq, b)})
 		c.Append(circuit.Gate{Name: "x", Target: b, Controls: ctl(ctlq, a)})
 	default:
-		return fmt.Errorf("qasm: line %d: unsupported gate %q", g.line, g.name)
+		return errAt(g.line, "unsupported gate %q", g.name)
 	}
 	return nil
 }

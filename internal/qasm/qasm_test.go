@@ -1,6 +1,8 @@
 package qasm
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -267,5 +269,46 @@ func TestGateDefinitionErrors(t *testing.T) {
 	// Declaring an opaque gate without using it is fine.
 	if _, err := Parse(`OPENQASM 2.0; qreg q[1]; opaque mystery a; h q[0];`, "ok"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestParseErrorTyped pins the satellite contract of the typed error: every
+// lexer/parser/lowering failure is a *ParseError extractable with errors.As,
+// carrying the 1-based source line, and its rendered string is exactly the
+// historical "qasm: line N: …" form.
+func TestParseErrorTyped(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		line int
+	}{
+		{"lexer", "OPENQASM 2.0;\nqreg q[1];\nh q[0] @;", 3},
+		{"parser", "OPENQASM 2.0;\nqreg q[0];", 2},
+		{"unknown register", "OPENQASM 2.0;\nqreg q[1];\nh r[0];", 3},
+		{"lowering arity", "OPENQASM 2.0;\nqreg q[2];\n\nh q[0], q[1];", 4},
+		{"unsupported gate", "OPENQASM 2.0;\nqreg q[2];\nfrobnicate q[0];", 3},
+		{"gatedef opaque", "OPENQASM 2.0;\nqreg q[1];\nopaque mystery a;\nmystery q[0];", 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src, tc.name)
+			if err == nil {
+				t.Fatalf("no error for %q", tc.src)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %v (%T) is not a *ParseError", err, err)
+			}
+			if pe.Line != tc.line {
+				t.Errorf("line = %d, want %d (err: %v)", pe.Line, tc.line, err)
+			}
+			want := fmt.Sprintf("qasm: line %d: %s", pe.Line, pe.Msg)
+			if err.Error() != want {
+				t.Errorf("rendered %q, want %q", err.Error(), want)
+			}
+			if !strings.HasPrefix(err.Error(), fmt.Sprintf("qasm: line %d: ", tc.line)) {
+				t.Errorf("rendered %q lacks line prefix", err.Error())
+			}
+		})
 	}
 }

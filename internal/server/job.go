@@ -1,0 +1,228 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+)
+
+// JobRequest is the POST /v1/jobs body. Representation, budget and output
+// selection mirror the qsim CLI; all budget fields are clamped against the
+// server-side caps, so a request can only tighten the governor, never evade
+// it.
+type JobRequest struct {
+	// QASM is the OpenQASM 2.0 source of the circuit to simulate.
+	QASM string `json:"qasm"`
+	// Representation selects the number representation: "alg" (exact Q[ω],
+	// the default) or "float" (complex128 with tolerance Eps; "num" is an
+	// accepted alias).
+	Representation string `json:"representation,omitempty"`
+	// Eps is the interning tolerance for the float representation.
+	Eps float64 `json:"eps,omitempty"`
+	// Norm selects the normalization scheme: left (default), max or gcd.
+	Norm string `json:"norm,omitempty"`
+
+	// Budget fields, clamped to the server caps (0 = server default).
+	MaxNodes   int   `json:"max_nodes,omitempty"`
+	MaxWeights int   `json:"max_weights,omitempty"`
+	MaxBytes   int64 `json:"max_bytes,omitempty"`
+	TimeoutMS  int64 `json:"timeout_ms,omitempty"`
+
+	// Output selects what the job returns: "amplitudes" (default; the TopK
+	// most probable outcomes with exact weight encodings), "stats" (manager
+	// counters only), or "ddio" (a lossless serialization of the state
+	// diagram — the portable certificate).
+	Output string `json:"output,omitempty"`
+	// TopK bounds the amplitude list (default 16, clamped to the server cap).
+	TopK int `json:"top_k,omitempty"`
+	// Wait makes POST /v1/jobs block until the job finishes and return the
+	// full result, so small jobs need no polling round-trip.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// Amplitude is one basis-state amplitude of the result: float re/im for
+// convenience, probability, and the representation's lossless encoding of
+// the exact value (ddio codec format), so "alg" results lose nothing in
+// transit.
+type Amplitude struct {
+	Index uint64  `json:"index"`
+	State string  `json:"state"` // |…⟩ bitstring, MSB = highest qubit
+	Re    float64 `json:"re"`
+	Im    float64 `json:"im"`
+	Prob  float64 `json:"prob"`
+	Exact string  `json:"exact"`
+}
+
+// JobResult is the payload of a finished job.
+type JobResult struct {
+	Qubits         int            `json:"qubits"`
+	Gates          int            `json:"gates"`
+	Representation string         `json:"representation"`
+	ElapsedMS      float64        `json:"elapsed_ms"`
+	Norm2          float64        `json:"norm2"`
+	StateNodes     int            `json:"state_nodes"`
+	Amplitudes     []Amplitude    `json:"amplitudes,omitempty"`
+	DDIO           string         `json:"ddio,omitempty"`
+	Stats          *core.Snapshot `json:"stats,omitempty"`
+}
+
+// ErrorBody is the structured error shape of every non-2xx response and
+// every failed job: Kind distinguishes the governor refusing work
+// (budget_exceeded, with Limit and Peak), malformed circuits (parse_error,
+// with Line), cancellation/timeout, and plain request errors.
+type ErrorBody struct {
+	Kind    string          `json:"kind"`
+	Message string          `json:"message"`
+	Line    int             `json:"line,omitempty"`  // parse_error: offending QASM line
+	Limit   string          `json:"limit,omitempty"` // budget_exceeded: nodes|weights|bytes|deadline
+	Peak    *core.PeakStats `json:"peak,omitempty"`  // budget_exceeded: high-water marks
+}
+
+// Error kinds.
+const (
+	KindInvalidRequest = "invalid_request"
+	KindParseError     = "parse_error"
+	KindBudgetExceeded = "budget_exceeded"
+	KindCancelled      = "cancelled"
+	KindTimeout        = "timeout"
+	KindQueueFull      = "queue_full"
+	KindShuttingDown   = "shutting_down"
+	KindNotFound       = "not_found"
+	KindNotFinished    = "not_finished"
+	KindTooLarge       = "too_large"
+	KindRunError       = "run_error"
+)
+
+// Job statuses.
+const (
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusDone      = "done"
+	StatusFailed    = "failed"
+	StatusCancelled = "cancelled"
+)
+
+// JobView is the wire form of a job record (GET /v1/jobs/{id} and, with
+// Result populated, GET /v1/jobs/{id}/result).
+type JobView struct {
+	ID         string     `json:"id"`
+	Status     string     `json:"status"`
+	QueuedAt   time.Time  `json:"queued_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	Error      *ErrorBody `json:"error,omitempty"`
+	Result     *JobResult `json:"result,omitempty"`
+}
+
+// job is the internal record flowing through the queue. Mutable fields are
+// guarded by the store's mutex; done is closed exactly once when the job
+// reaches a terminal status.
+type job struct {
+	id   string
+	req  JobRequest
+	circ *circuit.Circuit
+	done chan struct{}
+
+	status     string
+	queuedAt   time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+	errBody    *ErrorBody
+	result     *JobResult
+}
+
+// jobStore retains job records for polling, bounded at cap: once full,
+// the oldest finished job is evicted per new submission (queued/running
+// jobs are never evicted — a worker holds their pointer).
+type jobStore struct {
+	mu    sync.Mutex
+	cap   int
+	jobs  map[string]*job
+	order []string // insertion order, for eviction
+}
+
+func newJobStore(capacity int) *jobStore {
+	return &jobStore{cap: capacity, jobs: make(map[string]*job)}
+}
+
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("server: job id entropy: %v", err))
+	}
+	return "j" + hex.EncodeToString(b[:])
+}
+
+// add registers a new queued job; it fails only when the store is full of
+// unfinished jobs.
+func (st *jobStore) add(j *job) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.order) >= st.cap && !st.evictLocked() {
+		return false
+	}
+	st.jobs[j.id] = j
+	st.order = append(st.order, j.id)
+	return true
+}
+
+// evictLocked removes the oldest finished job, reporting whether one existed.
+func (st *jobStore) evictLocked() bool {
+	for i, id := range st.order {
+		k := st.jobs[id]
+		if k.status == StatusDone || k.status == StatusFailed || k.status == StatusCancelled {
+			delete(st.jobs, id)
+			st.order = append(st.order[:i], st.order[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (st *jobStore) get(id string) *job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.jobs[id]
+}
+
+func (st *jobStore) setRunning(j *job) {
+	st.mu.Lock()
+	j.status = StatusRunning
+	j.startedAt = time.Now()
+	st.mu.Unlock()
+}
+
+// finish moves j to a terminal status and wakes waiters.
+func (st *jobStore) finish(j *job, status string, res *JobResult, errBody *ErrorBody) {
+	st.mu.Lock()
+	j.status = status
+	j.result = res
+	j.errBody = errBody
+	j.finishedAt = time.Now()
+	st.mu.Unlock()
+	close(j.done)
+}
+
+// view snapshots a job's wire form; withResult attaches the payload.
+func (st *jobStore) view(j *job, withResult bool) JobView {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	v := JobView{ID: j.id, Status: j.status, QueuedAt: j.queuedAt, Error: j.errBody}
+	if !j.startedAt.IsZero() {
+		t := j.startedAt
+		v.StartedAt = &t
+	}
+	if !j.finishedAt.IsZero() {
+		t := j.finishedAt
+		v.FinishedAt = &t
+	}
+	if withResult {
+		v.Result = j.result
+	}
+	return v
+}

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// metrics is the daemon's observability state, rendered as Prometheus text
+// exposition format by render — stdlib only, no client library. Job-level
+// counters are lock-free atomics bumped on the request and worker paths;
+// per-worker utilization and the last manager table snapshot are guarded by
+// a mutex and written only by the owning worker between jobs, so scrapes
+// never contend with diagram arithmetic.
+type metrics struct {
+	started   atomic.Uint64 // jobs dequeued by a worker
+	completed atomic.Uint64 // jobs finished successfully
+	failed    atomic.Uint64 // jobs finished with an error (budget, run error)
+	cancelled atomic.Uint64 // jobs cancelled (timeout, shutdown)
+	rejected  atomic.Uint64 // submissions refused with 429
+
+	mu      sync.Mutex
+	workers []workerMetrics
+}
+
+// workerMetrics is one worker's cumulative utilization plus the table
+// statistics of the manager its last job ran on.
+type workerMetrics struct {
+	jobs      uint64
+	busy      time.Duration
+	peakNodes int // max per-job peak observed over the worker's lifetime
+	lastSnap  core.Snapshot
+	hasSnap   bool
+}
+
+func newMetrics(workers int) *metrics {
+	return &metrics{workers: make([]workerMetrics, workers)}
+}
+
+// observe records one finished job on worker w.
+func (m *metrics) observe(w int, busy time.Duration, snap core.Snapshot) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	wm := &m.workers[w]
+	wm.jobs++
+	wm.busy += busy
+	if snap.PeakNodes > wm.peakNodes {
+		wm.peakNodes = snap.PeakNodes
+	}
+	wm.lastSnap = snap
+	wm.hasSnap = true
+}
+
+// render writes the Prometheus text exposition.
+func (m *metrics) render(w io.Writer, queueDepth, queueCap int) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("qmddd_jobs_started_total", "Jobs dequeued by a worker.", m.started.Load())
+	counter("qmddd_jobs_completed_total", "Jobs finished successfully.", m.completed.Load())
+	counter("qmddd_jobs_failed_total", "Jobs finished with an error.", m.failed.Load())
+	counter("qmddd_jobs_cancelled_total", "Jobs cancelled by timeout or shutdown.", m.cancelled.Load())
+	counter("qmddd_jobs_rejected_total", "Submissions refused with 429.", m.rejected.Load())
+	fmt.Fprintf(w, "# HELP qmddd_queue_depth Jobs waiting in the bounded queue.\n# TYPE qmddd_queue_depth gauge\nqmddd_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "# HELP qmddd_queue_capacity Bounded queue capacity.\n# TYPE qmddd_queue_capacity gauge\nqmddd_queue_capacity %d\n", queueCap)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fmt.Fprintf(w, "# HELP qmddd_worker_jobs_total Jobs run by this worker.\n# TYPE qmddd_worker_jobs_total counter\n")
+	for i := range m.workers {
+		fmt.Fprintf(w, "qmddd_worker_jobs_total{worker=\"%d\"} %d\n", i, m.workers[i].jobs)
+	}
+	fmt.Fprintf(w, "# HELP qmddd_worker_busy_seconds_total Wall-clock spent inside jobs.\n# TYPE qmddd_worker_busy_seconds_total counter\n")
+	for i := range m.workers {
+		fmt.Fprintf(w, "qmddd_worker_busy_seconds_total{worker=\"%d\"} %.6f\n", i, m.workers[i].busy.Seconds())
+	}
+	fmt.Fprintf(w, "# HELP qmddd_worker_peak_nodes Largest per-job peak node count observed.\n# TYPE qmddd_worker_peak_nodes gauge\n")
+	for i := range m.workers {
+		fmt.Fprintf(w, "qmddd_worker_peak_nodes{worker=\"%d\"} %d\n", i, m.workers[i].peakNodes)
+	}
+	fmt.Fprintf(w, "# HELP qmddd_worker_unique_table_nodes Unique-table occupancy after the worker's last job.\n# TYPE qmddd_worker_unique_table_nodes gauge\n")
+	for i := range m.workers {
+		if m.workers[i].hasSnap {
+			fmt.Fprintf(w, "qmddd_worker_unique_table_nodes{worker=\"%d\"} %d\n", i, m.workers[i].lastSnap.UniqueNodes)
+		}
+	}
+	fmt.Fprintf(w, "# HELP qmddd_worker_interned_weights Intern-table occupancy after the worker's last job.\n# TYPE qmddd_worker_interned_weights gauge\n")
+	for i := range m.workers {
+		if m.workers[i].hasSnap {
+			fmt.Fprintf(w, "qmddd_worker_interned_weights{worker=\"%d\"} %d\n", i, m.workers[i].lastSnap.InternedWeights)
+		}
+	}
+	fmt.Fprintf(w, "# HELP qmddd_worker_ct_load Compute-table load factor after the worker's last job.\n# TYPE qmddd_worker_ct_load gauge\n")
+	for i := range m.workers {
+		if m.workers[i].hasSnap {
+			fmt.Fprintf(w, "qmddd_worker_ct_load{worker=\"%d\"} %.6f\n", i, m.workers[i].lastSnap.CTLoad)
+		}
+	}
+}

@@ -1,0 +1,377 @@
+// Package server implements qmddd, the networked QMDD simulation service:
+// an HTTP/JSON front end that accepts OpenQASM circuits, runs them on a
+// fixed-size pool of workers with private warm managers (the share-nothing
+// design of the sweep pool), governs every job with the per-request budget
+// machinery, and exposes the observability surface (/healthz, /metrics,
+// /v1/version) a deployed process needs. Jobs flow through a bounded queue:
+// submission is cheap and returns a pollable id (or, with "wait": true, the
+// result itself); a full queue answers 429 instead of building backlog.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/qasm"
+)
+
+// Config tunes the service. Zero values select the documented defaults; the
+// *Cap fields are server-side ceilings that client budget fields are clamped
+// against.
+type Config struct {
+	// Workers is the worker-pool size (default: GOMAXPROCS).
+	Workers int
+	// QueueSize bounds the job queue (default 64). A full queue answers 429.
+	QueueSize int
+	// MaxBodyBytes caps the request body (default 1 MiB). Larger answers 413.
+	MaxBodyBytes int64
+	// MaxJobs caps retained job records (default 1024).
+	MaxJobs int
+	// MaxQubits caps the circuit width (default 64 — basis-state indices are
+	// uint64 on the wire).
+	MaxQubits int
+	// MaxTopK caps the amplitude list length (default 4096).
+	MaxTopK int
+	// CTSize is the per-manager compute-table slot count (default
+	// core.DefaultCTSize).
+	CTSize int
+
+	// NodeCap / WeightCap / ByteCap / TimeoutCap clamp the per-request
+	// budget: a request asking for more (or for nothing, when a cap is set)
+	// gets the cap. Zero leaves the dimension unlimited by default.
+	NodeCap    int
+	WeightCap  int
+	ByteCap    int64
+	TimeoutCap time.Duration
+
+	// hookRunning, when set (tests only), is invoked on the worker goroutine
+	// as soon as a job transitions to running.
+	hookRunning func(*job)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.MaxQubits <= 0 || c.MaxQubits > 64 {
+		c.MaxQubits = 64
+	}
+	if c.MaxTopK <= 0 {
+		c.MaxTopK = 4096
+	}
+	if c.CTSize <= 0 {
+		c.CTSize = core.DefaultCTSize
+	}
+	return c
+}
+
+// Server is the qmddd HTTP handler plus its worker pool. Create with New,
+// serve it (it implements http.Handler), and call Shutdown to drain.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	store *jobStore
+	met   *metrics
+	queue chan *job
+
+	mu     sync.Mutex // guards closed + queue sends vs. close(queue)
+	closed bool
+
+	wg        sync.WaitGroup
+	runCtx    context.Context // cancelled at the drain deadline
+	cancelRun context.CancelFunc
+}
+
+// New builds the service and starts its workers.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		store: newJobStore(cfg.MaxJobs),
+		met:   newMetrics(cfg.Workers),
+		queue: make(chan *job, cfg.QueueSize),
+	}
+	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown drains the service: intake stops immediately (submissions answer
+// 503), workers finish the accepted jobs, and jobs still unfinished at the
+// drain deadline are cancelled cooperatively through the governor. It
+// returns once every worker has exited — always cleanly, so a supervised
+// process can exit 0.
+func (s *Server) Shutdown(drain time.Duration) {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	t := time.NewTimer(drain)
+	defer t.Stop()
+	select {
+	case <-done:
+	case <-t.C:
+		s.cancelRun() // in-flight jobs unwind through the governor
+		<-done
+	}
+	s.cancelRun()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, body ErrorBody) {
+	writeJSON(w, status, struct {
+		Error ErrorBody `json:"error"`
+	}{body})
+}
+
+// handleSubmit validates, parses and enqueues one job (POST /v1/jobs).
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req JobRequest
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, ErrorBody{
+				Kind: KindTooLarge, Message: fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes),
+			})
+			return
+		}
+		writeError(w, http.StatusBadRequest, ErrorBody{Kind: KindInvalidRequest, Message: "decoding request: " + err.Error()})
+		return
+	}
+	circ, errBody := s.validate(&req)
+	if errBody != nil {
+		writeError(w, http.StatusBadRequest, *errBody)
+		return
+	}
+
+	j := &job{
+		id:       newJobID(),
+		req:      req,
+		circ:     circ,
+		done:     make(chan struct{}),
+		status:   StatusQueued,
+		queuedAt: time.Now(),
+	}
+
+	// Enqueue under the intake lock: after Shutdown flips closed, no send
+	// can race the close of the queue channel.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, ErrorBody{Kind: KindShuttingDown, Message: "server is draining"})
+		return
+	}
+	if !s.store.add(j) {
+		s.mu.Unlock()
+		s.met.rejected.Add(1)
+		writeError(w, http.StatusTooManyRequests, ErrorBody{Kind: KindQueueFull, Message: "job store is full of unfinished jobs"})
+		return
+	}
+	select {
+	case s.queue <- j:
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		s.met.rejected.Add(1)
+		s.store.finish(j, StatusCancelled, nil, &ErrorBody{Kind: KindQueueFull, Message: "queue full"})
+		writeError(w, http.StatusTooManyRequests, ErrorBody{
+			Kind: KindQueueFull, Message: fmt.Sprintf("queue full (%d jobs waiting)", s.cfg.QueueSize),
+		})
+		return
+	}
+
+	if req.Wait {
+		select {
+		case <-j.done:
+			writeJSON(w, http.StatusOK, s.store.view(j, true))
+		case <-r.Context().Done():
+			// Client gave up; the job keeps running and stays pollable.
+			writeJSON(w, http.StatusAccepted, s.store.view(j, false))
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.store.view(j, false))
+}
+
+// validate normalizes and checks a request, returning the parsed circuit.
+func (s *Server) validate(req *JobRequest) (*circuit.Circuit, *ErrorBody) {
+	invalid := func(format string, args ...any) *ErrorBody {
+		return &ErrorBody{Kind: KindInvalidRequest, Message: fmt.Sprintf(format, args...)}
+	}
+	if strings.TrimSpace(req.QASM) == "" {
+		return nil, invalid("qasm is required")
+	}
+	switch req.Representation {
+	case "", "alg":
+		req.Representation = "alg"
+	case "float", "num":
+		req.Representation = "float"
+	default:
+		return nil, invalid("unknown representation %q (want alg or float)", req.Representation)
+	}
+	if req.Eps < 0 {
+		return nil, invalid("eps must be non-negative")
+	}
+	if _, err := core.ParseNormScheme(req.Norm); err != nil {
+		return nil, invalid("%v", err)
+	}
+	switch req.Output {
+	case "", "amplitudes":
+		req.Output = "amplitudes"
+	case "stats", "ddio":
+	default:
+		return nil, invalid("unknown output %q (want amplitudes, stats or ddio)", req.Output)
+	}
+	if req.TopK < 0 {
+		return nil, invalid("top_k must be non-negative")
+	}
+	if req.TopK == 0 {
+		req.TopK = 16
+	}
+	if req.TopK > s.cfg.MaxTopK {
+		req.TopK = s.cfg.MaxTopK
+	}
+	if req.MaxNodes < 0 || req.MaxWeights < 0 || req.MaxBytes < 0 || req.TimeoutMS < 0 {
+		return nil, invalid("budget fields must be non-negative")
+	}
+	req.MaxNodes = clampInt(req.MaxNodes, s.cfg.NodeCap)
+	req.MaxWeights = clampInt(req.MaxWeights, s.cfg.WeightCap)
+	req.MaxBytes = clampInt64(req.MaxBytes, s.cfg.ByteCap)
+	if cap := s.cfg.TimeoutCap; cap > 0 {
+		capMS := int64(cap / time.Millisecond)
+		if req.TimeoutMS <= 0 || req.TimeoutMS > capMS {
+			req.TimeoutMS = capMS
+		}
+	}
+
+	circ, err := qasm.Parse(req.QASM, "request")
+	if err != nil {
+		body := &ErrorBody{Kind: KindParseError, Message: err.Error()}
+		var pe *qasm.ParseError
+		if errors.As(err, &pe) {
+			body.Line = pe.Line
+		}
+		return nil, body
+	}
+	if circ.N > s.cfg.MaxQubits {
+		return nil, invalid("circuit has %d qubits, server cap is %d", circ.N, s.cfg.MaxQubits)
+	}
+	return circ, nil
+}
+
+// clampInt applies a server cap to a request value: 0 (unset) takes the cap,
+// anything above the cap is clamped down.
+func clampInt(v, cap int) int {
+	if cap > 0 && (v <= 0 || v > cap) {
+		return cap
+	}
+	return v
+}
+
+func clampInt64(v, cap int64) int64 {
+	if cap > 0 && (v <= 0 || v > cap) {
+		return cap
+	}
+	return v
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.store.get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, ErrorBody{Kind: KindNotFound, Message: "unknown job id"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.store.view(j, false))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.store.get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, ErrorBody{Kind: KindNotFound, Message: "unknown job id"})
+		return
+	}
+	v := s.store.view(j, true)
+	if v.Status == StatusQueued || v.Status == StatusRunning {
+		writeError(w, http.StatusConflict, ErrorBody{
+			Kind: KindNotFinished, Message: fmt.Sprintf("job is %s; poll /v1/jobs/%s", v.Status, j.id),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Name string `json:"name"`
+		buildinfo.Info
+	}{Name: "qmddd", Info: buildinfo.Read()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.closed
+	s.mu.Unlock()
+	status := http.StatusOK
+	text := "ok"
+	if draining {
+		// Shutting down: tell load balancers to route elsewhere.
+		status = http.StatusServiceUnavailable
+		text = "draining"
+	}
+	writeJSON(w, status, struct {
+		Status     string `json:"status"`
+		Workers    int    `json:"workers"`
+		QueueDepth int    `json:"queue_depth"`
+	}{text, s.cfg.Workers, len(s.queue)})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.render(w, len(s.queue), s.cfg.QueueSize)
+}

@@ -1,0 +1,233 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/alg"
+	"repro/internal/core"
+	"repro/internal/ddio"
+	"repro/internal/num"
+	"repro/internal/sim"
+)
+
+// Per-worker simulation state: every worker goroutine owns private managers
+// (the PR 3 share-nothing design — no diagram state ever crosses a
+// goroutine), kept warm across jobs so repeat traffic reuses allocated
+// tables instead of re-growing them. Algebraic managers are keyed by
+// normalization scheme; float managers additionally by ε, with a small cap
+// since ε is client-chosen.
+type workerState struct {
+	alg map[core.NormScheme]*core.Manager[alg.Q]
+	flo map[floatKey]*core.Manager[complex128]
+}
+
+type floatKey struct {
+	eps  float64
+	norm core.NormScheme
+}
+
+// maxFloatManagers caps the per-worker float manager cache; past it the
+// cache is dropped wholesale (ε is attacker-chosen, the cache must not be a
+// memory leak).
+const maxFloatManagers = 8
+
+func newWorkerState() *workerState {
+	return &workerState{
+		alg: make(map[core.NormScheme]*core.Manager[alg.Q]),
+		flo: make(map[floatKey]*core.Manager[complex128]),
+	}
+}
+
+func (ws *workerState) algManager(norm core.NormScheme, ctSize int) *core.Manager[alg.Q] {
+	m, ok := ws.alg[norm]
+	if !ok {
+		m = core.NewManager[alg.Q](alg.Ring{}, norm, core.WithComputeTableSize(ctSize))
+		ws.alg[norm] = m
+	}
+	return m
+}
+
+func (ws *workerState) floatManager(eps float64, norm core.NormScheme, ctSize int) *core.Manager[complex128] {
+	k := floatKey{eps: eps, norm: norm}
+	m, ok := ws.flo[k]
+	if !ok {
+		if len(ws.flo) >= maxFloatManagers {
+			ws.flo = make(map[floatKey]*core.Manager[complex128])
+		}
+		m = core.NewManager[complex128](num.NewRing(eps), norm, core.WithComputeTableSize(ctSize))
+		ws.flo[k] = m
+	}
+	return m
+}
+
+// worker is one pool goroutine: it drains the bounded queue until the queue
+// is closed (graceful shutdown drains what was accepted), running every job
+// on its private managers.
+func (s *Server) worker(id int) {
+	defer s.wg.Done()
+	ws := newWorkerState()
+	for j := range s.queue {
+		s.runJob(id, ws, j)
+	}
+}
+
+// runJob executes one job end to end: mark running, install the governor,
+// simulate, classify the outcome, publish metrics, and scrub the manager
+// for the next tenant.
+func (s *Server) runJob(workerID int, ws *workerState, j *job) {
+	// Past the drain deadline (or after a hard stop) accepted-but-unstarted
+	// jobs are cancelled, not run.
+	if s.runCtx.Err() != nil {
+		s.store.finish(j, StatusCancelled, nil, &ErrorBody{
+			Kind: KindCancelled, Message: "server shut down before the job started",
+		})
+		s.met.cancelled.Add(1)
+		return
+	}
+	s.store.setRunning(j)
+	s.met.started.Add(1)
+
+	ctx := s.runCtx
+	if j.req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(j.req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	budget := core.Budget{
+		MaxNodes:   j.req.MaxNodes,
+		MaxWeights: j.req.MaxWeights,
+		MaxBytes:   j.req.MaxBytes,
+	}
+	// The hook sits between governor setup and the run so tests can model
+	// slow work under an already-ticking deadline.
+	if s.cfg.hookRunning != nil {
+		s.cfg.hookRunning(j)
+	}
+
+	start := time.Now()
+	var (
+		res     *JobResult
+		errBody *ErrorBody
+		snap    core.Snapshot
+	)
+	switch j.req.Representation {
+	case "alg":
+		m := ws.algManager(j.norm(), s.cfg.CTSize)
+		res, errBody, snap = runTyped(ctx, m, ddio.AlgCodec{}, j, budget)
+		scrub(m)
+	default: // "float", validated at submit
+		m := ws.floatManager(j.req.Eps, j.norm(), s.cfg.CTSize)
+		res, errBody, snap = runTyped(ctx, m, ddio.NumCodec{}, j, budget)
+		scrub(m)
+	}
+	busy := time.Since(start)
+	s.met.observe(workerID, busy, snap)
+
+	switch {
+	case errBody == nil:
+		s.store.finish(j, StatusDone, res, nil)
+		s.met.completed.Add(1)
+	case errBody.Kind == KindCancelled || errBody.Kind == KindTimeout:
+		s.store.finish(j, StatusCancelled, nil, errBody)
+		s.met.cancelled.Add(1)
+	default:
+		s.store.finish(j, StatusFailed, nil, errBody)
+		s.met.failed.Add(1)
+	}
+}
+
+// norm returns the job's validated normalization scheme (submit rejected
+// unparsable values, so this cannot fail).
+func (j *job) norm() core.NormScheme {
+	n, _ := core.ParseNormScheme(j.req.Norm)
+	return n
+}
+
+// scrub resets a warm manager between tenants: the budget is lifted, every
+// node is swept (a prune with no roots also clears the compute table and
+// releases interned weights), and the peak clock is rebased so the next
+// job's governor reports its own peaks.
+func scrub[T any](m *core.Manager[T]) {
+	m.SetBudget(core.Budget{})
+	m.SetContext(nil)
+	m.Prune()
+	m.ResetPeaks()
+}
+
+// runTyped runs one job on a concrete representation. It returns the result
+// or a classified error body, plus the manager snapshot observed right after
+// the run (before the scrub) for worker metrics.
+func runTyped[T any](ctx context.Context, m *core.Manager[T], codec ddio.Codec[T], j *job, budget core.Budget) (*JobResult, *ErrorBody, core.Snapshot) {
+	m.SetBudget(budget)
+	m.ResetPeaks()
+	simr := sim.New(m, j.circ.N)
+	start := time.Now()
+	err := simr.RunCtx(ctx, j.circ, nil)
+	elapsed := time.Since(start)
+	snap := m.Snapshot()
+	if err != nil {
+		return nil, classify(err), snap
+	}
+	res := &JobResult{
+		Qubits:         j.circ.N,
+		Gates:          j.circ.Len(),
+		Representation: j.req.Representation,
+		ElapsedMS:      float64(elapsed) / float64(time.Millisecond),
+		Norm2:          m.Norm2(simr.State),
+		StateNodes:     simr.State.NodeCount(),
+		Stats:          &snap,
+	}
+	switch j.req.Output {
+	case "stats":
+		// counters only
+	case "ddio":
+		var sb strings.Builder
+		if werr := ddio.Write(&sb, m, codec, simr.State, j.circ.N); werr != nil {
+			return nil, &ErrorBody{Kind: KindRunError, Message: fmt.Sprintf("serializing result: %v", werr)}, snap
+		}
+		res.DDIO = sb.String()
+	default: // "amplitudes"
+		idxs, probs := m.TopOutcomes(simr.State, j.circ.N, j.req.TopK)
+		for i, idx := range idxs {
+			amp := m.Amplitude(simr.State, j.circ.N, idx)
+			c := m.R.Complex128(amp)
+			res.Amplitudes = append(res.Amplitudes, Amplitude{
+				Index: idx,
+				State: fmt.Sprintf("%0*b", j.circ.N, idx),
+				Re:    real(c),
+				Im:    imag(c),
+				Prob:  probs[i],
+				Exact: codec.Encode(amp),
+			})
+		}
+	}
+	return res, nil, snap
+}
+
+// classify maps a simulation error onto the wire taxonomy: the governor's
+// budget refusals keep their limit and peak statistics, context outcomes
+// become cancellation/timeout, and anything else is a run error (e.g. a
+// gate not exactly representable in the algebraic ring).
+func classify(err error) *ErrorBody {
+	var be *core.BudgetError
+	if errors.As(err, &be) {
+		peak := be.Peak
+		return &ErrorBody{
+			Kind:    KindBudgetExceeded,
+			Message: err.Error(),
+			Limit:   be.Limit,
+			Peak:    &peak,
+		}
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return &ErrorBody{Kind: KindTimeout, Message: err.Error()}
+	}
+	if errors.Is(err, context.Canceled) {
+		return &ErrorBody{Kind: KindCancelled, Message: err.Error()}
+	}
+	return &ErrorBody{Kind: KindRunError, Message: err.Error()}
+}

@@ -257,6 +257,17 @@ func (s *Simulator[T]) RunCtx(ctx context.Context, c *circuit.Circuit, hook func
 // stop.
 var ErrStopped = fmt.Errorf("sim: stopped by hook")
 
+// Governed reports whether err is a run-governor outcome — budget exceeded,
+// deadline passed, or cancellation — rather than a genuine failure. Front
+// ends (the CLIs, the qmddd daemon) use it to report a refused or
+// interrupted run gracefully, with partial statistics, instead of treating
+// it as an internal error.
+func Governed(err error) bool {
+	return errors.Is(err, core.ErrBudgetExceeded) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
 // BuildUnitary computes the full circuit unitary by matrix-matrix
 // multiplication (gates applied in order, i.e. U = G_k ··· G_1). Core
 // panics (budget violations, malformed circuits) surface as errors.

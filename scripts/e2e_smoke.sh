@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the qmddd daemon: build the binary, boot it on a
+# random port, run a 2-qubit Grover circuit (the final state is exactly |11⟩,
+# so the assertion is sharp), scrape /metrics, then SIGTERM and require a
+# clean drain and exit 0.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+bindir=$(mktemp -d)
+trap 'rm -rf "$bindir"' EXIT
+go build -o "$bindir/qmddd" ./cmd/qmddd
+
+port=$(( (RANDOM % 20000) + 20000 ))
+base="http://127.0.0.1:$port"
+"$bindir/qmddd" -addr "127.0.0.1:$port" -workers 2 -drain 10s &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$bindir"' EXIT
+
+for _ in $(seq 1 50); do
+    if curl -fsS "$base/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.2
+done
+
+payload='{"qasm":"OPENQASM 2.0;\nqreg q[2];\nh q[0]; h q[1];\ncz q[0],q[1];\nh q[0]; h q[1];\nx q[0]; x q[1];\ncz q[0],q[1];\nx q[0]; x q[1];\nh q[0]; h q[1];","wait":true}'
+result=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$payload" "$base/v1/jobs")
+echo "$result" | grep -q '"status": "done"'    || { echo "job did not finish: $result"; exit 1; }
+echo "$result" | grep -q '"state": "11"'       || { echo "missing |11> outcome: $result"; exit 1; }
+echo "$result" | grep -q '"prob": 1'           || { echo "Grover probability is not 1: $result"; exit 1; }
+
+curl -fsS "$base/v1/version" | grep -q '"name": "qmddd"'
+
+metrics=$(curl -fsS "$base/metrics")
+[ -n "$metrics" ] || { echo "empty /metrics"; exit 1; }
+echo "$metrics" | grep -q '^qmddd_jobs_completed_total 1$' || { echo "bad metrics:"; echo "$metrics"; exit 1; }
+
+kill -TERM "$pid"
+wait "$pid"   # non-zero exit status fails the script via set -e
+trap 'rm -rf "$bindir"' EXIT
+echo "e2e smoke OK"
