@@ -25,8 +25,14 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/alg"
 	"repro/internal/bench"
 	"repro/internal/buildinfo"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/ddio"
+	"repro/internal/qcache"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -51,6 +57,7 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "worker pool for the sweep cells, each on a private manager (0 = GOMAXPROCS, 1 = sequential); output is identical for every setting")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		cacheDir  = flag.String("cache", "", "benchmark the qcache disk tier instead of a figure sweep: run each workload cold (simulate + cache the final state in this directory), then warm (replay from cache), and report both wall times")
 	)
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -144,9 +151,13 @@ func main() {
 		figs = []string{"2", "3", "4", "5", "norms"}
 	}
 	var runErr error
-	for _, f := range figs {
-		if runErr = runOne(ctx, f, p, *outDir, *width); runErr != nil {
-			break
+	if *cacheDir != "" {
+		runErr = runCacheBench(ctx, p, *cacheDir)
+	} else {
+		for _, f := range figs {
+			if runErr = runOne(ctx, f, p, *outDir, *width); runErr != nil {
+				break
+			}
 		}
 	}
 	if runErr != nil && (errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded)) {
@@ -167,6 +178,74 @@ func main() {
 	if runErr != nil {
 		fatal(runErr)
 	}
+}
+
+// runCacheBench measures what the disk tier buys: each paper workload is
+// simulated cold (and its exact final state cached), then replayed warm from
+// the cache, and both wall times are reported. Keys match qsim's -cache-dir,
+// so a directory warmed here also warm-starts the CLI.
+func runCacheBench(ctx context.Context, p bench.FigureParams, dir string) error {
+	disk, err := qcache.OpenDisk(dir)
+	if err != nil {
+		return err
+	}
+	gse, err := bench.GSECircuit(p)
+	if err != nil {
+		return err
+	}
+	workloads := []struct {
+		name string
+		c    *circuit.Circuit
+	}{
+		{"grover", bench.GroverCircuit(p)},
+		{"bwt", bench.BWTCircuit(p)},
+		{"gse", gse},
+	}
+	fmt.Printf("qcache disk tier (%s), cold vs. warm, alg representation:\n", dir)
+	for _, w := range workloads {
+		cold, coldWarmed, nodes, err := cachedRun(ctx, disk, w.c, p)
+		if err != nil {
+			return fmt.Errorf("%s cold run: %w", w.name, err)
+		}
+		warm, warmed, _, err := cachedRun(ctx, disk, w.c, p)
+		if err != nil {
+			return fmt.Errorf("%s warm run: %w", w.name, err)
+		}
+		if !warmed {
+			return fmt.Errorf("%s: second run did not hit the cache", w.name)
+		}
+		label := "cold"
+		if coldWarmed {
+			label = "warm" // pre-warmed directory: both runs replay
+		}
+		fmt.Printf("  %-6s %2dq %5d gates  %s %12v   warm %12v   %6.0f× faster, %d state nodes\n",
+			w.name, w.c.N, w.c.Len(), label, cold.Round(time.Microsecond),
+			warm.Round(time.Microsecond), float64(cold)/float64(warm), nodes)
+	}
+	return nil
+}
+
+// cachedRun executes one workload through the state cache: a hit replays the
+// final state, a miss simulates and stores it. Returns the wall time, hit
+// flag, and state size.
+func cachedRun(ctx context.Context, disk *qcache.Disk, c *circuit.Circuit, p bench.FigureParams) (time.Duration, bool, int, error) {
+	m := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
+	m.SetBudget(p.Budget)
+	sc := qcache.NewStateCache(disk, c, "alg", 0, core.NormLeft, ddio.Codec[alg.Q](ddio.AlgCodec{}))
+	s := sim.New(m, c.N)
+	start := time.Now()
+	if e, ok := sc.Load(m, c.N); ok {
+		s.State = e
+		return time.Since(start), true, s.State.NodeCount(), nil
+	}
+	if err := s.RunCtx(ctx, c, nil); err != nil {
+		return 0, false, 0, err
+	}
+	elapsed := time.Since(start)
+	if err := sc.Store(m, s.State, c.N); err != nil {
+		return 0, false, 0, err
+	}
+	return elapsed, false, s.State.NodeCount(), nil
 }
 
 func writeHeapProfile(path string) error {

@@ -48,6 +48,8 @@ func main() {
 		weightCap   = flag.Int("weight-cap", 0, "server-side cap on per-job MaxWeights budget (0 = none)")
 		byteCap     = flag.Int64("byte-cap", 0, "server-side cap on per-job MaxBytes budget (0 = none)")
 		timeoutCap  = flag.Duration("timeout-cap", 0, "server-side cap on per-job wall clock; also the default when a job asks for none (0 = none)")
+		cacheBytes  = flag.Int64("cache-bytes", 0, "in-memory result-cache byte cap (0 = cache off)")
+		cacheDir    = flag.String("cache-dir", "", "result-cache disk tier; persists across restarts (empty = no disk tier)")
 		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline for in-flight jobs")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
@@ -57,7 +59,7 @@ func main() {
 		return
 	}
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Workers:      *workers,
 		QueueSize:    *queueSize,
 		MaxBodyBytes: *maxBody,
@@ -68,7 +70,12 @@ func main() {
 		WeightCap:    *weightCap,
 		ByteCap:      *byteCap,
 		TimeoutCap:   *timeoutCap,
+		CacheBytes:   *cacheBytes,
+		CacheDir:     *cacheDir,
 	})
+	if err != nil {
+		log.Fatalf("qmddd: %v", err)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,

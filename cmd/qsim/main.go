@@ -27,9 +27,11 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/ddio"
 	"repro/internal/dense"
 	"repro/internal/num"
 	"repro/internal/qasm"
+	"repro/internal/qcache"
 	"repro/internal/sim"
 	"repro/internal/synth"
 )
@@ -61,6 +63,7 @@ func main() {
 		verify    = flag.Bool("verify", false, "cross-check against the dense array simulator (n ≤ 16)")
 		expand    = flag.Bool("expand", false, "expand multi-controlled gates over ancillas before simulating")
 		writeQASM = flag.String("writeqasm", "", "write the (possibly expanded) circuit to this OpenQASM file")
+		cacheDir  = flag.String("cache-dir", "", "warm-start directory: the final state is cached here, keyed by circuit fingerprint and representation, so a repeat invocation skips the simulation")
 	)
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -121,15 +124,24 @@ func main() {
 		defer cancel()
 	}
 
+	var disk *qcache.Disk
+	if *cacheDir != "" {
+		if disk, err = qcache.OpenDisk(*cacheDir); err != nil {
+			fatal(err)
+		}
+	}
+
 	switch *repr {
 	case "alg":
 		m := core.NewManager[alg.Q](alg.Ring{}, norm, core.WithComputeTableSize(*ctSize))
 		m.SetBudget(budget)
-		runAndReport(ctx, m, c, *samples, *seed, *topK, *stats, true, *verify, *prune)
+		cc := qcache.NewStateCache(disk, c, "alg", 0, norm, ddio.Codec[alg.Q](ddio.AlgCodec{}))
+		runAndReport(ctx, m, c, *samples, *seed, *topK, *stats, true, *verify, *prune, cc)
 	case "num":
 		m := core.NewManager[complex128](num.NewRing(*eps), norm, core.WithComputeTableSize(*ctSize))
 		m.SetBudget(budget)
-		runAndReport(ctx, m, c, *samples, *seed, *topK, *stats, false, *verify, *prune)
+		cc := qcache.NewStateCache(disk, c, "float", *eps, norm, ddio.Codec[complex128](ddio.NumCodec{}))
+		runAndReport(ctx, m, c, *samples, *seed, *topK, *stats, false, *verify, *prune, cc)
 	default:
 		fatal(fmt.Errorf("unknown representation %q (want alg or num)", *repr))
 	}
@@ -211,27 +223,37 @@ func buildCircuit(algName, file string, o buildOpts) (*circuit.Circuit, error) {
 	return nil, fmt.Errorf("choose a workload with -alg {grover,bwt,gse,ghz} or -file <qasm>")
 }
 
-func runAndReport[T any](ctx context.Context, m *core.Manager[T], c *circuit.Circuit, samples int, seed int64, topK int, stats, exact, verify bool, prune int) {
+func runAndReport[T any](ctx context.Context, m *core.Manager[T], c *circuit.Circuit, samples int, seed int64, topK int, stats, exact, verify bool, prune int, cc *qcache.StateCache[T]) {
 	s := sim.New(m, c.N)
 	if prune > 0 {
 		s.EnableAutoPrune(prune)
 	}
 	start := time.Now()
-	if err := s.RunCtx(ctx, c, nil); err != nil {
-		if governed(err) {
-			// A refused/interrupted run is a graceful outcome: report the
-			// partial statistics and exit cleanly.
-			fmt.Printf("run stopped early: %v\n", err)
-			fmt.Printf("partial state after %v: %d nodes; %s\n",
-				time.Since(start).Round(time.Millisecond), s.State.NodeCount(), m.Peak())
-			printStats(m)
-			return
+	if e, ok := cc.Load(m, c.N); ok {
+		s.State = e
+		fmt.Printf("warm start: state restored from cache in %v; %d nodes; ‖ψ‖ = %.12f\n",
+			time.Since(start).Round(time.Millisecond), s.State.NodeCount(), m.Norm2(s.State))
+	} else {
+		if err := s.RunCtx(ctx, c, nil); err != nil {
+			if governed(err) {
+				// A refused/interrupted run is a graceful outcome: report the
+				// partial statistics and exit cleanly.
+				fmt.Printf("run stopped early: %v\n", err)
+				fmt.Printf("partial state after %v: %d nodes; %s\n",
+					time.Since(start).Round(time.Millisecond), s.State.NodeCount(), m.Peak())
+				printStats(m)
+				return
+			}
+			fatal(err)
 		}
-		fatal(err)
+		elapsed := time.Since(start)
+		fmt.Printf("simulated in %v; state QMDD has %d nodes; ‖ψ‖ = %.12f\n",
+			elapsed, s.State.NodeCount(), m.Norm2(s.State))
+		if err := cc.Store(m, s.State, c.N); err != nil {
+			// The cache is an accelerator, not part of the result: warn only.
+			fmt.Fprintln(os.Stderr, "qsim: caching state:", err)
+		}
 	}
-	elapsed := time.Since(start)
-	fmt.Printf("simulated in %v; state QMDD has %d nodes; ‖ψ‖ = %.12f\n",
-		elapsed, s.State.NodeCount(), m.Norm2(s.State))
 	if exact {
 		fmt.Printf("max coefficient bit width: %d; trivial-weight fraction: %.2f\n",
 			m.MaxWeightBitLen(s.State), m.TrivialWeightFraction(s.State))

@@ -1,0 +1,60 @@
+package circuit
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"sort"
+)
+
+// Fingerprint returns a SHA-256 digest of the circuit's semantic content:
+// the qubit count and the ordered gate list (base-operation name, target,
+// controls, exact parameter bits). Everything presentational is excluded —
+// the circuit name, how the source was formatted, what the registers were
+// called — so two parses of semantically identical programs collide and the
+// digest can serve as a content address for cached simulation results.
+//
+// Controls are order-insensitive (a gate fires when all of them are
+// satisfied, regardless of listing order), so they are hashed in sorted
+// order. Parameters are hashed via their IEEE-754 bit patterns: exact
+// equality, no tolerance — a cache built on this key never conflates two
+// circuits that could simulate differently.
+func Fingerprint(c *Circuit) [sha256.Size]byte {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	writeStr := func(s string) {
+		writeInt(len(s))
+		h.Write([]byte(s))
+	}
+	writeStr("qmdd-circuit-v1") // domain separator / schema version
+	writeInt(c.N)
+	writeInt(len(c.Gates))
+	ctrls := make([]Control, 0, 4)
+	for _, g := range c.Gates {
+		writeStr(g.Name)
+		writeInt(g.Target)
+		ctrls = append(ctrls[:0], g.Controls...)
+		sort.Slice(ctrls, func(i, j int) bool { return ctrls[i].Qubit < ctrls[j].Qubit })
+		writeInt(len(ctrls))
+		for _, ct := range ctrls {
+			writeInt(ct.Qubit)
+			if ct.Neg {
+				writeInt(1)
+			} else {
+				writeInt(0)
+			}
+		}
+		writeInt(len(g.Params))
+		for _, p := range g.Params {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p))
+			h.Write(buf[:])
+		}
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}

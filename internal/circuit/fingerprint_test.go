@@ -1,0 +1,28 @@
+package circuit
+
+import "testing"
+
+func TestFingerprintStableAndSensitive(t *testing.T) {
+	build := func() *Circuit {
+		return New("bell", 2).H(0).CX(0, 1)
+	}
+	a, b := Fingerprint(build()), Fingerprint(build())
+	if a != b {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if Fingerprint(New("bell", 2).H(0).CX(1, 0)) == a {
+		t.Error("reversed CNOT collided")
+	}
+	if Fingerprint(New("bell", 3).H(0).CX(0, 1)) == a {
+		t.Error("extra qubit collided")
+	}
+	if Fingerprint(New("bell", 2).H(0)) == a {
+		t.Error("prefix circuit collided")
+	}
+	if Fingerprint(New("other-name", 2).H(0).CX(0, 1)) != a {
+		t.Error("circuit name is presentational and must not affect the fingerprint")
+	}
+	if Fingerprint(New("rz", 2).Rz(0.5, 0)) == Fingerprint(New("rz", 2).Rz(0.5000000001, 0)) {
+		t.Error("parameter bits collided")
+	}
+}

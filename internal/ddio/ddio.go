@@ -11,6 +11,16 @@
 //	root <w>:<idx|t>
 //
 // Nodes appear children-first; weights are ring-specific opaque tokens.
+//
+// Version 2 (WriteMeta) inserts one metadata record after the header:
+//
+//	qmdd v2 <ring> <qubits>
+//	meta repr=<repr> norm=<norm> eps=<hexfloat>
+//
+// The metadata stamps how the diagram was produced so a reader reusing a
+// stored diagram (the qcache disk tier, qsim warm starts) can refuse a file
+// whose provenance does not match what it is about to serve. Read accepts
+// both versions; v1 files simply carry no metadata.
 package ddio
 
 import (
@@ -30,12 +40,90 @@ type Codec[T any] interface {
 	Decode(string) (T, error)
 }
 
-// Write serializes the diagram rooted at e.
+// Meta is the provenance stamp of a version-2 file: which representation
+// produced the diagram ("alg" or "float"), under which normalization
+// scheme, and — for the float representation — at which interning
+// tolerance. Exact algebraic diagrams are ε-independent, so Eps is ignored
+// when Repr is "alg" (both when writing and when checking).
+type Meta struct {
+	// Version is the file format version the stamp was read from (FormatV1
+	// for headerless files, FormatV2 when a meta record was present). It is
+	// informational on writes — WriteMeta always emits FormatV2.
+	Version int
+	Repr    string
+	Norm    string
+	Eps     float64
+}
+
+// FormatVersion reported for files read without a meta record.
+const (
+	FormatV1 = 1
+	FormatV2 = 2
+)
+
+// MismatchError reports a v2 metadata field that contradicts what the
+// reader required. It is a typed error so callers can distinguish "this
+// cached artifact belongs to a different configuration" (drop and rebuild)
+// from a corrupt or hostile file.
+type MismatchError struct {
+	Field string // "version", "repr", "norm" or "eps"
+	Got   string
+	Want  string
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("ddio: header %s is %q, want %q", e.Field, e.Got, e.Want)
+}
+
+// check compares the stamped metadata against a requirement.
+func (meta Meta) check(want Meta) error {
+	if meta.Repr != want.Repr {
+		return &MismatchError{Field: "repr", Got: meta.Repr, Want: want.Repr}
+	}
+	if meta.Norm != want.Norm {
+		return &MismatchError{Field: "norm", Got: meta.Norm, Want: want.Norm}
+	}
+	if want.Repr == "float" && meta.Eps != want.Eps {
+		return &MismatchError{
+			Field: "eps",
+			Got:   strconv.FormatFloat(meta.Eps, 'x', -1, 64),
+			Want:  strconv.FormatFloat(want.Eps, 'x', -1, 64),
+		}
+	}
+	return nil
+}
+
+// Write serializes the diagram rooted at e in the version-1 format (no
+// metadata record).
 func Write[T any](w io.Writer, m *core.Manager[T], c Codec[T], e core.Edge[T], qubits int) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "qmdd v1 %s %d\n", c.RingName(), qubits); err != nil {
 		return err
 	}
+	return writeBody(bw, c, e)
+}
+
+// WriteMeta serializes the diagram in the version-2 format, stamping it
+// with the given provenance metadata. Eps is normalized to 0 for non-float
+// representations so byte output never depends on an irrelevant field.
+func WriteMeta[T any](w io.Writer, m *core.Manager[T], c Codec[T], e core.Edge[T], qubits int, meta Meta) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "qmdd v2 %s %d\n", c.RingName(), qubits); err != nil {
+		return err
+	}
+	eps := meta.Eps
+	if meta.Repr != "float" {
+		eps = 0
+	}
+	if _, err := fmt.Fprintf(bw, "meta repr=%s norm=%s eps=%s\n",
+		meta.Repr, meta.Norm, strconv.FormatFloat(eps, 'x', -1, 64)); err != nil {
+		return err
+	}
+	return writeBody(bw, c, e)
+}
+
+// writeBody emits the node and root records (shared by both versions).
+func writeBody[T any](bw *bufio.Writer, c Codec[T], e core.Edge[T]) error {
 	idx := map[*core.Node[T]]int{}
 	var emit func(n *core.Node[T]) error
 	emit = func(n *core.Node[T]) error {
@@ -123,7 +211,18 @@ func Read[T any](r io.Reader, m *core.Manager[T], c Codec[T]) (core.Edge[T], int
 // input exceeding the caps — is rejected with a descriptive error. Panics
 // from the diagram core (e.g. a manager budget tripping mid-decode) are
 // converted to errors, so a network front end never crashes on a payload.
-func ReadLimited[T any](r io.Reader, m *core.Manager[T], c Codec[T], lim Limits) (_ core.Edge[T], _ int, err error) {
+func ReadLimited[T any](r io.Reader, m *core.Manager[T], c Codec[T], lim Limits) (core.Edge[T], int, error) {
+	e, qubits, _, err := ReadMeta(r, m, c, lim, nil)
+	return e, qubits, err
+}
+
+// ReadMeta is ReadLimited plus metadata handling: it returns the file's
+// provenance stamp (Version FormatV1 with zero fields for headerless v1
+// files) and, when want is non-nil, refuses a diagram whose stamped
+// repr/norm/ε contradicts the requirement with a *MismatchError — a v1
+// file fails such a check outright, since it certifies nothing. This is
+// the validation gate of the qcache disk tier.
+func ReadMeta[T any](r io.Reader, m *core.Manager[T], c Codec[T], lim Limits, want *Meta) (_ core.Edge[T], _ int, meta Meta, err error) {
 	defer core.RecoverTo(&err)
 	lim = lim.withDefaults()
 	var zero core.Edge[T]
@@ -145,23 +244,72 @@ func ReadLimited[T any](r io.Reader, m *core.Manager[T], c Codec[T], lim Limits)
 	}
 	if !sc.Scan() {
 		if e := scanErr(); e != nil {
-			return zero, 0, e
+			return zero, 0, meta, e
 		}
-		return zero, 0, fmt.Errorf("ddio: empty input")
+		return zero, 0, meta, fmt.Errorf("ddio: empty input")
 	}
 	header := strings.Fields(sc.Text())
-	if len(header) != 4 || header[0] != "qmdd" || header[1] != "v1" {
-		return zero, 0, fmt.Errorf("ddio: bad header %q", sc.Text())
+	if len(header) != 4 || header[0] != "qmdd" || (header[1] != "v1" && header[1] != "v2") {
+		return zero, 0, meta, fmt.Errorf("ddio: bad header %q", sc.Text())
+	}
+	meta.Version = FormatV1
+	if header[1] == "v2" {
+		meta.Version = FormatV2
 	}
 	if header[2] != c.RingName() {
-		return zero, 0, fmt.Errorf("ddio: diagram uses ring %q, codec provides %q", header[2], c.RingName())
+		return zero, 0, meta, fmt.Errorf("ddio: diagram uses ring %q, codec provides %q", header[2], c.RingName())
 	}
 	qubits, err := strconv.Atoi(header[3])
 	if err != nil || qubits < 0 {
-		return zero, 0, fmt.Errorf("ddio: bad qubit count %q", header[3])
+		return zero, 0, meta, fmt.Errorf("ddio: bad qubit count %q", header[3])
 	}
 	if qubits > lim.MaxQubits {
-		return zero, 0, fmt.Errorf("ddio: %d qubits exceeds cap %d", qubits, lim.MaxQubits)
+		return zero, 0, meta, fmt.Errorf("ddio: %d qubits exceeds cap %d", qubits, lim.MaxQubits)
+	}
+
+	// A v2 file carries its provenance in one meta record directly after the
+	// header; a v1 file certifies nothing. Either way the requirement check
+	// happens here, before any diagram work is spent on a mismatched file.
+	if meta.Version >= FormatV2 {
+		if !sc.Scan() {
+			if e := scanErr(); e != nil {
+				return zero, 0, meta, e
+			}
+			return zero, 0, meta, fmt.Errorf("ddio: v2 file is missing its meta record")
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || fields[0] != "meta" {
+			return zero, 0, meta, fmt.Errorf("ddio: v2 file must carry a meta record after the header, got %q", sc.Text())
+		}
+		for _, kv := range fields[1:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return zero, 0, meta, fmt.Errorf("ddio: bad meta field %q", kv)
+			}
+			switch k {
+			case "repr":
+				meta.Repr = v
+			case "norm":
+				meta.Norm = v
+			case "eps":
+				eps, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return zero, 0, meta, fmt.Errorf("ddio: bad meta eps %q", v)
+				}
+				meta.Eps = eps
+			default:
+				// Unknown keys are ignored: future versions may add fields
+				// without breaking older readers.
+			}
+		}
+	}
+	if want != nil {
+		if meta.Version < FormatV2 {
+			return zero, 0, meta, &MismatchError{Field: "version", Got: "v1 (unstamped)", Want: "v2"}
+		}
+		if err := meta.check(*want); err != nil {
+			return zero, 0, meta, err
+		}
 	}
 
 	// edge i = the normalized edge standing in for written node i; levels[i]
@@ -201,55 +349,55 @@ func ReadLimited[T any](r io.Reader, m *core.Manager[T], c Codec[T], lim Limits)
 		switch fields[0] {
 		case "n":
 			if len(fields) < 5 {
-				return zero, 0, fmt.Errorf("ddio: short node line %q", sc.Text())
+				return zero, 0, meta, fmt.Errorf("ddio: short node line %q", sc.Text())
 			}
 			id, err := strconv.Atoi(fields[1])
 			if err != nil || id != len(edges) {
-				return zero, 0, fmt.Errorf("ddio: nodes must be numbered consecutively without duplicates (got %q, want %d)", fields[1], len(edges))
+				return zero, 0, meta, fmt.Errorf("ddio: nodes must be numbered consecutively without duplicates (got %q, want %d)", fields[1], len(edges))
 			}
 			if id >= lim.MaxNodes {
-				return zero, 0, fmt.Errorf("ddio: node count exceeds cap %d", lim.MaxNodes)
+				return zero, 0, meta, fmt.Errorf("ddio: node count exceeds cap %d", lim.MaxNodes)
 			}
 			level, err := strconv.Atoi(fields[2])
 			if err != nil || level < 1 {
-				return zero, 0, fmt.Errorf("ddio: bad level %q", fields[2])
+				return zero, 0, meta, fmt.Errorf("ddio: bad level %q", fields[2])
 			}
 			if level > qubits {
-				return zero, 0, fmt.Errorf("ddio: node %d at level %d exceeds the %d-qubit header", id, level, qubits)
+				return zero, 0, meta, fmt.Errorf("ddio: node %d at level %d exceeds the %d-qubit header", id, level, qubits)
 			}
 			kids := fields[3:]
 			if len(kids) != core.VectorArity && len(kids) != core.MatrixArity {
-				return zero, 0, fmt.Errorf("ddio: node %d has %d children", id, len(kids))
+				return zero, 0, meta, fmt.Errorf("ddio: node %d has %d children", id, len(kids))
 			}
 			if arity == 0 {
 				arity = len(kids)
 			} else if len(kids) != arity {
-				return zero, 0, fmt.Errorf("ddio: node %d has arity %d, diagram started with arity %d", id, len(kids), arity)
+				return zero, 0, meta, fmt.Errorf("ddio: node %d has arity %d, diagram started with arity %d", id, len(kids), arity)
 			}
 			es := make([]core.Edge[T], len(kids))
 			for i, tok := range kids {
 				es[i], err = parseEdge(tok, level)
 				if err != nil {
-					return zero, 0, err
+					return zero, 0, meta, err
 				}
 			}
 			edges = append(edges, m.MakeNode(level, es))
 			levels = append(levels, level)
 		case "root":
 			if len(fields) != 2 {
-				return zero, 0, fmt.Errorf("ddio: bad root line %q", sc.Text())
+				return zero, 0, meta, fmt.Errorf("ddio: bad root line %q", sc.Text())
 			}
 			root, err := parseEdge(fields[1], qubits+1)
 			if err != nil {
-				return zero, 0, err
+				return zero, 0, meta, err
 			}
-			return root, qubits, nil
+			return root, qubits, meta, nil
 		default:
-			return zero, 0, fmt.Errorf("ddio: unknown record %q", fields[0])
+			return zero, 0, meta, fmt.Errorf("ddio: unknown record %q", fields[0])
 		}
 	}
 	if e := scanErr(); e != nil {
-		return zero, 0, e
+		return zero, 0, meta, e
 	}
-	return zero, 0, fmt.Errorf("ddio: missing root record")
+	return zero, 0, meta, fmt.Errorf("ddio: missing root record")
 }

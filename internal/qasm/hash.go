@@ -1,0 +1,22 @@
+package qasm
+
+import (
+	"crypto/sha256"
+
+	"repro/internal/circuit"
+)
+
+// Fingerprint parses an OpenQASM 2.0 program and returns the canonical
+// SHA-256 fingerprint of the circuit it denotes. The parse itself is the
+// canonicalization step: comments, whitespace, register names, include
+// statements and gate-macro structure are all resolved away before hashing,
+// so semantically identical sources map to the same digest while any
+// difference in the flattened gate stream changes it. This is the circuit
+// half of the qcache content address.
+func Fingerprint(src string) ([sha256.Size]byte, error) {
+	c, err := Parse(src, "fingerprint")
+	if err != nil {
+		return [sha256.Size]byte{}, err
+	}
+	return circuit.Fingerprint(c), nil
+}

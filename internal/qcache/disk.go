@@ -1,0 +1,177 @@
+package qcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Disk is tier 2: one file per entry under a cache directory, written with
+// an atomic rename so a crash mid-write never leaves a half entry under a
+// valid name. Every file starts with a stamped header
+//
+//	qcache v1 repr=<repr> norm=<norm> eps=<hexfloat> len=<n> sha256=<hex>
+//
+// validated on load: wrong format version, provenance mismatch against the
+// requesting identity, length or checksum disagreement all refuse the entry
+// with *DiskEntryError instead of serving bytes that belong to a different
+// configuration (or to nobody, after corruption).
+type Disk struct {
+	dir string
+}
+
+// diskVersion is the on-disk entry format version; unknown versions are
+// refused so a future format change invalidates old caches cleanly.
+const diskVersion = "v1"
+
+// DiskEntryError reports a disk entry that exists but cannot be served:
+// stamped for a different configuration, truncated, or corrupt. Callers
+// treat it as a miss (and may delete the file), but the typed reason keeps
+// the two cases distinguishable in logs and tests.
+type DiskEntryError struct {
+	Path   string
+	Reason string
+}
+
+func (e *DiskEntryError) Error() string {
+	return fmt.Sprintf("qcache: disk entry %s: %s", e.Path, e.Reason)
+}
+
+// OpenDisk opens (creating if needed) a disk tier rooted at dir.
+func OpenDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("qcache: opening cache dir: %w", err)
+	}
+	return &Disk{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (d *Disk) Dir() string { return d.dir }
+
+func (d *Disk) path(k Key) string { return filepath.Join(d.dir, k.String()+".qc") }
+
+// Put stores payload under k with the given stamp. The write lands in a
+// temp file first and is renamed into place, so concurrent readers and
+// crashes only ever observe complete entries.
+func (d *Disk) Put(k Key, payload []byte, st Stamp) error {
+	sum := sha256.Sum256(payload)
+	header := fmt.Sprintf("qcache %s repr=%s norm=%s eps=%s len=%d sha256=%s\n",
+		diskVersion, st.Repr, st.Norm,
+		strconv.FormatFloat(st.Eps, 'x', -1, 64), len(payload), hex.EncodeToString(sum[:]))
+	tmp, err := os.CreateTemp(d.dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.WriteString(header); err != nil {
+		tmp.Close()
+		return err
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), d.path(k))
+}
+
+// Get loads the entry under k. A missing file is (nil, false, nil); an
+// existing but unusable file is (nil, false, *DiskEntryError).
+func (d *Disk) Get(k Key, want Stamp) ([]byte, bool, error) {
+	path := d.path(k)
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	fail := func(format string, args ...any) ([]byte, bool, error) {
+		return nil, false, &DiskEntryError{Path: path, Reason: fmt.Sprintf(format, args...)}
+	}
+	nl := strings.IndexByte(string(raw), '\n')
+	if nl < 0 {
+		return fail("missing header line")
+	}
+	fields := strings.Fields(string(raw[:nl]))
+	if len(fields) < 2 || fields[0] != "qcache" {
+		return fail("bad magic %q", string(raw[:nl]))
+	}
+	if fields[1] != diskVersion {
+		return fail("format version %q, want %q", fields[1], diskVersion)
+	}
+	var (
+		st      Stamp
+		wantLen = -1
+		wantSum string
+	)
+	for _, kv := range fields[2:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fail("bad header field %q", kv)
+		}
+		switch key {
+		case "repr":
+			st.Repr = val
+		case "norm":
+			st.Norm = val
+		case "eps":
+			eps, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return fail("bad eps %q", val)
+			}
+			st.Eps = eps
+		case "len":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return fail("bad len %q", val)
+			}
+			wantLen = n
+		case "sha256":
+			wantSum = val
+		}
+	}
+	if st != want {
+		return fail("stamped for repr=%s norm=%s eps=%g, want repr=%s norm=%s eps=%g",
+			st.Repr, st.Norm, st.Eps, want.Repr, want.Norm, want.Eps)
+	}
+	payload := raw[nl+1:]
+	if wantLen < 0 || wantLen != len(payload) {
+		return fail("payload is %d bytes, header says %d", len(payload), wantLen)
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != wantSum {
+		return fail("checksum mismatch")
+	}
+	return payload, true, nil
+}
+
+// Remove deletes the entry under k (used to clear unusable files).
+func (d *Disk) Remove(k Key) error {
+	err := os.Remove(d.path(k))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// Len counts the complete entries on disk (diagnostics; O(dir)).
+func (d *Disk) Len() (int, error) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".qc") {
+			n++
+		}
+	}
+	return n, nil
+}

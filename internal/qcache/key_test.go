@@ -1,0 +1,73 @@
+package qcache
+
+import "testing"
+
+func fp(b byte) [32]byte {
+	var f [32]byte
+	f[0] = b
+	return f
+}
+
+func TestIdentityKeyEpsPolicy(t *testing.T) {
+	alg := Identity{Circuit: fp(1), Repr: "alg", Norm: "left", Output: "amplitudes", TopK: 16}
+	algEps := alg
+	algEps.Eps = 1e-3
+	if alg.Key() != algEps.Key() {
+		t.Error("alg keys must be ε-independent (exact results don't depend on ε)")
+	}
+	flo := Identity{Circuit: fp(1), Repr: "float", Norm: "left", Eps: 1e-3, Output: "amplitudes", TopK: 16}
+	floEps := flo
+	floEps.Eps = 1e-6
+	if flo.Key() == floEps.Key() {
+		t.Error("float keys must fold ε in (a different tolerance is a different semantics)")
+	}
+	if alg.Key() == flo.Key() {
+		t.Error("repr must split the key space")
+	}
+}
+
+func TestIdentityKeySensitivity(t *testing.T) {
+	base := Identity{Circuit: fp(1), Repr: "alg", Norm: "left", Output: "amplitudes", TopK: 16}
+	variants := []Identity{
+		{Circuit: fp(2), Repr: "alg", Norm: "left", Output: "amplitudes", TopK: 16},
+		{Circuit: fp(1), Repr: "alg", Norm: "gcd", Output: "amplitudes", TopK: 16},
+		{Circuit: fp(1), Repr: "alg", Norm: "left", Output: "ddio", TopK: 16},
+		{Circuit: fp(1), Repr: "alg", Norm: "left", Output: "amplitudes", TopK: 32},
+	}
+	seen := map[Key]bool{base.Key(): true}
+	for i, v := range variants {
+		if seen[v.Key()] {
+			t.Errorf("variant %d collided", i)
+		}
+		seen[v.Key()] = true
+	}
+	if base.Key() != base.Key() {
+		t.Error("key not deterministic")
+	}
+}
+
+func TestFlightIDIncludesBudgets(t *testing.T) {
+	id := Identity{Circuit: fp(1), Repr: "alg", Norm: "left", Output: "amplitudes", TopK: 16}
+	a := FlightID{Identity: id, MaxNodes: 1000}
+	b := FlightID{Identity: id, MaxNodes: 2000}
+	if a.Key() == b.Key() {
+		t.Error("different budgets must not share a flight (a follower would inherit the wrong budget verdict)")
+	}
+	if a.Key() != (FlightID{Identity: id, MaxNodes: 1000}).Key() {
+		t.Error("flight key not deterministic")
+	}
+	if a.Key() == id.Key() {
+		t.Error("flight and cache key spaces must be domain-separated")
+	}
+}
+
+func TestStampNormalizesAlgEps(t *testing.T) {
+	id := Identity{Repr: "alg", Norm: "left", Eps: 0.5}
+	if st := id.Stamp(); st.Eps != 0 {
+		t.Errorf("alg stamp eps = %g, want 0", st.Eps)
+	}
+	idF := Identity{Repr: "float", Norm: "max", Eps: 0.5}
+	if st := idF.Stamp(); st.Eps != 0.5 {
+		t.Errorf("float stamp eps = %g, want 0.5", st.Eps)
+	}
+}

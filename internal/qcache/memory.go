@@ -1,0 +1,102 @@
+package qcache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// memOverhead is the per-entry byte charge on top of the payload: key,
+// list element, map slot. An estimate — the point of byte accounting is a
+// stable ceiling, not heap-exact arithmetic.
+const memOverhead = 128
+
+// Memory is tier 1: a thread-safe LRU keyed by content address, bounded by
+// accounted bytes rather than entry count (result envelopes range from a
+// few hundred bytes of amplitudes to megabytes of serialized diagrams).
+type Memory struct {
+	mu        sync.Mutex
+	cap       int64
+	bytes     int64
+	ll        *list.List // front = most recently used
+	items     map[Key]*list.Element
+	evictions uint64
+}
+
+type memEntry struct {
+	key     Key
+	payload []byte
+}
+
+// NewMemory returns an LRU bounded at maxBytes of accounted payload.
+func NewMemory(maxBytes int64) *Memory {
+	return &Memory{cap: maxBytes, ll: list.New(), items: make(map[Key]*list.Element)}
+}
+
+func entrySize(payload []byte) int64 { return int64(len(payload)) + memOverhead }
+
+// Get returns the payload stored under k, refreshing its recency. The
+// returned slice is the cached array: callers must treat it as immutable.
+func (c *Memory) Get(k Key) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*memEntry).payload, true
+}
+
+// Put stores payload under k, evicting least-recently-used entries until
+// the byte cap holds again. A payload that alone exceeds the cap is not
+// stored (storing it would evict the entire cache for one entry).
+func (c *Memory) Put(k Key, payload []byte) {
+	size := entrySize(payload)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.cap {
+		return
+	}
+	if el, ok := c.items[k]; ok {
+		// Same content address ⇒ same bytes in the usual case, but replace
+		// anyway: the accounting must follow whatever the caller stored.
+		c.bytes += size - entrySize(el.Value.(*memEntry).payload)
+		el.Value.(*memEntry).payload = payload
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[k] = c.ll.PushFront(&memEntry{key: k, payload: payload})
+		c.bytes += size
+	}
+	for c.bytes > c.cap {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		ent := oldest.Value.(*memEntry)
+		c.ll.Remove(oldest)
+		delete(c.items, ent.key)
+		c.bytes -= entrySize(ent.payload)
+		c.evictions++
+	}
+}
+
+// Bytes returns the accounted byte total.
+func (c *Memory) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Len returns the entry count.
+func (c *Memory) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Evictions returns the cumulative eviction count.
+func (c *Memory) Evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}

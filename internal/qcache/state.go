@@ -1,0 +1,80 @@
+package qcache
+
+import (
+	"bytes"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/ddio"
+)
+
+// StateCache binds a Disk to one (circuit, representation, norm, ε)
+// identity and moves the final state diagram through it as a ddio v2 blob:
+// Load decodes a previously cached state into the caller's manager, Store
+// serializes one for the next process. This is the warm-start layer the CLI
+// tools share — the cache key is the same canonical identity the server
+// uses, with Output pinned to "state" so reporting options (top-K, sample
+// counts) never fragment the key space. A nil *StateCache is a valid
+// disabled cache.
+type StateCache[T any] struct {
+	disk  *Disk
+	key   Key
+	stamp Stamp
+	codec ddio.Codec[T]
+	meta  ddio.Meta
+}
+
+// NewStateCache keys d by the circuit's fingerprint plus the representation
+// parameters. repr follows the wire names: "alg" or "float" (ε is folded in
+// only for "float"). Returns nil when d is nil.
+func NewStateCache[T any](d *Disk, c *circuit.Circuit, repr string, eps float64, norm core.NormScheme, codec ddio.Codec[T]) *StateCache[T] {
+	if d == nil {
+		return nil
+	}
+	id := Identity{
+		Circuit: circuit.Fingerprint(c),
+		Repr:    repr,
+		Norm:    norm.String(),
+		Eps:     eps,
+		Output:  "state",
+	}
+	return &StateCache[T]{
+		disk:  d,
+		key:   id.Key(),
+		stamp: id.Stamp(),
+		codec: codec,
+		meta:  ddio.Meta{Version: ddio.FormatV2, Repr: repr, Norm: norm.String(), Eps: eps},
+	}
+}
+
+// Load fetches and decodes the cached final state into m. Any failure —
+// miss, stamp mismatch, malformed payload, wrong width — is reported as a
+// cold start, never an error: the simulation is always a valid fallback.
+func (sc *StateCache[T]) Load(m *core.Manager[T], qubits int) (core.Edge[T], bool) {
+	var zero core.Edge[T]
+	if sc == nil {
+		return zero, false
+	}
+	payload, ok, err := sc.disk.Get(sc.key, sc.stamp)
+	if !ok || err != nil {
+		return zero, false
+	}
+	e, qn, _, err := ddio.ReadMeta(bytes.NewReader(payload), m, sc.codec, ddio.Limits{}, &sc.meta)
+	if err != nil || qn != qubits {
+		return zero, false
+	}
+	return e, true
+}
+
+// Store serializes the final state into the disk tier under the stamped
+// header both layers (qcache and ddio v2) will validate on the way back.
+func (sc *StateCache[T]) Store(m *core.Manager[T], e core.Edge[T], qubits int) error {
+	if sc == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := ddio.WriteMeta(&buf, m, sc.codec, e, qubits, sc.meta); err != nil {
+		return err
+	}
+	return sc.disk.Put(sc.key, buf.Bytes(), sc.stamp)
+}

@@ -12,7 +12,10 @@ import (
 // TestGracefulDrain: accepted jobs finish during Shutdown, new submissions
 // are refused with 503, and healthz flips to draining.
 func TestGracefulDrain(t *testing.T) {
-	s := New(Config{Workers: 2, QueueSize: 16})
+	s, err := New(Config{Workers: 2, QueueSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 
@@ -69,14 +72,19 @@ func TestDrainDeadlineCancelsInFlight(t *testing.T) {
 	release := make(chan struct{})
 	entered := make(chan struct{}, 4)
 	cfg.hookRunning = func(*job) { entered <- struct{}{}; <-release }
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 
 	// First job blocks in the hook (in flight); second waits in the queue.
+	// Distinct circuits: an identical one would be deduplicated onto the
+	// first, and this test is about the queued path.
 	_, inflight, _ := postJob(t, ts.URL, fmt.Sprintf(`{"qasm": %q}`, ghzQASM(3)))
 	<-entered
-	_, queued, _ := postJob(t, ts.URL, fmt.Sprintf(`{"qasm": %q}`, ghzQASM(3)))
+	_, queued, _ := postJob(t, ts.URL, fmt.Sprintf(`{"qasm": %q}`, ghzQASM(4)))
 
 	done := make(chan struct{})
 	go func() { s.Shutdown(20 * time.Millisecond); close(done) }()
@@ -107,7 +115,10 @@ func TestDrainDeadlineCancelsInFlight(t *testing.T) {
 // TestShutdownIdempotent: calling Shutdown twice is safe (the second call
 // returns immediately).
 func TestShutdownIdempotent(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.Shutdown(time.Second)
 	donee := make(chan struct{})
 	go func() { s.Shutdown(time.Second); close(donee) }()

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/qcache"
 )
 
 // JobRequest is the POST /v1/jobs body. Representation, budget and output
@@ -108,15 +109,30 @@ const (
 )
 
 // JobView is the wire form of a job record (GET /v1/jobs/{id} and, with
-// Result populated, GET /v1/jobs/{id}/result).
+// Result populated, GET /v1/jobs/{id}/result). Cached marks a job whose
+// result was served without running the simulation: a qcache hit, or a
+// submission collapsed onto an identical in-flight job by the singleflight
+// layer.
 type JobView struct {
 	ID         string     `json:"id"`
 	Status     string     `json:"status"`
+	Cached     bool       `json:"cached,omitempty"`
 	QueuedAt   time.Time  `json:"queued_at"`
 	StartedAt  *time.Time `json:"started_at,omitempty"`
 	FinishedAt *time.Time `json:"finished_at,omitempty"`
 	Error      *ErrorBody `json:"error,omitempty"`
 	Result     *JobResult `json:"result,omitempty"`
+}
+
+// flightOutcome is what a leader job publishes to the submissions collapsed
+// onto it: the terminal status, the canonical JSON encoding of the result
+// envelope (nil on failure), and the error body (nil on success). Followers
+// rebuild their JobResult from the same payload bytes the cache stores, so
+// every copy of the envelope is byte-identical.
+type flightOutcome struct {
+	status  string
+	payload []byte
+	errBody *ErrorBody
 }
 
 // job is the internal record flowing through the queue. Mutable fields are
@@ -128,7 +144,16 @@ type job struct {
 	circ *circuit.Circuit
 	done chan struct{}
 
+	// Cache/singleflight wiring, set at submit time: key and stamp address
+	// this job's result envelope; flight is non-nil on a leader and must be
+	// completed exactly once when the job reaches a terminal status.
+	cacheKey  qcache.Key
+	stamp     qcache.Stamp
+	cacheable bool
+	flight    *qcache.Call[flightOutcome]
+
 	status     string
+	cached     bool
 	queuedAt   time.Time
 	startedAt  time.Time
 	finishedAt time.Time
@@ -197,6 +222,15 @@ func (st *jobStore) setRunning(j *job) {
 	st.mu.Unlock()
 }
 
+// markCached flags a job whose result was delivered by the cache or flight
+// layer instead of a simulation run. Call before finish: waiters read the
+// flag as soon as done closes.
+func (st *jobStore) markCached(j *job) {
+	st.mu.Lock()
+	j.cached = true
+	st.mu.Unlock()
+}
+
 // finish moves j to a terminal status and wakes waiters.
 func (st *jobStore) finish(j *job, status string, res *JobResult, errBody *ErrorBody) {
 	st.mu.Lock()
@@ -212,7 +246,7 @@ func (st *jobStore) finish(j *job, status string, res *JobResult, errBody *Error
 func (st *jobStore) view(j *job, withResult bool) JobView {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	v := JobView{ID: j.id, Status: j.status, QueuedAt: j.queuedAt, Error: j.errBody}
+	v := JobView{ID: j.id, Status: j.status, Cached: j.cached, QueuedAt: j.queuedAt, Error: j.errBody}
 	if !j.startedAt.IsZero() {
 		t := j.startedAt
 		v.StartedAt = &t

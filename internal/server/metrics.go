@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/qcache"
 )
 
 // metrics is the daemon's observability state, rendered as Prometheus text
@@ -22,9 +23,52 @@ type metrics struct {
 	failed    atomic.Uint64 // jobs finished with an error (budget, run error)
 	cancelled atomic.Uint64 // jobs cancelled (timeout, shutdown)
 	rejected  atomic.Uint64 // submissions refused with 429
+	deduped   atomic.Uint64 // submissions collapsed onto an identical in-flight job
+
+	queueLatency histogram // submit → worker pickup, seconds
 
 	mu      sync.Mutex
 	workers []workerMetrics
+}
+
+// histogram is a fixed-bucket Prometheus histogram (cumulative buckets plus
+// sum and count). Good enough for queue latency; no client library needed.
+type histogram struct {
+	mu     sync.Mutex
+	counts [len(queueLatencyBuckets) + 1]uint64 // last bucket is +Inf
+	sum    float64
+	total  uint64
+}
+
+// queueLatencyBuckets spans sub-millisecond pickups on an idle pool out to
+// the multi-second waits of a saturated queue.
+var queueLatencyBuckets = [...]float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+
+func (h *histogram) observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sum += v
+	h.total++
+	for i, le := range queueLatencyBuckets {
+		if v <= le {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(queueLatencyBuckets)]++
+}
+
+func (h *histogram) render(w io.Writer, name, help string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for i, le := range queueLatencyBuckets {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, le, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.total)
+	fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, h.sum, name, h.total)
 }
 
 // workerMetrics is one worker's cumulative utilization plus the table
@@ -56,17 +100,29 @@ func (m *metrics) observe(w int, busy time.Duration, snap core.Snapshot) {
 }
 
 // render writes the Prometheus text exposition.
-func (m *metrics) render(w io.Writer, queueDepth, queueCap int) {
+func (m *metrics) render(w io.Writer, queueDepth, queueCap int, cs qcache.Stats) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
 	counter("qmddd_jobs_started_total", "Jobs dequeued by a worker.", m.started.Load())
 	counter("qmddd_jobs_completed_total", "Jobs finished successfully.", m.completed.Load())
 	counter("qmddd_jobs_failed_total", "Jobs finished with an error.", m.failed.Load())
 	counter("qmddd_jobs_cancelled_total", "Jobs cancelled by timeout or shutdown.", m.cancelled.Load())
 	counter("qmddd_jobs_rejected_total", "Submissions refused with 429.", m.rejected.Load())
+	counter("qmddd_jobs_deduped_total", "Submissions collapsed onto an identical in-flight job.", m.deduped.Load())
+	counter("qmddd_cache_hits_total", "Result-cache hits (memory or disk).", cs.Hits)
+	counter("qmddd_cache_disk_hits_total", "Result-cache hits served by the disk tier.", cs.DiskHits)
+	counter("qmddd_cache_misses_total", "Result-cache misses.", cs.Misses)
+	counter("qmddd_cache_stores_total", "Result envelopes stored in the cache.", cs.Stores)
+	counter("qmddd_cache_evictions_total", "Memory-tier entries evicted under the byte cap.", cs.Evictions)
+	gauge("qmddd_cache_bytes", "Bytes held by the in-memory cache tier (payload + overhead).", cs.Bytes)
+	gauge("qmddd_cache_entries", "Entries in the in-memory cache tier.", int64(cs.Entries))
 	fmt.Fprintf(w, "# HELP qmddd_queue_depth Jobs waiting in the bounded queue.\n# TYPE qmddd_queue_depth gauge\nqmddd_queue_depth %d\n", queueDepth)
 	fmt.Fprintf(w, "# HELP qmddd_queue_capacity Bounded queue capacity.\n# TYPE qmddd_queue_capacity gauge\nqmddd_queue_capacity %d\n", queueCap)
+	m.queueLatency.render(w, "qmddd_queue_latency_seconds", "Time from submission to worker pickup.")
 
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -23,6 +23,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/qasm"
+	"repro/internal/qcache"
 )
 
 // Config tunes the service. Zero values select the documented defaults; the
@@ -53,6 +54,14 @@ type Config struct {
 	WeightCap  int
 	ByteCap    int64
 	TimeoutCap time.Duration
+
+	// CacheBytes caps the in-memory result-cache tier; zero disables it.
+	// CacheDir, when non-empty, enables the disk tier: finished result
+	// envelopes persist across restarts under repr/ε/norm-stamped headers.
+	// With both zero/empty the cache is off entirely (singleflight dedup of
+	// concurrent identical submissions stays on — it costs nothing).
+	CacheBytes int64
+	CacheDir   string
 
 	// hookRunning, when set (tests only), is invoked on the worker goroutine
 	// as soon as a job transitions to running.
@@ -87,11 +96,13 @@ func (c Config) withDefaults() Config {
 // Server is the qmddd HTTP handler plus its worker pool. Create with New,
 // serve it (it implements http.Handler), and call Shutdown to drain.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	store *jobStore
-	met   *metrics
-	queue chan *job
+	cfg    Config
+	mux    *http.ServeMux
+	store  *jobStore
+	met    *metrics
+	queue  chan *job
+	cache  *qcache.Cache // nil when both tiers are disabled (nil-safe API)
+	flight *qcache.Flight[flightOutcome]
 
 	mu     sync.Mutex // guards closed + queue sends vs. close(queue)
 	closed bool
@@ -101,15 +112,22 @@ type Server struct {
 	cancelRun context.CancelFunc
 }
 
-// New builds the service and starts its workers.
-func New(cfg Config) *Server {
+// New builds the service and starts its workers. It fails only when the
+// configured cache directory cannot be created.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	cache, err := qcache.New(cfg.CacheBytes, cfg.CacheDir)
+	if err != nil {
+		return nil, fmt.Errorf("opening result cache: %w", err)
+	}
 	s := &Server{
-		cfg:   cfg,
-		mux:   http.NewServeMux(),
-		store: newJobStore(cfg.MaxJobs),
-		met:   newMetrics(cfg.Workers),
-		queue: make(chan *job, cfg.QueueSize),
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		store:  newJobStore(cfg.MaxJobs),
+		met:    newMetrics(cfg.Workers),
+		queue:  make(chan *job, cfg.QueueSize),
+		cache:  cache,
+		flight: qcache.NewFlight[flightOutcome](),
 	}
 	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -122,7 +140,7 @@ func New(cfg Config) *Server {
 		s.wg.Add(1)
 		go s.worker(i)
 	}
-	return s
+	return s, nil
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -190,6 +208,43 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Content address of the job: the circuit fingerprint (comment-,
+	// whitespace- and register-name-insensitive) plus everything else that
+	// shapes the result envelope. Budgets are deliberately excluded — a
+	// success computed under any budget is valid under every budget.
+	ident := qcache.Identity{
+		Circuit: circuit.Fingerprint(circ),
+		Repr:    req.Representation,
+		Norm:    req.Norm,
+		Eps:     req.Eps,
+		Output:  req.Output,
+		TopK:    req.TopK,
+	}
+	cacheKey := ident.Key()
+	stamp := ident.Stamp()
+
+	if payload, ok := s.cache.Get(cacheKey, stamp); ok {
+		if res, err := decodeResult(payload); err == nil {
+			s.serveCached(w, req, res)
+			return
+		}
+		// Undecodable payload (should be impossible past the checksums):
+		// treat as a miss and recompute.
+	}
+
+	// Singleflight: concurrent identical submissions elect one leader that
+	// runs the simulation; the rest mirror its outcome. The flight key folds
+	// the clamped budgets in, so a follower can never inherit a
+	// budget_exceeded verdict it did not ask for.
+	fid := qcache.FlightID{
+		Identity:   ident,
+		MaxNodes:   req.MaxNodes,
+		MaxWeights: req.MaxWeights,
+		MaxBytes:   req.MaxBytes,
+		TimeoutMS:  req.TimeoutMS,
+	}
+	call, leader := s.flight.Join(fid.Key())
+
 	j := &job{
 		id:       newJobID(),
 		req:      req,
@@ -198,32 +253,55 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		status:   StatusQueued,
 		queuedAt: time.Now(),
 	}
+	if leader {
+		j.cacheKey = cacheKey
+		j.stamp = stamp
+		j.cacheable = true
+		j.flight = call
+	}
 
 	// Enqueue under the intake lock: after Shutdown flips closed, no send
 	// can race the close of the queue channel.
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, ErrorBody{Kind: KindShuttingDown, Message: "server is draining"})
+		body := ErrorBody{Kind: KindShuttingDown, Message: "server is draining"}
+		if leader {
+			call.Complete(flightOutcome{status: StatusCancelled, errBody: &body}, false)
+		}
+		writeError(w, http.StatusServiceUnavailable, body)
 		return
 	}
 	if !s.store.add(j) {
 		s.mu.Unlock()
 		s.met.rejected.Add(1)
-		writeError(w, http.StatusTooManyRequests, ErrorBody{Kind: KindQueueFull, Message: "job store is full of unfinished jobs"})
+		body := ErrorBody{Kind: KindQueueFull, Message: "job store is full of unfinished jobs"}
+		if leader {
+			call.Complete(flightOutcome{status: StatusCancelled, errBody: &body}, false)
+		}
+		writeError(w, http.StatusTooManyRequests, body)
 		return
 	}
-	select {
-	case s.queue <- j:
+	if !leader {
+		// Follower: no queue slot, no worker — a mirror goroutine copies the
+		// leader's outcome into this record when the flight completes.
 		s.mu.Unlock()
-	default:
-		s.mu.Unlock()
-		s.met.rejected.Add(1)
-		s.store.finish(j, StatusCancelled, nil, &ErrorBody{Kind: KindQueueFull, Message: "queue full"})
-		writeError(w, http.StatusTooManyRequests, ErrorBody{
-			Kind: KindQueueFull, Message: fmt.Sprintf("queue full (%d jobs waiting)", s.cfg.QueueSize),
-		})
-		return
+		s.met.deduped.Add(1)
+		s.wg.Add(1)
+		go s.mirror(j, call)
+	} else {
+		select {
+		case s.queue <- j:
+			s.mu.Unlock()
+		default:
+			s.mu.Unlock()
+			s.met.rejected.Add(1)
+			s.finishJob(j, StatusCancelled, nil, &ErrorBody{Kind: KindQueueFull, Message: "queue full"})
+			writeError(w, http.StatusTooManyRequests, ErrorBody{
+				Kind: KindQueueFull, Message: fmt.Sprintf("queue full (%d jobs waiting)", s.cfg.QueueSize),
+			})
+			return
+		}
 	}
 
 	if req.Wait {
@@ -237,6 +315,63 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, s.store.view(j, false))
+}
+
+// decodeResult rebuilds a result envelope from its canonical JSON payload —
+// the bytes the cache stores and the flight hands to followers. Re-encoding
+// the decoded struct reproduces the payload exactly, so every response built
+// from it is byte-identical to the one the original run produced.
+func decodeResult(payload []byte) (*JobResult, error) {
+	var res JobResult
+	if err := json.Unmarshal(payload, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// serveCached answers a submission from a cache hit: a synthetic job record
+// born finished, flagged "cached": true, retained for polling on a
+// best-effort basis (a full store or a draining server still serves the
+// response, it just isn't pollable afterwards).
+func (s *Server) serveCached(w http.ResponseWriter, req JobRequest, res *JobResult) {
+	now := time.Now()
+	j := &job{
+		id:         newJobID(),
+		req:        req,
+		done:       make(chan struct{}),
+		status:     StatusDone,
+		cached:     true,
+		queuedAt:   now,
+		finishedAt: now,
+		result:     res,
+	}
+	close(j.done)
+	s.mu.Lock()
+	if !s.closed {
+		s.store.add(j)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, s.store.view(j, true))
+}
+
+// mirror finishes a follower job with the outcome of the flight it joined.
+// It runs on its own goroutine (registered on s.wg so Shutdown waits for it;
+// the leader always completes its call — workers drain every accepted job —
+// so mirrors cannot leak).
+func (s *Server) mirror(j *job, call *qcache.Call[flightOutcome]) {
+	defer s.wg.Done()
+	<-call.Done()
+	out, ok := call.Outcome()
+	if ok {
+		if res, err := decodeResult(out.payload); err == nil {
+			s.store.markCached(j)
+			s.store.finish(j, StatusDone, res, nil)
+			return
+		}
+		out.status = StatusFailed
+		out.errBody = &ErrorBody{Kind: KindRunError, Message: "deduplicated result payload was undecodable"}
+	}
+	s.store.finish(j, out.status, nil, out.errBody)
 }
 
 // validate normalizes and checks a request, returning the parsed circuit.
@@ -258,9 +393,11 @@ func (s *Server) validate(req *JobRequest) (*circuit.Circuit, *ErrorBody) {
 	if req.Eps < 0 {
 		return nil, invalid("eps must be non-negative")
 	}
-	if _, err := core.ParseNormScheme(req.Norm); err != nil {
+	norm, err := core.ParseNormScheme(req.Norm)
+	if err != nil {
 		return nil, invalid("%v", err)
 	}
+	req.Norm = norm.String() // canonical name ("" → "left") keys the cache
 	switch req.Output {
 	case "", "amplitudes":
 		req.Output = "amplitudes"
@@ -373,5 +510,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.render(w, len(s.queue), s.cfg.QueueSize)
+	s.met.render(w, len(s.queue), s.cfg.QueueSize, s.cache.Stats())
 }

@@ -36,7 +36,10 @@ h q[0]; h q[1];
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
 		ts.Close()
@@ -206,14 +209,16 @@ func TestQueueFull(t *testing.T) {
 	defer close(release)
 
 	// First job occupies the worker; second fills the queue; third must 429.
+	// Distinct circuits — identical ones would be deduplicated onto the
+	// first flight instead of consuming queue slots.
 	if resp, _, _ := postJob(t, ts.URL, fmt.Sprintf(`{"qasm": %q}`, ghzQASM(2))); resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("first submit = %d", resp.StatusCode)
 	}
 	<-entered
-	if resp, _, _ := postJob(t, ts.URL, fmt.Sprintf(`{"qasm": %q}`, ghzQASM(2))); resp.StatusCode != http.StatusAccepted {
+	if resp, _, _ := postJob(t, ts.URL, fmt.Sprintf(`{"qasm": %q}`, ghzQASM(3))); resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("second submit = %d", resp.StatusCode)
 	}
-	resp, _, eb := postJob(t, ts.URL, fmt.Sprintf(`{"qasm": %q}`, ghzQASM(2)))
+	resp, _, eb := postJob(t, ts.URL, fmt.Sprintf(`{"qasm": %q}`, ghzQASM(4)))
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("third submit = %d, want 429", resp.StatusCode)
 	}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"strings"
@@ -82,7 +83,7 @@ func (s *Server) runJob(workerID int, ws *workerState, j *job) {
 	// Past the drain deadline (or after a hard stop) accepted-but-unstarted
 	// jobs are cancelled, not run.
 	if s.runCtx.Err() != nil {
-		s.store.finish(j, StatusCancelled, nil, &ErrorBody{
+		s.finishJob(j, StatusCancelled, nil, &ErrorBody{
 			Kind: KindCancelled, Message: "server shut down before the job started",
 		})
 		s.met.cancelled.Add(1)
@@ -90,6 +91,7 @@ func (s *Server) runJob(workerID int, ws *workerState, j *job) {
 	}
 	s.store.setRunning(j)
 	s.met.started.Add(1)
+	s.met.queueLatency.observe(time.Since(j.queuedAt).Seconds())
 
 	ctx := s.runCtx
 	if j.req.TimeoutMS > 0 {
@@ -129,14 +131,36 @@ func (s *Server) runJob(workerID int, ws *workerState, j *job) {
 
 	switch {
 	case errBody == nil:
-		s.store.finish(j, StatusDone, res, nil)
+		s.finishJob(j, StatusDone, res, nil)
 		s.met.completed.Add(1)
 	case errBody.Kind == KindCancelled || errBody.Kind == KindTimeout:
-		s.store.finish(j, StatusCancelled, nil, errBody)
+		s.finishJob(j, StatusCancelled, nil, errBody)
 		s.met.cancelled.Add(1)
 	default:
-		s.store.finish(j, StatusFailed, nil, errBody)
+		s.finishJob(j, StatusFailed, nil, errBody)
 		s.met.failed.Add(1)
+	}
+}
+
+// finishJob is the terminal transition for every job that owns (or owned) a
+// queue slot. On success it encodes the result envelope once, stores it in
+// the cache (successes only — budget refusals, timeouts and run errors are
+// never cached), and publishes the same bytes to the flight so followers and
+// future cache hits all serve a byte-identical envelope. The flight is
+// always completed, on every path, so followers never hang.
+func (s *Server) finishJob(j *job, status string, res *JobResult, errBody *ErrorBody) {
+	var payload []byte
+	if status == StatusDone && res != nil {
+		if b, err := json.Marshal(res); err == nil {
+			payload = b
+			if j.cacheable {
+				s.cache.Put(j.cacheKey, payload, j.stamp)
+			}
+		}
+	}
+	s.store.finish(j, status, res, errBody)
+	if j.flight != nil {
+		j.flight.Complete(flightOutcome{status: status, payload: payload, errBody: errBody}, status == StatusDone && payload != nil)
 	}
 }
 

@@ -1,39 +1,74 @@
 #!/usr/bin/env bash
 # End-to-end smoke test for the qmddd daemon: build the binary, boot it on a
-# random port, run a 2-qubit Grover circuit (the final state is exactly |11⟩,
-# so the assertion is sharp), scrape /metrics, then SIGTERM and require a
-# clean drain and exit 0.
+# random port with the result cache on, run a 2-qubit Grover circuit (the
+# final state is exactly |11⟩, so the assertion is sharp), resubmit it and
+# require a cache hit, scrape /metrics, then SIGTERM and require a clean
+# drain and exit 0 — and finally reboot over the same cache directory and
+# require the disk tier to survive the restart.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 bindir=$(mktemp -d)
-trap 'rm -rf "$bindir"' EXIT
+cachedir=$(mktemp -d)
+trap 'rm -rf "$bindir" "$cachedir"' EXIT
 go build -o "$bindir/qmddd" ./cmd/qmddd
 
 port=$(( (RANDOM % 20000) + 20000 ))
 base="http://127.0.0.1:$port"
-"$bindir/qmddd" -addr "127.0.0.1:$port" -workers 2 -drain 10s &
+"$bindir/qmddd" -addr "127.0.0.1:$port" -workers 2 -drain 10s \
+    -cache-bytes 1048576 -cache-dir "$cachedir" &
 pid=$!
-trap 'kill "$pid" 2>/dev/null || true; rm -rf "$bindir"' EXIT
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$bindir" "$cachedir"' EXIT
 
-for _ in $(seq 1 50); do
-    if curl -fsS "$base/healthz" >/dev/null 2>&1; then break; fi
-    sleep 0.2
-done
+wait_healthy() {
+    for _ in $(seq 1 50); do
+        if curl -fsS "$base/healthz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.2
+    done
+    echo "daemon never became healthy"; exit 1
+}
+wait_healthy
 
 payload='{"qasm":"OPENQASM 2.0;\nqreg q[2];\nh q[0]; h q[1];\ncz q[0],q[1];\nh q[0]; h q[1];\nx q[0]; x q[1];\ncz q[0],q[1];\nx q[0]; x q[1];\nh q[0]; h q[1];","wait":true}'
 result=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$payload" "$base/v1/jobs")
 echo "$result" | grep -q '"status": "done"'    || { echo "job did not finish: $result"; exit 1; }
 echo "$result" | grep -q '"state": "11"'       || { echo "missing |11> outcome: $result"; exit 1; }
 echo "$result" | grep -q '"prob": 1'           || { echo "Grover probability is not 1: $result"; exit 1; }
+echo "$result" | grep -q '"cached"' && { echo "first run claims to be cached: $result"; exit 1; }
+
+# The identical job again: must be served from the cache, byte-identical
+# result envelope, without running the simulation a second time.
+replay=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$payload" "$base/v1/jobs")
+echo "$replay" | grep -q '"cached": true'      || { echo "replay was not cached: $replay"; exit 1; }
+echo "$replay" | grep -q '"state": "11"'       || { echo "cached replay lost the result: $replay"; exit 1; }
 
 curl -fsS "$base/v1/version" | grep -q '"name": "qmddd"'
 
 metrics=$(curl -fsS "$base/metrics")
 [ -n "$metrics" ] || { echo "empty /metrics"; exit 1; }
 echo "$metrics" | grep -q '^qmddd_jobs_completed_total 1$' || { echo "bad metrics:"; echo "$metrics"; exit 1; }
+echo "$metrics" | grep -q '^qmddd_cache_hits_total 1$'     || { echo "cache hit not counted:"; echo "$metrics"; exit 1; }
+echo "$metrics" | grep -q '^qmddd_cache_stores_total 1$'   || { echo "cache store not counted:"; echo "$metrics"; exit 1; }
+echo "$metrics" | grep -q '^qmddd_queue_latency_seconds_count 1$' || { echo "queue latency not observed:"; echo "$metrics"; exit 1; }
 
 kill -TERM "$pid"
 wait "$pid"   # non-zero exit status fails the script via set -e
-trap 'rm -rf "$bindir"' EXIT
+
+# Reboot over the same cache directory: the disk tier must serve the job
+# without re-simulating.
+"$bindir/qmddd" -addr "127.0.0.1:$port" -workers 2 -drain 10s \
+    -cache-bytes 1048576 -cache-dir "$cachedir" &
+pid=$!
+wait_healthy
+
+revived=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$payload" "$base/v1/jobs")
+echo "$revived" | grep -q '"cached": true' || { echo "disk tier did not survive restart: $revived"; exit 1; }
+echo "$revived" | grep -q '"state": "11"'  || { echo "restart replay lost the result: $revived"; exit 1; }
+metrics=$(curl -fsS "$base/metrics")
+echo "$metrics" | grep -q '^qmddd_cache_disk_hits_total 1$' || { echo "disk hit not counted:"; echo "$metrics"; exit 1; }
+echo "$metrics" | grep -q '^qmddd_jobs_started_total 0$'    || { echo "restart replay ran the simulation:"; echo "$metrics"; exit 1; }
+
+kill -TERM "$pid"
+wait "$pid"
+trap 'rm -rf "$bindir" "$cachedir"' EXIT
 echo "e2e smoke OK"
