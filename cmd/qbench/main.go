@@ -55,9 +55,11 @@ func main() {
 		width     = flag.Int("width", 60, "ASCII chart width")
 		numNorm   = flag.String("numnorm", "max", "numeric normalization: max (stabilized [29]) or left (classic)")
 		parallel  = flag.Int("parallel", 0, "worker pool for the sweep cells, each on a private manager (0 = GOMAXPROCS, 1 = sequential); output is identical for every setting")
+		intraW    = flag.Int("intra-workers", 1, "intra-operation worker goroutines inside each run's manager (1 = sequential); output is identical for every setting; ε>0 runs stay sequential")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 		cacheDir  = flag.String("cache", "", "benchmark the qcache disk tier instead of a figure sweep: run each workload cold (simulate + cache the final state in this directory), then warm (replay from cache), and report both wall times")
+		benchJSON = flag.String("bench-json", "", "single-run implementation benchmark instead of a figure sweep: time each workload under BuildDD+Mul, sequential local apply, and parallel local apply, and write the JSON report to this path")
 	)
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -113,6 +115,7 @@ func main() {
 	}
 	p.NumNormLeft = numNormLeft
 	p.Parallel = *parallel
+	p.IntraWorkers = *intraW
 	if *epsFlag != "" {
 		var eps []float64
 		for _, part := range strings.Split(*epsFlag, ",") {
@@ -151,9 +154,12 @@ func main() {
 		figs = []string{"2", "3", "4", "5", "norms"}
 	}
 	var runErr error
-	if *cacheDir != "" {
+	switch {
+	case *benchJSON != "":
+		runErr = runBenchJSON(ctx, p, *benchJSON)
+	case *cacheDir != "":
 		runErr = runCacheBench(ctx, p, *cacheDir)
-	} else {
+	default:
 		for _, f := range figs {
 			if runErr = runOne(ctx, f, p, *outDir, *width); runErr != nil {
 				break

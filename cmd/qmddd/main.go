@@ -44,6 +44,7 @@ func main() {
 		maxJobs     = flag.Int("max-jobs", 1024, "retained job records")
 		maxQubits   = flag.Int("max-qubits", 64, "circuit width cap")
 		ctSize      = flag.Int("ctsize", core.DefaultCTSize, "per-manager compute-table slots")
+		intraW      = flag.Int("intra-workers", 1, "intra-operation worker goroutines per job (1 = sequential; results identical at any setting; ε>0 float jobs stay sequential)")
 		nodeCap     = flag.Int("node-cap", 0, "server-side cap on per-job MaxNodes budget (0 = none)")
 		weightCap   = flag.Int("weight-cap", 0, "server-side cap on per-job MaxWeights budget (0 = none)")
 		byteCap     = flag.Int64("byte-cap", 0, "server-side cap on per-job MaxBytes budget (0 = none)")
@@ -66,6 +67,7 @@ func main() {
 		MaxJobs:      *maxJobs,
 		MaxQubits:    *maxQubits,
 		CTSize:       *ctSize,
+		IntraWorkers: *intraW,
 		NodeCap:      *nodeCap,
 		WeightCap:    *weightCap,
 		ByteCap:      *byteCap,

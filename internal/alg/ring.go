@@ -42,6 +42,12 @@ func (Ring) Equal(a, b Q) bool { return a.Equal(b) }
 // Key returns the canonical hash key.
 func (Ring) Key(a Q) string { return a.Key() }
 
+// ConcurrentSafe reports that the algebraic ring may be used from multiple
+// goroutines at once (coeff.ConcurrentRing): all arithmetic allocates fresh
+// values, and the only package-level state (the √2 precision cache) is
+// immutable after publication.
+func (Ring) ConcurrentSafe() bool { return true }
+
 // FromQ is the identity injection.
 func (Ring) FromQ(q Q) Q { return q }
 

@@ -1,5 +1,7 @@
 package core
 
+import "sync"
+
 // computeTable memoizes operation results. Like classic DD packages it is a
 // fixed-size hash table with overwrite-on-collision: bounded memory, O(1)
 // access, and stale entries simply fall out. Keys are fixed-size integer
@@ -7,6 +9,11 @@ package core
 // IDs — so a lookup neither formats nor allocates; entries are verified by
 // comparing the stored operands, so a collision can only cost a
 // recomputation, never a wrong result.
+//
+// The table is striped like the unique and intern tables (hash.go): the top
+// hash bits pick a shard, the low bits a slot. In shared mode each get/put
+// takes the shard mutex; a lost race costs at most a recomputation because a
+// concurrent overwrite is just an early collision eviction.
 
 // ctOp tags the operation a compute-table entry memoizes. ctFree marks an
 // empty slot, so real tags start at 1.
@@ -20,6 +27,9 @@ const (
 	ctAdjoint
 	ctTranspose
 	ctInner
+	ctApply    // local gate application (apply.go); aID = node, bID = gate ID
+	ctProject  // below-target control projector (apply.go)
+	ctProjectC // complement of ctProject: the controls-not-all-satisfied part
 )
 
 // ctKey is the fixed-size compute-table key. Unary operations leave the b
@@ -41,7 +51,8 @@ type ctEntry[T any] struct {
 	val Edge[T]
 }
 
-type computeTable[T any] struct {
+type ctShard[T any] struct {
+	mu      sync.Mutex
 	mask    uint64
 	entries []ctEntry[T]
 	filled  int // occupied slots (load-factor reporting)
@@ -49,26 +60,74 @@ type computeTable[T any] struct {
 	lookups, hits uint64
 }
 
+type computeTable[T any] struct {
+	shared bool
+	shards [tableShardCount]ctShard[T]
+}
+
+// newComputeTable splits size total slots across the shards.
 func newComputeTable[T any](size int) *computeTable[T] {
 	if size <= 0 || size&(size-1) != 0 {
 		panic("core: compute table size must be a positive power of two")
 	}
-	return &computeTable[T]{mask: uint64(size - 1), entries: make([]ctEntry[T], size)}
+	per := size / tableShardCount
+	if per < 2 {
+		per = 2
+	}
+	t := &computeTable[T]{}
+	for s := range t.shards {
+		t.shards[s].entries = make([]ctEntry[T], per)
+		t.shards[s].mask = uint64(per - 1)
+	}
+	return t
 }
 
 func (t *computeTable[T]) clear() {
-	for i := range t.entries {
-		t.entries[i] = ctEntry[T]{}
+	for s := range t.shards {
+		sh := &t.shards[s]
+		for i := range sh.entries {
+			sh.entries[i] = ctEntry[T]{}
+		}
+		sh.filled = 0
+		sh.lookups, sh.hits = 0, 0
 	}
-	t.filled = 0
-	t.lookups, t.hits = 0, 0
+}
+
+func (t *computeTable[T]) counters() (lookups, hits uint64) {
+	for s := range t.shards {
+		lookups += t.shards[s].lookups
+		hits += t.shards[s].hits
+	}
+	return lookups, hits
+}
+
+func (t *computeTable[T]) filledTotal() int {
+	n := 0
+	for s := range t.shards {
+		n += t.shards[s].filled
+	}
+	return n
+}
+
+func (t *computeTable[T]) capacity() int {
+	n := 0
+	for s := range t.shards {
+		n += len(t.shards[s].entries)
+	}
+	return n
 }
 
 func (t *computeTable[T]) get(k ctKey) (Edge[T], bool) {
-	t.lookups++
-	e := &t.entries[k.hash()&t.mask]
+	h := k.hash()
+	sh := &t.shards[shardOf(h)]
+	if t.shared {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+	}
+	sh.lookups++
+	e := &sh.entries[h&sh.mask]
 	if e.key == k {
-		t.hits++
+		sh.hits++
 		return e.val, true
 	}
 	var zero Edge[T]
@@ -76,9 +135,15 @@ func (t *computeTable[T]) get(k ctKey) (Edge[T], bool) {
 }
 
 func (t *computeTable[T]) put(k ctKey, val Edge[T]) {
-	e := &t.entries[k.hash()&t.mask]
+	h := k.hash()
+	sh := &t.shards[shardOf(h)]
+	if t.shared {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+	}
+	e := &sh.entries[h&sh.mask]
 	if e.key.op == ctFree {
-		t.filled++
+		sh.filled++
 	}
 	e.key, e.val = k, val
 }

@@ -15,7 +15,8 @@ package core
 // equality comparisons among them remain valid across a Prune.
 
 // Prune drops every node not reachable from the given roots. It returns the
-// number of nodes removed.
+// number of nodes removed. Single-threaded: never call while an intra-op
+// worker group is running (the sim/bench layers only prune between gates).
 func (m *Manager[T]) Prune(roots ...Edge[T]) int {
 	live := make(map[*Node[T]]struct{})
 	var mark func(n *Node[T])
@@ -34,7 +35,7 @@ func (m *Manager[T]) Prune(roots ...Edge[T]) int {
 	for _, r := range roots {
 		mark(r.N)
 	}
-	removed := m.ut.used - len(live)
+	removed := m.ut.count() - len(live)
 
 	// Suspend the budget while rebuilding: the survivor re-interning below
 	// only ever shrinks the tables, and a governor panic mid-rebuild would
@@ -45,26 +46,26 @@ func (m *Manager[T]) Prune(roots ...Edge[T]) int {
 	// Rebuild the intern table from the survivors: dead WIDs are released and
 	// WID 0 stays pinned to zero. Every live node is re-interned (its weights
 	// collapse onto the new canonical representatives), rehashed, and
-	// reinserted into a right-sized unique table.
-	old := m.ut.slots
-	m.wt.init(tableSizeFor(len(live)*MatrixArity + 1))
-	m.internWeight(m.R.Zero())
-	m.ut.init(tableSizeFor(len(live)))
-	for _, n := range old {
-		if n == nil {
-			continue
+	// reinserted into right-sized unique-table shards.
+	survivors := make([]*Node[T], 0, len(live))
+	m.ut.forEach(func(n *Node[T]) {
+		if _, ok := live[n]; ok {
+			survivors = append(survivors, n)
 		}
-		if _, ok := live[n]; !ok {
-			continue
-		}
+	})
+	m.wt.init(shardSizeFor(len(live)*MatrixArity + 1))
+	m.totalWeights.Store(1) // the reserved zero
+	m.ut.init(shardSizeFor(len(live)))
+	for _, n := range survivors {
 		for i := range n.E {
-			wid := m.internWeight(n.E[i].W)
+			wid, canon := m.internWeight(n.E[i].W)
 			n.wids[i] = wid
-			n.E[i].W = m.wt.weights[wid]
+			n.E[i].W = canon
 		}
 		n.hash = nodeHash(n.Level, n.E, &n.wids)
 		m.ut.insert(n)
 	}
+	m.totalNodes.Store(int64(len(survivors)))
 	// Compute-table entries may reference swept nodes or stale WIDs; drop
 	// them all.
 	m.ct.clear()
@@ -73,12 +74,13 @@ func (m *Manager[T]) Prune(roots ...Edge[T]) int {
 	return removed
 }
 
-// tableSizeFor returns an open-addressing slot count that keeps n entries
-// at a load factor ≤ ½ (and at least the tables' minimum size).
-func tableSizeFor(n int) int {
-	size := ceilPow2(2 * n)
-	if size < 1<<8 {
-		size = 1 << 8
+// shardSizeFor returns a per-shard open-addressing slot count that keeps n
+// entries spread over the shards at a load factor ≤ ½ (and at least the
+// tables' minimum shard size).
+func shardSizeFor(n int) int {
+	size := ceilPow2(2 * (n/tableShardCount + 1))
+	if size < 1<<4 {
+		size = 1 << 4
 	}
 	return size
 }
@@ -91,7 +93,7 @@ func AutoPruner[T any](m *Manager[T], highWater int, live func() Edge[T]) func()
 		highWater = 1
 	}
 	return func() {
-		if m.ut.used > highWater {
+		if int(m.totalNodes.Load()) > highWater {
 			m.Prune(live())
 		}
 	}

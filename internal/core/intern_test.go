@@ -37,10 +37,7 @@ func checkKeySchemeEquivalence[T any](t *testing.T, m *Manager[T]) {
 	t.Helper()
 	keys := make(map[string]*Node[T])
 	nodes := 0
-	for _, n := range m.ut.slots {
-		if n == nil {
-			continue
-		}
+	m.ut.forEach(func(n *Node[T]) {
 		nodes++
 		k := legacyNodeKey(m, n.Level, n.E)
 		if prev, dup := keys[k]; dup {
@@ -50,7 +47,7 @@ func checkKeySchemeEquivalence[T any](t *testing.T, m *Manager[T]) {
 		if got := m.MakeNode(n.Level, n.E); got.N != n {
 			t.Fatalf("remaking node %d returned a different node %v", n.ID, got.N)
 		}
-	}
+	})
 	if nodes != m.Stats().UniqueNodes {
 		t.Fatalf("walked %d nodes, Stats says %d", nodes, m.Stats().UniqueNodes)
 	}
@@ -96,12 +93,12 @@ func TestKeySchemeEquivalenceNum(t *testing.T) {
 // to the ring's zero, and Weight round-trips the canonical representative.
 func TestWeightInterning(t *testing.T) {
 	m := algManager(NormLeft)
-	if got := m.internWeight(alg.QZero); got != 0 {
+	if got := m.WID(alg.QZero); got != 0 {
 		t.Fatalf("zero interned as WID %d, want 0", got)
 	}
 	half := alg.NewQ(0, 0, 0, 1, 0, 2) // 1/2
-	w1 := m.internWeight(half)
-	w2 := m.internWeight(alg.NewQ(0, 0, 0, 2, 0, 4)) // also 1/2, other construction
+	w1 := m.WID(half)
+	w2 := m.WID(alg.NewQ(0, 0, 0, 2, 0, 4)) // also 1/2, other construction
 	if w1 != w2 {
 		t.Fatalf("equal weights interned as %d and %d", w1, w2)
 	}
@@ -110,8 +107,8 @@ func TestWeightInterning(t *testing.T) {
 	}
 	before := m.Stats().InternedWeights
 	for i := 0; i < 100; i++ {
-		m.internWeight(half)
-		m.internWeight(alg.QOne)
+		m.WID(half)
+		m.WID(alg.QOne)
 	}
 	// QOne was already pinned by the manager's constants in use; at most one
 	// new ID may have appeared for it, and none for the repeats.
@@ -127,13 +124,13 @@ func TestInternTableGrowth(t *testing.T) {
 	const n = 5000
 	wids := make([]uint32, n)
 	for i := 0; i < n; i++ {
-		wids[i] = m.internWeight(complex(float64(i), 0))
+		wids[i] = m.WID(complex(float64(i), 0))
 	}
 	for i := 0; i < n; i++ {
 		if m.Weight(wids[i]) != complex(float64(i), 0) {
 			t.Fatalf("WID %d resolves to %v, want %d", wids[i], m.Weight(wids[i]), i)
 		}
-		if again := m.internWeight(complex(float64(i), 0)); again != wids[i] {
+		if again := m.WID(complex(float64(i), 0)); again != wids[i] {
 			t.Fatalf("re-interning %d gave WID %d, want %d", i, again, wids[i])
 		}
 	}
@@ -284,12 +281,12 @@ func BenchmarkWeightIntern(b *testing.B) {
 		r := rand.New(rand.NewSource(5))
 		ws := randQVals(r, 64)
 		for _, w := range ws {
-			m.internWeight(w)
+			m.WID(w)
 		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			m.internWeight(ws[i&63])
+			m.WID(ws[i&63])
 		}
 	})
 	b.Run("num", func(b *testing.B) {
@@ -298,12 +295,12 @@ func BenchmarkWeightIntern(b *testing.B) {
 		r := rand.New(rand.NewSource(5))
 		for i := range ws {
 			ws[i] = complex(r.NormFloat64(), r.NormFloat64())
-			m.internWeight(ws[i])
+			m.WID(ws[i])
 		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			m.internWeight(ws[i&63])
+			m.WID(ws[i&63])
 		}
 	})
 }

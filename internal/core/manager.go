@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/coeff"
@@ -78,28 +79,54 @@ func (s Stats) CTLoadFactor() float64 {
 
 // Manager owns the unique table, the compute tables and the normalization
 // policy for one family of QMDDs. All diagrams combined by manager
-// operations must come from the same manager. A Manager is not safe for
-// concurrent use; run parallel experiments on separate managers (as the
-// benchmark harness does).
+// operations must come from the same manager.
+//
+// Concurrency: by default a Manager is single-threaded — run parallel
+// experiments on separate managers (as the benchmark harness does). With
+// SetIntraWorkers(k>1) the manager enters shared mode: its sharded tables
+// take per-shard locks and a single Add/ApplyLocal call may recurse into
+// independent sub-diagrams on a bounded worker group (see ops_parallel.go and
+// DESIGN.md §5.6). Even in shared mode, distinct top-level operations must
+// not be issued concurrently; the parallelism is *inside* one operation.
 type Manager[T any] struct {
 	R    coeff.Ring[T]
 	Norm NormScheme
 
-	hashW  func(T) uint64 // weight hash: coeff.Hasher fast path or Key fallback
-	wt     internTable[T]
-	ut     uniqueTable[T]
-	ct     *computeTable[T]
-	nextID uint64
-	stats  Stats
+	hashW    func(T) uint64 // weight hash: coeff.Hasher fast path or Key fallback
+	zeroW    T              // the ring's zero, the reserved WID-0 representative
+	zeroHash uint64         // mixed hash of zeroW
+	wt       internTable[T]
+	ut       uniqueTable[T]
+	ct       *computeTable[T]
+	nextID   atomic.Uint64
+	gateSeq  atomic.Uint64 // LocalGate registry IDs (apply.go)
+	stats    Stats // Prune counters only; table counters live in the shards
+
+	// Intra-operation parallelism (ops_parallel.go). shared mirrors
+	// intraWorkers>1 into one branch-predictable bool consulted by the
+	// recursion; the tables carry their own copy. spawn0 is the fork budget
+	// handed to each top-level operation and sem bounds the extra worker
+	// goroutines at intraWorkers−1 tokens.
+	intraWorkers int
+	shared       bool
+	spawn0       int
+	sem          chan struct{}
+
+	// Live-population counters, atomic so concurrent shard insertions meter
+	// the budget coherently without a global lock.
+	totalNodes   atomic.Int64
+	totalWeights atomic.Int64
 
 	// Run governor (budget.go): optional resource budget, optional
-	// cooperative-cancellation context, and always-on peak tracking.
+	// cooperative-cancellation context, and always-on peak tracking. budget,
+	// ctx and budgetStart are configured between operations; the tick and
+	// peaks are updated inside them.
 	budget      Budget
 	ctx         context.Context
 	budgetStart time.Time
-	budgetTick  uint64
-	peakNodes   int
-	peakWeights int
+	budgetTick  atomic.Uint64
+	peakNodes   atomic.Int64
+	peakWeights atomic.Int64
 }
 
 // Option configures a Manager at construction time.
@@ -131,56 +158,102 @@ func NewManager[T any](r coeff.Ring[T], norm NormScheme, opts ...Option) *Manage
 		opt(&o)
 	}
 	m := &Manager[T]{
-		R:           r,
-		Norm:        norm,
-		ct:          newComputeTable[T](o.ctSize),
-		budgetStart: time.Now(),
+		R:            r,
+		Norm:         norm,
+		ct:           newComputeTable[T](o.ctSize),
+		intraWorkers: 1,
+		budgetStart:  time.Now(),
 	}
 	if h, ok := any(r).(coeff.Hasher[T]); ok {
 		m.hashW = h.Hash
 	} else {
 		m.hashW = func(w T) uint64 { return fnv1a(r.Key(w)) }
 	}
-	m.wt.init(1 << 8)
-	m.ut.init(1 << 8)
-	m.internWeight(r.Zero()) // WID 0 is pinned to the ring's zero
+	m.zeroW = r.Zero()
+	m.zeroHash = mix64(m.hashW(m.zeroW))
+	m.wt.init(1 << 4)
+	m.ut.init(1 << 4)
+	m.totalWeights.Store(1) // WID 0, pinned to the ring's zero
 	return m
 }
 
-// internWeight canonicalizes w through the per-manager intern table and
-// returns its dense weight ID. The hit path hashes w (via the ring's Hasher
-// fast path when available) and compares candidates with Ring.Equal — no
-// strings, no allocation.
-func (m *Manager[T]) internWeight(w T) uint32 {
-	h := mix64(m.hashW(w))
-	t := &m.wt
-	i := h & t.mask
-	for {
-		s := t.slots[i]
-		if s == 0 {
-			break
-		}
-		if wid := s - 1; t.hashes[wid] == h && m.R.Equal(t.weights[wid], w) {
-			return wid
-		}
-		i = (i + 1) & t.mask
+// SetIntraWorkers sets the number of goroutines a single operation may
+// recurse on (ops_parallel.go). k ≤ 1 restores the default single-threaded
+// mode, in which the table shard locks are never touched. k > 1 requires a
+// coefficient ring that is safe for concurrent use (coeff.ConcurrentRing);
+// rings that are not — the ε>0 numerical ring, whose nearest-wins interning
+// is insertion-order-dependent — are silently clamped to 1 so results stay
+// deterministic. Must not be called while an operation is in flight.
+func (m *Manager[T]) SetIntraWorkers(k int) {
+	if k < 1 {
+		k = 1
 	}
-	wid := t.add(w, h, i)
-	m.noteWeight()
+	if k > 1 {
+		cr, ok := any(m.R).(coeff.ConcurrentRing)
+		if !ok || !cr.ConcurrentSafe() {
+			k = 1
+		}
+	}
+	m.intraWorkers = k
+	shared := k > 1
+	m.shared = shared
+	m.wt.shared = shared
+	m.ut.shared = shared
+	m.ct.shared = shared
+	m.spawn0 = spawnFor(k)
+	if shared {
+		m.sem = make(chan struct{}, k-1)
+	} else {
+		m.sem = nil
+	}
+}
+
+// IntraWorkers returns the effective intra-operation worker count (after the
+// concurrency-safety clamp of SetIntraWorkers).
+func (m *Manager[T]) IntraWorkers() int { return m.intraWorkers }
+
+// internWeight canonicalizes w through the per-manager intern table and
+// returns its weight ID plus the canonical representative. The hit path
+// hashes w (via the ring's Hasher fast path when available) and compares
+// candidates with Ring.Equal — no strings, no allocation. The ring's zero
+// maps to the reserved WID 0 without touching any shard.
+func (m *Manager[T]) internWeight(w T) (uint32, T) {
+	h := mix64(m.hashW(w))
+	if h == m.zeroHash && m.R.Equal(m.zeroW, w) {
+		return 0, m.zeroW
+	}
+	wid, canon, isNew := m.wt.intern(w, h, m.R.Equal)
+	if isNew {
+		m.noteWeight()
+	}
+	return wid, canon
+}
+
+// WID returns the weight ID of w, interning it if needed.
+func (m *Manager[T]) WID(w T) uint32 {
+	wid, _ := m.internWeight(w)
 	return wid
 }
 
 // Weight returns the canonical representative interned under the given
 // weight ID (WID 0 is the ring's zero).
-func (m *Manager[T]) Weight(wid uint32) T { return m.wt.weights[wid] }
+func (m *Manager[T]) Weight(wid uint32) T {
+	if wid == 0 {
+		return m.zeroW
+	}
+	return m.wt.lookup(wid)
+}
 
-// Stats returns a snapshot of the manager counters.
+// Stats returns a snapshot of the manager counters. Coherent only between
+// operations (shard counters are summed without a global lock).
 func (m *Manager[T]) Stats() Stats {
 	s := m.stats
-	s.UniqueNodes = m.ut.used
-	s.InternedWeights = len(m.wt.weights)
-	s.CTLookups, s.CTHits = m.ct.lookups, m.ct.hits
-	s.CTEntries, s.CTCapacity = m.ct.filled, len(m.ct.entries)
+	s.UniqueNodes = m.ut.count()
+	s.UniqueLookups, s.UniqueHits = m.ut.counters()
+	s.InternedWeights = m.wt.count()
+	s.CTLookups, s.CTHits = m.ct.counters()
+	s.CTEntries = m.ct.filledTotal()
+	s.CTCapacity = m.ct.capacity()
 	return s
 }
 
@@ -253,35 +326,46 @@ func (m *Manager[T]) MakeNode(level int, es []Edge[T]) Edge[T] {
 }
 
 // internNode hash-conses the normalized edge vector: each weight is interned
-// to its WID, the (level, child IDs, WIDs) key is hashed, and the unique
-// table is probed. es is scratch owned by the caller — it is copied only
-// when a new node is created.
+// to its WID, the (level, child IDs, WIDs) key is hashed, and the owning
+// unique-table shard is probed. In shared mode the probe and the insert form
+// one critical section under the shard mutex, so two workers racing to
+// create the same node converge on a single canonical instance. es is
+// scratch owned by the caller — it is copied only when a new node is
+// created.
 func (m *Manager[T]) internNode(level int, es []Edge[T]) *Node[T] {
 	var wids [MatrixArity]uint32
 	for i := range es {
-		wid := m.internWeight(es[i].W)
+		wid, canon := m.internWeight(es[i].W)
 		wids[i] = wid
-		es[i].W = m.wt.weights[wid] // share the canonical representative
+		es[i].W = canon // share the canonical representative
 	}
 	h := nodeHash(level, es, &wids)
-	m.stats.UniqueLookups++
-	i := h & m.ut.mask
+	sh := &m.ut.shards[shardOf(h)]
+	if m.ut.shared {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+	}
+	sh.lookups++
+	i := h & sh.mask
 	for {
-		n := m.ut.slots[i]
+		n := sh.slots[i]
 		if n == nil {
 			break
 		}
 		if n.hash == h && n.Level == level && len(n.E) == len(es) && sameKids(n, es, &wids) {
-			m.stats.UniqueHits++
+			sh.hits++
 			return n
 		}
-		i = (i + 1) & m.ut.mask
+		i = (i + 1) & sh.mask
 	}
 	kids := make([]Edge[T], len(es))
 	copy(kids, es)
-	m.nextID++
-	n := &Node[T]{ID: m.nextID, Level: level, E: kids, wids: wids, hash: h}
-	m.ut.insert(n)
+	n := &Node[T]{ID: m.nextID.Add(1), Level: level, E: kids, wids: wids, hash: h}
+	sh.slots[i] = n
+	sh.used++
+	if uint64(sh.used)*4 >= uint64(len(sh.slots))*3 {
+		sh.grow()
+	}
 	m.noteNode()
 	return n
 }
@@ -315,6 +399,17 @@ func (m *Manager[T]) Scale(e Edge[T], s T) Edge[T] {
 	if m.R.IsZero(s) || m.IsZero(e) {
 		return m.ZeroEdge()
 	}
+	// Unit factors are pervasive (left normalization pins the leftmost child
+	// weight to an exact 1, and permutation-type gates scale by ±1): skip
+	// the ring multiplication for them. For exact rings this is the
+	// identity; a multiplication by an exact 1 is bit-exact in complex128
+	// too, so results are unchanged.
+	if m.R.IsOne(s) {
+		return e
+	}
+	if m.R.IsOne(e.W) {
+		return Edge[T]{W: s, N: e.N}
+	}
 	return Edge[T]{W: m.R.Mul(s, e.W), N: e.N}
 }
 
@@ -324,6 +419,14 @@ func (m *Manager[T]) weightedChild(e Edge[T], i int) Edge[T] {
 	c := e.N.E[i]
 	if m.R.IsZero(c.W) {
 		return m.ZeroEdge()
+	}
+	// Same unit fast paths as Scale: canonical nodes have a unit pivot
+	// weight, so roughly half of all child multiplications are by 1.
+	if m.R.IsOne(e.W) {
+		return c
+	}
+	if m.R.IsOne(c.W) {
+		return Edge[T]{W: e.W, N: c.N}
 	}
 	return Edge[T]{W: m.R.Mul(e.W, c.W), N: c.N}
 }

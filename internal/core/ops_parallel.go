@@ -1,0 +1,83 @@
+package core
+
+import "sync"
+
+// Intra-operation parallelism: with SetIntraWorkers(k>1) a single Add or
+// ApplyLocal call recurses into independent sub-diagrams on up to k
+// goroutines. The design keeps results byte-identical at any worker count:
+//
+//   - Work is split only along the recursion's natural child structure, and
+//     every child's result lands in its own slot; the reduction (MakeNode
+//     over the slot array) always runs in index order.
+//   - Node and weight identity is value-determined: the sharded tables
+//     (hash.go) canonicalize whichever goroutine interns first, and for
+//     concurrency-safe rings equal values are bit-identical, so the final
+//     diagram — and every amplitude — is schedule-invariant. Only throughput
+//     counters (lookup/hit tallies, CT occupancy) vary with scheduling.
+//   - A fork *budget* rides down the recursion instead of any shared state:
+//     the entry point starts with ~log2(k)+1 splits, each fork level spends
+//     one, and below minParallelLevel (or once the budget is spent) the
+//     recursion is exactly the sequential code. Small subtrees never touch a
+//     goroutine or a lock queue.
+//
+// Goroutines are bounded by a non-blocking semaphore of k−1 tokens; when no
+// token is free the child runs inline on the requesting goroutine, so the
+// scheme cannot deadlock however deeply forks nest. Panics (budget trips,
+// cancellation, malformed diagrams) are captured per child and re-raised in
+// the parent in child-index order after all children finish, so the governor
+// unwinds one coherent stack and no goroutine dies silently.
+
+// minParallelLevel is the sequential-below cutoff: sub-diagrams rooted below
+// this level (dimension < 2^6) are too small to pay for a fork.
+const minParallelLevel = 6
+
+// spawnFor returns the fork budget granted to one top-level operation:
+// ceil(log2(workers)) + 1 split levels saturate the worker pool (each split
+// at least doubles the task count) with a little slack for uneven subtrees.
+func spawnFor(workers int) int {
+	if workers <= 1 {
+		return 0
+	}
+	s := 1
+	for p := 1; p < workers; p <<= 1 {
+		s++
+	}
+	return s
+}
+
+// forkJoin runs fn(i, spawn-1) for every i in [0, n), farming children 1..n-1
+// out to worker goroutines as semaphore tokens allow and running the rest —
+// always including child 0 — inline. It returns only after every child has
+// finished; if any panicked, the lowest-indexed panic is re-raised.
+func (m *Manager[T]) forkJoin(spawn, n int, fn func(i, spawn int)) {
+	var panics [MatrixArity]any
+	var wg sync.WaitGroup
+	child := spawn - 1
+	for i := 1; i < n; i++ {
+		select {
+		case m.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-m.sem }()
+				defer func() { panics[i] = recover() }()
+				fn(i, child)
+			}(i)
+		default:
+			func() {
+				defer func() { panics[i] = recover() }()
+				fn(i, child)
+			}()
+		}
+	}
+	func() {
+		defer func() { panics[0] = recover() }()
+		fn(0, child)
+	}()
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if p := panics[i]; p != nil {
+			panic(p)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package gates
+
+import (
+	"repro/internal/core"
+)
+
+// Local prepares the identity-skipping form of a single-target gate with
+// arbitrarily many controls for core.ApplyLocal: the same gate description
+// BuildDD consumes, but translated to level coordinates and handed to the
+// manager without ever materializing the n-level matrix diagram. BuildDD
+// remains the differential-test oracle for this path (local_test.go asserts
+// ApplyLocal(Local(...)) ≡ Mul(BuildDD(...))).
+func Local[T any](m *core.Manager[T], n int, base [2][2]T, target int, controls []Control) *core.LocalGate[T] {
+	if target < 0 || target >= n {
+		panic("gates: target out of range")
+	}
+	seen := make(map[int]bool, len(controls))
+	lc := make([]core.LocalControl, len(controls))
+	for i, c := range controls {
+		if c.Qubit == target {
+			panic("gates: control equals target")
+		}
+		if c.Qubit < 0 || c.Qubit >= n {
+			panic("gates: control out of range")
+		}
+		if seen[c.Qubit] {
+			panic("gates: duplicate control")
+		}
+		seen[c.Qubit] = true
+		lc[i] = core.LocalControl{Level: n - c.Qubit, Neg: c.Neg}
+	}
+	return m.PrepareLocal(base, n-target, lc)
+}

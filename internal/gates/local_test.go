@@ -1,0 +1,252 @@
+package gates
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/alg"
+	"repro/internal/core"
+	"repro/internal/num"
+)
+
+// The four representations the paper compares, as manager constructors. Any
+// divergence between the local-apply fast path and the BuildDD+Mul oracle in
+// any of them is a bug in apply.go, never arithmetic.
+type repr struct {
+	name  string
+	exact bool // RootsEqual must hold exactly (vs. amplitude tolerance)
+	run   func(t *testing.T, f func(t *testing.T, m manager))
+}
+
+// manager abstracts the two instantiations for the differential drivers.
+type manager interface {
+	isManager()
+}
+
+type algMgr struct{ m *core.Manager[alg.Q] }
+type numMgr struct{ m *core.Manager[complex128] }
+
+func (algMgr) isManager() {}
+func (numMgr) isManager() {}
+
+func representations() []repr {
+	return []repr{
+		{"alg-left", true, func(t *testing.T, f func(*testing.T, manager)) {
+			f(t, algMgr{core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)})
+		}},
+		{"alg-gcd", true, func(t *testing.T, f func(*testing.T, manager)) {
+			f(t, algMgr{core.NewManager[alg.Q](alg.Ring{}, core.NormGCD)})
+		}},
+		// Both float representations compare by amplitude tolerance, not
+		// RootsEqual: the two paths associate the same multiplications
+		// differently, so even at ε = 0 the canonical diagrams may differ in
+		// the last bit (measured ~1e-16; each path is individually
+		// deterministic).
+		{"num-exact", false, func(t *testing.T, f func(*testing.T, manager)) {
+			f(t, numMgr{core.NewManager[complex128](num.NewRing(0), core.NormMax)})
+		}},
+		{"num-1e-10", false, func(t *testing.T, f func(*testing.T, manager)) {
+			f(t, numMgr{core.NewManager[complex128](num.NewRing(1e-10), core.NormMax)})
+		}},
+	}
+}
+
+// exactGateNames is the Clifford+T-ish pool the random differential tests
+// draw bases from.
+var exactGateNames = []string{"h", "x", "y", "z", "s", "sdg", "t", "tdg", "sx"}
+
+// randGate returns a random base matrix, target and control set over n
+// qubits. Control placement deliberately covers all the interesting shapes:
+// none, above the target, below it, and straddling it, with random polarity.
+func randGate(r *rand.Rand, n int) (Matrix2, int, []Control) {
+	mat, _ := Exact(exactGateNames[r.Intn(len(exactGateNames))])
+	target := r.Intn(n)
+	perm := r.Perm(n)
+	var ctrls []Control
+	want := r.Intn(3) // 0, 1 or 2 controls
+	for _, q := range perm {
+		if len(ctrls) == want {
+			break
+		}
+		if q == target {
+			continue
+		}
+		ctrls = append(ctrls, Control{Qubit: q, Neg: r.Intn(2) == 0})
+	}
+	return mat, target, ctrls
+}
+
+// applyBoth applies one gate to the state both ways in the same manager and
+// checks agreement; it returns the fast-path state as the new state so the
+// random walk exercises local apply on its own output.
+func applyBoth[T any](t *testing.T, m *core.Manager[T], exact bool, n int,
+	mat Matrix2, target int, ctrls []Control, state core.Edge[T]) core.Edge[T] {
+	t.Helper()
+	base := BaseFor(m, mat)
+	fast := m.ApplyLocal(Local(m, n, base, target, ctrls), state)
+	slow := m.Mul(BuildDD(m, n, base, target, ctrls), state)
+	if exact {
+		if !m.RootsEqual(fast, slow) {
+			t.Fatalf("gate target=%d ctrls=%v: ApplyLocal diverges from BuildDD+Mul", target, ctrls)
+		}
+		return fast
+	}
+	// ε-interned floats: the two paths may round differently; compare
+	// amplitudes within a tolerance well above ε.
+	fa, sa := m.ToVector(fast, n), m.ToVector(slow, n)
+	for i := range fa {
+		d := m.R.Complex128(fa[i]) - m.R.Complex128(sa[i])
+		if math.Hypot(real(d), imag(d)) > 1e-8 {
+			t.Fatalf("gate target=%d ctrls=%v amp %d: %v vs %v", target, ctrls, i,
+				m.R.Complex128(fa[i]), m.R.Complex128(sa[i]))
+		}
+	}
+	return fast
+}
+
+// TestLocalDifferentialRandom drives random Clifford+T-ish circuits with
+// random control sets through both gate-application paths in all four
+// representations.
+func TestLocalDifferentialRandom(t *testing.T) {
+	const n, gatesPerTrial, trials = 5, 40, 4
+	for _, rep := range representations() {
+		t.Run(rep.name, func(t *testing.T) {
+			rep.run(t, func(t *testing.T, mg manager) {
+				r := rand.New(rand.NewSource(1234))
+				for trial := 0; trial < trials; trial++ {
+					switch mm := mg.(type) {
+					case algMgr:
+						state := mm.m.BasisState(n, uint64(r.Intn(1<<n)))
+						for g := 0; g < gatesPerTrial; g++ {
+							mat, target, ctrls := randGate(r, n)
+							state = applyBoth(t, mm.m, rep.exact, n, mat, target, ctrls, state)
+						}
+					case numMgr:
+						state := mm.m.BasisState(n, uint64(r.Intn(1<<n)))
+						for g := 0; g < gatesPerTrial; g++ {
+							mat, target, ctrls := randGate(r, n)
+							state = applyBoth(t, mm.m, rep.exact, n, mat, target, ctrls, state)
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestLocalControlPlacements pins the specific control geometries: above the
+// target, below it, straddling it, multiply-controlled and negative, on both
+// vector and matrix diagrams.
+func TestLocalControlPlacements(t *testing.T) {
+	const n = 5
+	cases := []struct {
+		name   string
+		target int
+		ctrls  []Control
+	}{
+		{"none", 2, nil},
+		{"above", 3, []Control{{Qubit: 0}}},
+		{"above-neg", 3, []Control{{Qubit: 1, Neg: true}}},
+		{"below", 1, []Control{{Qubit: 4}}},
+		{"below-neg", 0, []Control{{Qubit: 3, Neg: true}}},
+		{"straddle", 2, []Control{{Qubit: 0}, {Qubit: 4}}},
+		{"straddle-neg", 2, []Control{{Qubit: 1, Neg: true}, {Qubit: 3}}},
+		{"all-below", 0, []Control{{Qubit: 2}, {Qubit: 3, Neg: true}, {Qubit: 4}}},
+		{"all-above", 4, []Control{{Qubit: 0}, {Qubit: 1, Neg: true}, {Qubit: 2}}},
+	}
+	for _, mat2 := range []Matrix2{H, X, T} {
+		m := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
+		base := BaseFor(m, mat2)
+		// A non-trivial entangled state to apply everything to.
+		r := rand.New(rand.NewSource(7))
+		state := m.BasisState(n, 0)
+		for i := 0; i < 25; i++ {
+			g, tgt, cs := randGate(r, n)
+			state = m.Mul(BuildDD(m, n, BaseFor(m, g), tgt, cs), state)
+		}
+		// ... and a non-trivial unitary for the matrix-mode check.
+		u := m.Identity(n)
+		for i := 0; i < 8; i++ {
+			g, tgt, cs := randGate(r, n)
+			u = m.Mul(BuildDD(m, n, BaseFor(m, g), tgt, cs), u)
+		}
+		for _, tc := range cases {
+			lg := Local(m, n, base, tc.target, tc.ctrls)
+			dd := BuildDD(m, n, base, tc.target, tc.ctrls)
+			if fast, slow := m.ApplyLocal(lg, state), m.Mul(dd, state); !m.RootsEqual(fast, slow) {
+				t.Fatalf("%s on vector: ApplyLocal diverges", tc.name)
+			}
+			if fast, slow := m.ApplyLocal(lg, u), m.Mul(dd, u); !m.RootsEqual(fast, slow) {
+				t.Fatalf("%s on matrix: ApplyLocal diverges", tc.name)
+			}
+		}
+	}
+}
+
+// TestLocalIdentitySkip: a base block equal to the identity is detected and
+// ApplyLocal returns the state edge unchanged, controls or not.
+func TestLocalIdentitySkip(t *testing.T) {
+	m := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
+	const n = 4
+	state := m.Mul(BuildDD(m, n, BaseFor(m, H), 1, nil), m.BasisState(n, 5))
+	for _, ctrls := range [][]Control{nil, {{Qubit: 0}}, {{Qubit: 3, Neg: true}}} {
+		lg := Local(m, n, BaseFor(m, I), 2, ctrls)
+		if !lg.IsIdentity() {
+			t.Fatalf("identity base with ctrls=%v not detected", ctrls)
+		}
+		if got := m.ApplyLocal(lg, state); !m.RootsEqual(got, state) {
+			t.Fatalf("identity gate changed the state")
+		}
+	}
+	if Local(m, n, BaseFor(m, Z), 2, nil).IsIdentity() {
+		t.Fatalf("Z misdetected as identity")
+	}
+}
+
+// TestLocalBudgetTrip: a budget violation mid-recursion unwinds ApplyLocal
+// as a *BudgetError, and after lifting the budget the same manager still
+// produces oracle-identical results (no half-built state corrupts the
+// tables).
+func TestLocalBudgetTrip(t *testing.T) {
+	m := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
+	const n = 7
+	r := rand.New(rand.NewSource(99))
+	state := m.BasisState(n, 0)
+	for i := 0; i < 30; i++ {
+		g, tgt, cs := randGate(r, n)
+		state = m.ApplyLocal(Local(m, n, BaseFor(m, g), tgt, cs), state)
+	}
+	nodes := m.Stats().UniqueNodes
+
+	m.SetBudget(core.Budget{MaxNodes: nodes + 1})
+	tripped := false
+	for i := 0; i < 50 && !tripped; i++ {
+		g, tgt, cs := randGate(r, n)
+		err := func() (err error) {
+			defer core.RecoverTo(&err)
+			m.ApplyLocal(Local(m, n, BaseFor(m, g), tgt, cs), state)
+			return nil
+		}()
+		if err != nil {
+			var be *core.BudgetError
+			if !errors.As(err, &be) || !errors.Is(err, core.ErrBudgetExceeded) {
+				t.Fatalf("unexpected error shape: %v", err)
+			}
+			tripped = true
+		}
+	}
+	if !tripped {
+		t.Fatalf("budget never tripped (MaxNodes=%d)", nodes+1)
+	}
+
+	m.SetBudget(core.Budget{})
+	g, tgt, cs := Matrix2(H), 3, []Control{{Qubit: 0}, {Qubit: 6, Neg: true}}
+	base := BaseFor(m, g)
+	fast := m.ApplyLocal(Local(m, n, base, tgt, cs), state)
+	slow := m.Mul(BuildDD(m, n, base, tgt, cs), state)
+	if !m.RootsEqual(fast, slow) {
+		t.Fatalf("post-trip ApplyLocal diverges from oracle")
+	}
+}

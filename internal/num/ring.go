@@ -21,6 +21,13 @@ func NewRing(eps float64) *Ring { return &Ring{T: NewTable(eps)} }
 // Eps returns the configured tolerance.
 func (r *Ring) Eps() float64 { return r.T.Tol }
 
+// ConcurrentSafe reports whether this ring may be used from multiple
+// goroutines at once (coeff.ConcurrentRing). True only at ε ≤ 0, where
+// Table.Lookup returns its argument unchanged and never mutates the table;
+// with ε > 0 the nearest-wins interning both races and makes canonical
+// representatives insertion-order-dependent.
+func (r *Ring) ConcurrentSafe() bool { return r.T.Tol <= 0 }
+
 func (r *Ring) intern(v complex128) complex128 { return r.T.Lookup(v) }
 
 // Zero returns 0.

@@ -209,7 +209,10 @@ func TestNoPanicEscapesExportedAPIs(t *testing.T) {
 // when the live working set outgrows the watermark, the old policy swept the
 // full table after every gate while reclaiming almost nothing. The guard
 // raises the watermark to twice the live size whenever a sweep reclaims
-// under 10%, so the number of prunes stays far below the gate count.
+// under 10%, so the number of prunes stays far below the gate count. The
+// near-useless-sweep regime needs a table dominated by pinned roots, so the
+// gate diagrams are cached up front (the local apply path alone leaves too
+// little pinned for sweeps to be useless).
 func TestAutoPruneThrashGuard(t *testing.T) {
 	const n = 16
 	c := circuit.New("ghz", n)
@@ -220,6 +223,11 @@ func TestAutoPruneThrashGuard(t *testing.T) {
 	m := numM(0)
 	s := New(m, n)
 	s.EnableAutoPrune(4) // far below the live working set from the start
+	for _, g := range c.Gates {
+		if _, err := s.GateDD(g); err != nil {
+			t.Fatal(err)
+		}
+	}
 	if err := s.Run(c, nil); err != nil {
 		t.Fatal(err)
 	}

@@ -63,7 +63,10 @@ func TestResetRestoresAutoPruneWatermark(t *testing.T) {
 // bug: cached gate diagrams are auto-prune roots, so a Reset that kept the
 // cache retained every dead gate DD of the previous circuit forever across
 // cross-circuit reuse. Reset must drop the cache, and a subsequent prune
-// must reclaim the orphaned diagrams down to the live state.
+// must reclaim the orphaned diagrams down to the live state. (Apply itself
+// no longer builds gate diagrams — the local path has no edges to pin — so
+// the cache is populated explicitly through GateDD, its remaining entry
+// point.)
 func TestResetUnpinsGateCache(t *testing.T) {
 	const n = 8
 	c := algorithms.Grover(n, 13, 1)
@@ -71,6 +74,11 @@ func TestResetUnpinsGateCache(t *testing.T) {
 	s := New(m, n)
 	if err := s.Run(c, nil); err != nil {
 		t.Fatal(err)
+	}
+	for _, g := range c.Gates {
+		if _, err := s.GateDD(g); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if len(s.gateCache) == 0 {
 		t.Fatal("precondition: no gate diagrams were cached")

@@ -23,7 +23,8 @@ type Simulator[T any] struct {
 	N     int
 	State core.Edge[T]
 
-	gateCache map[string]core.Edge[T]
+	gateCache  map[string]core.Edge[T]
+	localCache map[string]*core.LocalGate[T]
 	// pruneHighWater is the active auto-prune watermark; the thrash guard
 	// may raise it during a run. pruneConfigured remembers the caller's
 	// setting so Reset can restore it — guard inflation is run-local, never
@@ -57,10 +58,11 @@ func New[T any](m *core.Manager[T], n int) *Simulator[T] {
 	defer m.SetBudget(m.Budget())
 	m.SetBudget(core.Budget{})
 	return &Simulator[T]{
-		M:         m,
-		N:         n,
-		State:     m.BasisState(n, 0),
-		gateCache: make(map[string]core.Edge[T]),
+		M:          m,
+		N:          n,
+		State:      m.BasisState(n, 0),
+		gateCache:  make(map[string]core.Edge[T]),
+		localCache: make(map[string]*core.LocalGate[T]),
 	}
 }
 
@@ -71,7 +73,9 @@ func New[T any](m *core.Manager[T], n int) *Simulator[T] {
 // prune-free), and the gate-diagram cache is dropped (cached DDs are prune
 // roots, so carrying them across circuits would pin dead gate diagrams
 // forever). The manager's tables are left as-is — the next prune sweeps
-// what the dropped cache no longer protects.
+// what the dropped cache no longer protects. The local-gate cache is kept:
+// prepared local gates store ring values, never diagram edges, so they pin
+// nothing and stay valid across Prune and Reset alike.
 func (s *Simulator[T]) Reset() {
 	defer s.M.SetBudget(s.M.Budget())
 	s.M.SetBudget(core.Budget{})
@@ -144,17 +148,46 @@ func (s *Simulator[T]) GateDD(g circuit.Gate) (core.Edge[T], error) {
 	return dd, nil
 }
 
-// Apply evolves the state by one gate. Panics from the diagram core —
-// budget violations, malformed circuits, non-invertible weights — are
-// converted to errors; on error the state is left at its pre-gate value.
+// LocalGate returns (and caches) the identity-skipping local form of a gate,
+// ready for core.ApplyLocal. Unlike GateDD's matrix diagrams, prepared local
+// gates hold ring values only — they are not prune roots and never expire.
+func (s *Simulator[T]) LocalGate(g circuit.Gate) (lg *core.LocalGate[T], err error) {
+	key := gateKey(g, s.N)
+	if lg, ok := s.localCache[key]; ok {
+		return lg, nil
+	}
+	defer core.RecoverTo(&err)
+	base, err := baseFor(s.M, g)
+	if err != nil {
+		return nil, err
+	}
+	ctrls := make([]gates.Control, len(g.Controls))
+	for i, c := range g.Controls {
+		ctrls[i] = gates.Control{Qubit: c.Qubit, Neg: c.Neg}
+	}
+	lg = gates.Local(s.M, s.N, base, g.Target, ctrls)
+	s.localCache[key] = lg
+	return lg, nil
+}
+
+// Apply evolves the state by one gate via the identity-skipping local path
+// (core.ApplyLocal): no n-level gate diagram is built and levels the gate
+// does not touch cost nothing. Gates whose base block is exactly the ring
+// identity — rz(0), u3(0,0,0), controlled or not — are skipped outright.
+// Panics from the diagram core — budget violations, malformed circuits,
+// non-invertible weights — are converted to errors; on error the state is
+// left at its pre-gate value.
 func (s *Simulator[T]) Apply(g circuit.Gate) (err error) {
 	defer core.RecoverTo(&err)
-	dd, err := s.GateDD(g)
+	lg, err := s.LocalGate(g)
 	if err != nil {
 		return err
 	}
+	if lg.IsIdentity() {
+		return nil
+	}
 	prev := s.State
-	s.State = s.M.Mul(dd, s.State)
+	s.State = s.M.ApplyLocal(lg, s.State)
 	if err := s.maybePrune(); err != nil {
 		s.State = prev
 		return err
@@ -268,19 +301,25 @@ func Governed(err error) bool {
 		errors.Is(err, context.DeadlineExceeded)
 }
 
-// BuildUnitary computes the full circuit unitary by matrix-matrix
-// multiplication (gates applied in order, i.e. U = G_k ··· G_1). Core
+// BuildUnitary computes the full circuit unitary (gates applied in order,
+// i.e. U = G_k ··· G_1). Each gate is applied to the accumulating matrix
+// diagram through the identity-skipping local path — ApplyLocal acting on
+// the row space is exactly Mul(BuildDD(...), u) without ever materializing
+// the n-level gate diagram — and exact-identity gates are skipped. Core
 // panics (budget violations, malformed circuits) surface as errors.
 func BuildUnitary[T any](m *core.Manager[T], c *circuit.Circuit) (u core.Edge[T], err error) {
 	defer core.RecoverTo(&err)
 	s := New(m, c.N)
 	u = m.Identity(c.N)
 	for i, g := range c.Gates {
-		dd, err := s.GateDD(g)
+		lg, err := s.LocalGate(g)
 		if err != nil {
 			return core.Edge[T]{}, fmt.Errorf("sim: gate %d (%s): %w", i, g, err)
 		}
-		u = m.Mul(dd, u)
+		if lg.IsIdentity() {
+			continue
+		}
+		u = m.ApplyLocal(lg, u)
 	}
 	return u, nil
 }
