@@ -37,29 +37,30 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "3", "figure to regenerate: 2, 3, 4, 5, norms, all")
-		outDir    = flag.String("out", "", "directory for CSV output (optional)")
-		grover    = flag.Int("grover", 0, "override Grover qubit count (paper: 15)")
-		bwtDepth  = flag.Int("bwtdepth", 0, "override BWT tree depth")
-		bwtSteps  = flag.Int("bwtsteps", 0, "override BWT walk steps")
-		phaseBits = flag.Int("phasebits", 0, "override GSE phase register size")
-		skDepth   = flag.Int("skdepth", -1, "override GSE Solovay–Kitaev depth")
-		netLen    = flag.Int("netlen", 0, "override synthesizer net length")
-		stride    = flag.Int("stride", 0, "override sampling stride")
-		noError   = flag.Bool("noerror", false, "skip the per-sample accuracy metric (faster)")
-		nodeCap   = flag.Int("nodecap", 0, "deprecated alias for -max-nodes")
-		maxNodes  = flag.Int("max-nodes", 0, "budget: max live QMDD nodes per run (0 = default 200000)")
-		maxMem    = flag.Int64("max-mem", 0, "budget: approximate max bytes of nodes+weights per run (0 = unlimited)")
-		timeout   = flag.Duration("timeout", 0, "wall-clock limit for the whole invocation (0 = none); partial results are printed on expiry")
-		epsFlag   = flag.String("eps", "", "comma-separated ε list (default: paper sweep)")
-		width     = flag.Int("width", 60, "ASCII chart width")
-		numNorm   = flag.String("numnorm", "max", "numeric normalization: max (stabilized [29]) or left (classic)")
-		parallel  = flag.Int("parallel", 0, "worker pool for the sweep cells, each on a private manager (0 = GOMAXPROCS, 1 = sequential); output is identical for every setting")
-		intraW    = flag.Int("intra-workers", 1, "intra-operation worker goroutines inside each run's manager (1 = sequential); output is identical for every setting; ε>0 runs stay sequential")
-		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
-		cacheDir  = flag.String("cache", "", "benchmark the qcache disk tier instead of a figure sweep: run each workload cold (simulate + cache the final state in this directory), then warm (replay from cache), and report both wall times")
-		benchJSON = flag.String("bench-json", "", "single-run implementation benchmark instead of a figure sweep: time each workload under BuildDD+Mul, sequential local apply, and parallel local apply, and write the JSON report to this path")
+		fig         = flag.String("fig", "3", "figure to regenerate: 2, 3, 4, 5, norms, all")
+		outDir      = flag.String("out", "", "directory for CSV output (optional)")
+		grover      = flag.Int("grover", 0, "override Grover qubit count (paper: 15)")
+		bwtDepth    = flag.Int("bwtdepth", 0, "override BWT tree depth")
+		bwtSteps    = flag.Int("bwtsteps", 0, "override BWT walk steps")
+		phaseBits   = flag.Int("phasebits", 0, "override GSE phase register size")
+		skDepth     = flag.Int("skdepth", -1, "override GSE Solovay–Kitaev depth")
+		netLen      = flag.Int("netlen", 0, "override synthesizer net length")
+		stride      = flag.Int("stride", 0, "override sampling stride")
+		noError     = flag.Bool("noerror", false, "skip the per-sample accuracy metric (faster)")
+		nodeCap     = flag.Int("nodecap", 0, "deprecated alias for -max-nodes")
+		maxNodes    = flag.Int("max-nodes", 0, "budget: max live QMDD nodes per run (0 = default 200000)")
+		maxMem      = flag.Int64("max-mem", 0, "budget: approximate max bytes of nodes+weights per run (0 = unlimited)")
+		timeout     = flag.Duration("timeout", 0, "wall-clock limit for the whole invocation (0 = none); partial results are printed on expiry")
+		epsFlag     = flag.String("eps", "", "comma-separated ε list (default: paper sweep)")
+		width       = flag.Int("width", 60, "ASCII chart width")
+		numNorm     = flag.String("numnorm", "max", "numeric normalization: max (stabilized [29]) or left (classic)")
+		parallel    = flag.Int("parallel", 0, "worker pool for the sweep cells, each on a private manager (0 = GOMAXPROCS, 1 = sequential); output is identical for every setting")
+		intraW      = flag.Int("intra-workers", 1, "intra-operation worker goroutines inside each run's manager (1 = sequential); output is identical for every setting; ε>0 runs stay sequential")
+		cpuProf     = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf     = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		cacheDir    = flag.String("cache", "", "benchmark the qcache disk tier instead of a figure sweep: run each workload cold (simulate + cache the final state in this directory), then warm (replay from cache), and report both wall times")
+		benchJSON   = flag.String("bench-json", "", "single-run implementation benchmark instead of a figure sweep: time each workload under BuildDD+Mul, sequential local apply, and parallel local apply, and write the JSON report to this path")
+		sampleBench = flag.Int("sample-bench", 0, "measurement-sampling micro-benchmark instead of a figure sweep: draw this many samples from each workload's final state, per-call (fresh mass pass per draw) vs hoisted (reusable Sampler), and report both")
 	)
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -155,6 +156,8 @@ func main() {
 	}
 	var runErr error
 	switch {
+	case *sampleBench > 0:
+		runErr = runSampleBench(ctx, p, *sampleBench)
 	case *benchJSON != "":
 		runErr = runBenchJSON(ctx, p, *benchJSON)
 	case *cacheDir != "":

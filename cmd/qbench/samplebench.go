@@ -1,0 +1,70 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/alg"
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// runSampleBench measures what hoisting the subtree-mass memo buys when a
+// final state is sampled repeatedly: the per-call path (core.Sample — a
+// fresh validating mass pass per draw, O(nodes) each) against the reusable
+// Sampler (one mass pass, O(n) per draw). Both paths consume identical
+// random streams, so they draw identical outcomes — the benchmark isolates
+// the memo hoist.
+func runSampleBench(ctx context.Context, p bench.FigureParams, draws int) error {
+	workloads := []struct {
+		name string
+		c    *circuit.Circuit
+	}{
+		{"grover", bench.GroverCircuit(p)},
+		{"bwt", bench.BWTCircuit(p)},
+	}
+	for _, w := range workloads {
+		m := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
+		m.SetBudget(p.Budget)
+		s := sim.New(m, w.c.N)
+		if err := s.RunCtx(ctx, w.c, nil); err != nil {
+			return fmt.Errorf("sample-bench %s: %w", w.name, err)
+		}
+
+		start := time.Now()
+		for i := 0; i < draws; i++ {
+			if i%64 == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if _, err := m.Sample(s.State, w.c.N, sim.ForkRNG(1, i)); err != nil {
+				return fmt.Errorf("sample-bench %s: %w", w.name, err)
+			}
+		}
+		perCall := time.Since(start)
+
+		start = time.Now()
+		sampler, err := m.NewSampler(s.State, w.c.N)
+		if err != nil {
+			return fmt.Errorf("sample-bench %s: %w", w.name, err)
+		}
+		for i := 0; i < draws; i++ {
+			if _, err := sampler.Draw(sim.ForkRNG(1, i)); err != nil {
+				return fmt.Errorf("sample-bench %s: %w", w.name, err)
+			}
+		}
+		hoisted := time.Since(start)
+
+		speedup := float64(perCall) / float64(hoisted)
+		fmt.Printf("sample-bench %s: %d qubits, %d state nodes, %d draws: per-call %v (%.2f µs/draw)  hoisted %v (%.2f µs/draw)  speedup %.1fx\n",
+			w.name, w.c.N, s.State.NodeCount(), draws,
+			perCall.Round(time.Millisecond), float64(perCall.Microseconds())/float64(draws),
+			hoisted.Round(time.Millisecond), float64(hoisted.Microseconds())/float64(draws),
+			speedup)
+	}
+	return nil
+}

@@ -43,6 +43,7 @@ func main() {
 		maxBody     = flag.Int64("max-body", 1<<20, "request body cap in bytes (larger answers 413)")
 		maxJobs     = flag.Int("max-jobs", 1024, "retained job records")
 		maxQubits   = flag.Int("max-qubits", 64, "circuit width cap")
+		maxShots    = flag.Int("max-shots", 0, "per-job shot-count cap for histogram jobs (0 = default 1048576); larger requests are rejected")
 		ctSize      = flag.Int("ctsize", core.DefaultCTSize, "per-manager compute-table slots")
 		intraW      = flag.Int("intra-workers", 1, "intra-operation worker goroutines per job (1 = sequential; results identical at any setting; ε>0 float jobs stay sequential)")
 		nodeCap     = flag.Int("node-cap", 0, "server-side cap on per-job MaxNodes budget (0 = none)")
@@ -66,6 +67,7 @@ func main() {
 		MaxBodyBytes: *maxBody,
 		MaxJobs:      *maxJobs,
 		MaxQubits:    *maxQubits,
+		MaxShots:     *maxShots,
 		CTSize:       *ctSize,
 		IntraWorkers: *intraW,
 		NodeCap:      *nodeCap,

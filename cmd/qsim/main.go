@@ -16,7 +16,6 @@ import (
 	"flag"
 	"fmt"
 	"math/cmplx"
-	"math/rand"
 	"os"
 	"os/signal"
 	"sort"
@@ -51,8 +50,10 @@ func main() {
 		trotter   = flag.Int("trotter", 2, "gse: Trotter steps")
 		skDepth   = flag.Int("skdepth", 1, "gse: Solovay–Kitaev recursion depth")
 		netLen    = flag.Int("netlen", 10, "gse: synthesizer base-net word length")
-		samples   = flag.Int("samples", 0, "draw this many measurement samples")
-		seed      = flag.Int64("seed", 1, "sampling RNG seed")
+		shots     = flag.Int("shots", 0, "measure the circuit this many times and print the histogram (required for dynamic circuits)")
+		samples   = flag.Int("samples", 0, "deprecated alias for -shots")
+		seed      = flag.Int64("seed", 1, "deterministic RNG seed for -shots (same seed, same histogram)")
+		strategy  = flag.String("strategy", "auto", "shots strategy: auto, sample (one simulation, N draws), resimulate (per-shot replay with collapse)")
 		topK      = flag.Int("top", 8, "print the K most probable outcomes")
 		stats     = flag.Bool("stats", false, "print manager statistics")
 		ctSize    = flag.Int("ctsize", core.DefaultCTSize, "compute-table slots (rounded up to a power of two)")
@@ -102,6 +103,23 @@ func main() {
 		fmt.Printf("wrote %s\n", *writeQASM)
 	}
 
+	nshots := *shots
+	if nshots == 0 && *samples > 0 {
+		fmt.Fprintln(os.Stderr, "qsim: -samples is deprecated; use -shots")
+		nshots = *samples
+	}
+	if c.Dynamic() && nshots == 0 {
+		fatal(fmt.Errorf("circuit %q contains mid-circuit measurement, reset or classical control; run it with -shots N", c.Name))
+	}
+	// Amplitude mode describes the pre-measurement state: strip any trailing
+	// read-out block (and the classical register) so the run — and its
+	// warm-start cache identity — matches the measure-free twin.
+	ampCirc := c
+	if nshots == 0 && (c.Cbits != 0 || !c.IsUnitary()) {
+		p := c.UnitaryPrefix()
+		ampCirc = &circuit.Circuit{Name: p.Name, N: p.N, Gates: p.Gates}
+	}
+
 	norm, err := core.ParseNormScheme(*normFlag)
 	if err != nil {
 		fatal(err)
@@ -137,16 +155,47 @@ func main() {
 		m := core.NewManager[alg.Q](alg.Ring{}, norm, core.WithComputeTableSize(*ctSize))
 		m.SetIntraWorkers(*intraW)
 		m.SetBudget(budget)
-		cc := qcache.NewStateCache(disk, c, "alg", 0, norm, ddio.Codec[alg.Q](ddio.AlgCodec{}))
-		runAndReport(ctx, m, c, *samples, *seed, *topK, *stats, true, *verify, *prune, cc)
+		if nshots > 0 {
+			runShots(ctx, m, c, sim.ShotOptions{Shots: nshots, Seed: *seed, Strategy: *strategy, AutoPrune: *prune}, *stats)
+			return
+		}
+		cc := qcache.NewStateCache(disk, ampCirc, "alg", 0, norm, ddio.Codec[alg.Q](ddio.AlgCodec{}))
+		runAndReport(ctx, m, ampCirc, *topK, *stats, true, *verify, *prune, cc)
 	case "num":
 		m := core.NewManager[complex128](num.NewRing(*eps), norm, core.WithComputeTableSize(*ctSize))
 		m.SetIntraWorkers(*intraW)
 		m.SetBudget(budget)
-		cc := qcache.NewStateCache(disk, c, "float", *eps, norm, ddio.Codec[complex128](ddio.NumCodec{}))
-		runAndReport(ctx, m, c, *samples, *seed, *topK, *stats, false, *verify, *prune, cc)
+		if nshots > 0 {
+			runShots(ctx, m, c, sim.ShotOptions{Shots: nshots, Seed: *seed, Strategy: *strategy, AutoPrune: *prune}, *stats)
+			return
+		}
+		cc := qcache.NewStateCache(disk, ampCirc, "float", *eps, norm, ddio.Codec[complex128](ddio.NumCodec{}))
+		runAndReport(ctx, m, ampCirc, *topK, *stats, false, *verify, *prune, cc)
 	default:
 		fatal(fmt.Errorf("unknown representation %q (want alg or num)", *repr))
+	}
+}
+
+// runShots measures the circuit through the sim shots engine and prints
+// the histogram. The strategy line reports what actually ran, so "auto"
+// invocations show whether the circuit sampled one final state or
+// re-simulated per shot.
+func runShots[T any](ctx context.Context, m *core.Manager[T], c *circuit.Circuit, opt sim.ShotOptions, stats bool) {
+	start := time.Now()
+	res, err := sim.SampleShotsCtx(ctx, m, c, opt)
+	if err != nil {
+		if governed(err) {
+			fmt.Printf("shots run stopped early: %v\n", err)
+			printStats(m)
+			return
+		}
+		fatal(err)
+	}
+	fmt.Printf("histogram (%d shots, seed %d, strategy %s) in %v:\n",
+		res.Shots, opt.Seed, res.Strategy, time.Since(start).Round(time.Millisecond))
+	printHistogram(res.Counts)
+	if stats {
+		printStats(m)
 	}
 }
 
@@ -226,7 +275,7 @@ func buildCircuit(algName, file string, o buildOpts) (*circuit.Circuit, error) {
 	return nil, fmt.Errorf("choose a workload with -alg {grover,bwt,gse,ghz} or -file <qasm>")
 }
 
-func runAndReport[T any](ctx context.Context, m *core.Manager[T], c *circuit.Circuit, samples int, seed int64, topK int, stats, exact, verify bool, prune int, cc *qcache.StateCache[T]) {
+func runAndReport[T any](ctx context.Context, m *core.Manager[T], c *circuit.Circuit, topK int, stats, exact, verify bool, prune int, cc *qcache.StateCache[T]) {
 	s := sim.New(m, c.N)
 	if prune > 0 {
 		s.EnableAutoPrune(prune)
@@ -268,17 +317,6 @@ func runAndReport[T any](ctx context.Context, m *core.Manager[T], c *circuit.Cir
 	if topK > 0 {
 		printTop(m, s, c.N, topK)
 	}
-	if samples > 0 {
-		rng := rand.New(rand.NewSource(seed))
-		counts := map[uint64]int{}
-		for i := 0; i < samples; i++ {
-			if idx, ok := m.Sample(s.State, c.N, rng); ok {
-				counts[idx]++
-			}
-		}
-		fmt.Printf("measurement samples (%d shots):\n", samples)
-		printCounts(counts, c.N)
-	}
 	if stats {
 		printStats(m)
 	}
@@ -310,22 +348,27 @@ func printTop[T any](m *core.Manager[T], s *sim.Simulator[T], n, k int) {
 	}
 }
 
-func printCounts(counts map[uint64]int, n int) {
+func printHistogram(counts map[string]int) {
 	type kv struct {
-		idx uint64
+		key string
 		c   int
 	}
 	var all []kv
-	for i, c := range counts {
-		all = append(all, kv{i, c})
+	for k, c := range counts {
+		all = append(all, kv{k, c})
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].c > all[j].c })
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].key < all[j].key
+	})
 	for i, o := range all {
 		if i >= 10 {
 			fmt.Printf("  … and %d more outcomes\n", len(all)-10)
 			break
 		}
-		fmt.Printf("  |%0*b⟩  %d\n", n, o.idx, o.c)
+		fmt.Printf("  |%s⟩  %d\n", o.key, o.c)
 	}
 }
 

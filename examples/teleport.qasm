@@ -1,0 +1,26 @@
+// Quantum teleportation of X|0> = |1> from q[0] to q[2].
+//
+// A dynamic circuit: the Bell measurement happens mid-circuit and the
+// corrections on q[2] are classically controlled, so every shot must be
+// re-simulated with projective collapse:
+//
+//   qsim -file examples/teleport.qasm -shots 1024 -seed 7
+//
+// The read-out c2 lands in the most-significant position of the histogram
+// key, so every key starts with 1 — the payload always arrives.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c0[1];
+creg c1[1];
+creg c2[1];
+x q[0];
+h q[1];
+cx q[1],q[2];
+cx q[0],q[1];
+h q[0];
+measure q[0] -> c0[0];
+measure q[1] -> c1[0];
+if(c1==1) x q[2];
+if(c0==1) z q[2];
+measure q[2] -> c2[0];

@@ -16,19 +16,66 @@ type Control struct {
 	Neg   bool
 }
 
+// Reserved operation names for the non-unitary ops. Everything else in
+// Gate.Name is a unitary base operation.
+const (
+	OpMeasure = "measure"
+	OpReset   = "reset"
+)
+
+// Cond is a classical condition on a contiguous range of classical bits:
+// the op fires iff bits [Offset, Offset+Width) — read as an unsigned
+// little-endian integer, bit Offset least significant — equal Value. This
+// is OpenQASM 2.0's `if (creg == value)` with the register flattened into
+// the circuit's classical bit space.
+type Cond struct {
+	Offset int
+	Width  int
+	Value  uint64
+}
+
+// Holds reports whether the condition is satisfied by the classical state
+// creg (bit i of creg = classical bit i of the circuit).
+func (cd *Cond) Holds(creg uint64) bool {
+	mask := ^uint64(0)
+	if cd.Width < 64 {
+		mask = 1<<uint(cd.Width) - 1
+	}
+	return (creg>>uint(cd.Offset))&mask == cd.Value
+}
+
 // Gate is one circuit operation: the named single-qubit base operation
 // applied to Target under the given controls. Parametric gates carry their
 // angles in Params (radians).
+//
+// Two reserved names carry the non-unitary ops in position: OpMeasure
+// (projective measurement of Target into classical bit Clbit) and OpReset
+// (measure Target and return it to |0⟩). Any op may additionally carry a
+// classical condition in Cond.
 type Gate struct {
 	Name     string
 	Target   int
 	Controls []Control
 	Params   []float64
+	Clbit    int   // OpMeasure only: destination classical bit
+	Cond     *Cond // optional classical guard
 }
+
+// IsMeasure reports whether the op is a projective measurement.
+func (g Gate) IsMeasure() bool { return g.Name == OpMeasure }
+
+// IsReset reports whether the op is a qubit reset.
+func (g Gate) IsReset() bool { return g.Name == OpReset }
+
+// IsUnitary reports whether the op is an unconditional unitary gate.
+func (g Gate) IsUnitary() bool { return !g.IsMeasure() && !g.IsReset() && g.Cond == nil }
 
 // String renders the gate in a compact human-readable form.
 func (g Gate) String() string {
 	var sb strings.Builder
+	if g.Cond != nil {
+		fmt.Fprintf(&sb, "if(c[%d:%d]==%d) ", g.Cond.Offset, g.Cond.Offset+g.Cond.Width, g.Cond.Value)
+	}
 	sb.WriteString(g.Name)
 	if len(g.Params) > 0 {
 		fmt.Fprintf(&sb, "(%v)", g.Params)
@@ -41,13 +88,18 @@ func (g Gate) String() string {
 		}
 	}
 	fmt.Fprintf(&sb, " q%d", g.Target)
+	if g.IsMeasure() {
+		fmt.Fprintf(&sb, " -> c%d", g.Clbit)
+	}
 	return sb.String()
 }
 
-// Circuit is an ordered gate list over N qubits.
+// Circuit is an ordered gate list over N qubits and Cbits classical bits.
+// Cbits grows automatically as measures and conditions are appended.
 type Circuit struct {
 	Name  string
 	N     int
+	Cbits int
 	Gates []Gate
 }
 
@@ -70,6 +122,31 @@ func (c *Circuit) Append(g Gate) *Circuit {
 		}
 		if ct.Qubit == g.Target {
 			panic("circuit: control equals target")
+		}
+	}
+	if g.IsMeasure() {
+		if g.Clbit < 0 {
+			panic(fmt.Sprintf("circuit: classical bit %d out of range", g.Clbit))
+		}
+		if len(g.Controls) > 0 || len(g.Params) > 0 {
+			panic("circuit: measure takes no controls or parameters")
+		}
+		if g.Clbit >= c.Cbits {
+			c.Cbits = g.Clbit + 1
+		}
+	}
+	if g.IsReset() && (len(g.Controls) > 0 || len(g.Params) > 0) {
+		panic("circuit: reset takes no controls or parameters")
+	}
+	if cd := g.Cond; cd != nil {
+		if cd.Offset < 0 || cd.Width < 1 || cd.Width > 64 {
+			panic(fmt.Sprintf("circuit: bad condition range [%d:%d)", cd.Offset, cd.Offset+cd.Width))
+		}
+		if cd.Width < 64 && cd.Value >= 1<<uint(cd.Width) {
+			panic(fmt.Sprintf("circuit: condition value %d does not fit %d bit(s)", cd.Value, cd.Width))
+		}
+		if cd.Offset+cd.Width > c.Cbits {
+			c.Cbits = cd.Offset + cd.Width
 		}
 	}
 	c.Gates = append(c.Gates, g)
@@ -147,6 +224,17 @@ func (c *Circuit) Swap(a, b int) *Circuit {
 	return c.CX(a, b).CX(b, a).CX(a, b)
 }
 
+// Measure appends a projective measurement of qubit q into classical bit
+// clbit, growing Cbits as needed.
+func (c *Circuit) Measure(q, clbit int) *Circuit {
+	return c.Append(Gate{Name: OpMeasure, Target: q, Clbit: clbit})
+}
+
+// Reset appends a reset of qubit q to |0⟩ (measure, then flip on outcome 1).
+func (c *Circuit) Reset(q int) *Circuit {
+	return c.Append(Gate{Name: OpReset, Target: q})
+}
+
 // Rz applies Rz(θ) to q (parametric; not exactly representable).
 func (c *Circuit) Rz(theta float64, q int) *Circuit { return c.add("rz", q, nil, theta) }
 
@@ -174,8 +262,72 @@ func (c *Circuit) AppendCircuit(other *Circuit) *Circuit {
 	if other.N != c.N {
 		panic("circuit: qubit count mismatch in AppendCircuit")
 	}
+	if other.Cbits > c.Cbits {
+		c.Cbits = other.Cbits
+	}
 	c.Gates = append(c.Gates, other.Gates...)
 	return c
+}
+
+// IsUnitary reports whether the circuit contains no measure, reset or
+// classically conditioned op.
+func (c *Circuit) IsUnitary() bool {
+	for _, g := range c.Gates {
+		if !g.IsUnitary() {
+			return false
+		}
+	}
+	return true
+}
+
+// Dynamic reports whether running the circuit needs per-shot re-simulation:
+// it contains a reset, a classically conditioned op, or a measurement that
+// is not part of the trailing all-measure suffix. Circuits that are a
+// unitary prefix plus trailing measurements are NOT dynamic — their final
+// state can be built once and sampled repeatedly.
+func (c *Circuit) Dynamic() bool {
+	for _, g := range c.Gates {
+		if g.IsReset() || g.Cond != nil {
+			return true
+		}
+	}
+	return c.TrailingMeasures() > c.firstMeasure()
+}
+
+// TrailingMeasures returns the index of the first op of the circuit's
+// trailing all-measure suffix (len(Gates) when the circuit does not end in
+// measurements). Gates[:TrailingMeasures()] is the part that must be
+// simulated; the suffix is pure read-out.
+func (c *Circuit) TrailingMeasures() int {
+	t := len(c.Gates)
+	for t > 0 && c.Gates[t-1].IsMeasure() && c.Gates[t-1].Cond == nil {
+		t--
+	}
+	return t
+}
+
+// firstMeasure returns the index of the first measurement (len(Gates) when
+// there is none).
+func (c *Circuit) firstMeasure() int {
+	for i, g := range c.Gates {
+		if g.IsMeasure() {
+			return i
+		}
+	}
+	return len(c.Gates)
+}
+
+// UnitaryPrefix returns the circuit with any trailing measurement suffix
+// stripped: the original circuit when there is none, otherwise a shallow
+// copy sharing the prefix gate slice. It does not remove mid-circuit
+// measurements — callers that need a purely unitary circuit should check
+// Dynamic()/IsUnitary() first.
+func (c *Circuit) UnitaryPrefix() *Circuit {
+	t := c.TrailingMeasures()
+	if t == len(c.Gates) {
+		return c
+	}
+	return &Circuit{Name: c.Name, N: c.N, Cbits: c.Cbits, Gates: c.Gates[:t]}
 }
 
 // Inverse returns the adjoint circuit (gates reversed and inverted).
@@ -184,6 +336,9 @@ func (c *Circuit) Inverse() *Circuit {
 	inv := New(c.Name+"_inv", c.N)
 	for i := len(c.Gates) - 1; i >= 0; i-- {
 		g := c.Gates[i]
+		if !g.IsUnitary() {
+			panic(fmt.Sprintf("circuit: cannot invert non-unitary op %q", g.String()))
+		}
 		ig := Gate{Target: g.Target, Controls: g.Controls}
 		switch g.Name {
 		case "h", "x", "y", "z", "id", "swap":
@@ -221,8 +376,13 @@ func (c *Circuit) CountByName() map[string]int {
 }
 
 // IsCliffordT reports whether every gate is exactly representable in D[ω].
+// Non-unitary ops (measure, reset, conditioned gates) make this false: the
+// circuit is not a single unitary at all.
 func (c *Circuit) IsCliffordT() bool {
 	for _, g := range c.Gates {
+		if !g.IsUnitary() {
+			return false
+		}
 		switch g.Name {
 		case "h", "x", "y", "z", "s", "sdg", "t", "tdg", "sx", "sxdg", "id", "i":
 		default:

@@ -27,6 +27,7 @@ func ExpandMultiControls(c *Circuit) (*Circuit, error) {
 		}
 	}
 	out := New(c.Name+"_expanded", c.N+ancillas)
+	out.Cbits = c.Cbits
 	for _, g := range c.Gates {
 		if err := expandGate(out, g, c.N); err != nil {
 			return nil, err
@@ -49,8 +50,32 @@ func ancillasFor(g Gate) int {
 	return k - 1
 }
 
-// expandGate appends the rewritten form of g to out.
+// expandGate appends the rewritten form of g to out. Measure and reset pass
+// through verbatim (they have no controls to expand); a classical condition
+// is reattached to every gate the expansion emits, so the whole rewritten
+// block fires all-or-nothing exactly like the original op.
 func expandGate(out *Circuit, g Gate, n int) error {
+	if g.IsMeasure() || g.IsReset() {
+		out.Append(g)
+		return nil
+	}
+	if g.Cond != nil {
+		start := len(out.Gates)
+		bare := g
+		bare.Cond = nil
+		if err := expandUnitary(out, bare, n); err != nil {
+			return err
+		}
+		for i := start; i < len(out.Gates); i++ {
+			out.Gates[i].Cond = g.Cond
+		}
+		return nil
+	}
+	return expandUnitary(out, g, n)
+}
+
+// expandUnitary appends the rewritten form of an unconditional unitary gate.
+func expandUnitary(out *Circuit, g Gate, n int) error {
 	// Remove negative controls by X conjugation.
 	var flips []int
 	ctrls := make([]Control, len(g.Controls))
@@ -138,6 +163,26 @@ func (c *Circuit) Validate() error {
 				return fmt.Errorf("circuit: gate %d reuses qubit %d", i, ct.Qubit)
 			}
 			seen[ct.Qubit] = true
+		}
+		if g.IsMeasure() {
+			if g.Clbit < 0 || g.Clbit >= c.Cbits {
+				return fmt.Errorf("circuit: op %d classical bit %d out of range [0,%d)", i, g.Clbit, c.Cbits)
+			}
+			if len(g.Controls) > 0 || len(g.Params) > 0 {
+				return fmt.Errorf("circuit: op %d: measure takes no controls or parameters", i)
+			}
+		}
+		if g.IsReset() && (len(g.Controls) > 0 || len(g.Params) > 0) {
+			return fmt.Errorf("circuit: op %d: reset takes no controls or parameters", i)
+		}
+		if cd := g.Cond; cd != nil {
+			if cd.Offset < 0 || cd.Width < 1 || cd.Width > 64 || cd.Offset+cd.Width > c.Cbits {
+				return fmt.Errorf("circuit: op %d condition range [%d:%d) out of range [0,%d)",
+					i, cd.Offset, cd.Offset+cd.Width, c.Cbits)
+			}
+			if cd.Width < 64 && cd.Value >= 1<<uint(cd.Width) {
+				return fmt.Errorf("circuit: op %d condition value %d does not fit %d bit(s)", i, cd.Value, cd.Width)
+			}
 		}
 	}
 	return nil

@@ -19,6 +19,12 @@ import (
 // order. Parameters are hashed via their IEEE-754 bit patterns: exact
 // equality, no tolerance — a cache built on this key never conflates two
 // circuits that could simulate differently.
+//
+// Non-unitary structure — the classical bit count, measurement
+// destinations, and classical conditions — is part of the digest: a circuit
+// with a mid-circuit measurement must never collide with its measure-free
+// twin, since the two have different output distributions. The v2 schema
+// tag covers these added fields.
 func Fingerprint(c *Circuit) [sha256.Size]byte {
 	h := sha256.New()
 	var buf [8]byte
@@ -30,8 +36,9 @@ func Fingerprint(c *Circuit) [sha256.Size]byte {
 		writeInt(len(s))
 		h.Write([]byte(s))
 	}
-	writeStr("qmdd-circuit-v1") // domain separator / schema version
+	writeStr("qmdd-circuit-v2") // domain separator / schema version
 	writeInt(c.N)
+	writeInt(c.Cbits)
 	writeInt(len(c.Gates))
 	ctrls := make([]Control, 0, 4)
 	for _, g := range c.Gates {
@@ -52,6 +59,18 @@ func Fingerprint(c *Circuit) [sha256.Size]byte {
 		for _, p := range g.Params {
 			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p))
 			h.Write(buf[:])
+		}
+		if g.IsMeasure() {
+			writeInt(g.Clbit)
+		}
+		if g.Cond != nil {
+			writeInt(1)
+			writeInt(g.Cond.Offset)
+			writeInt(g.Cond.Width)
+			binary.LittleEndian.PutUint64(buf[:], g.Cond.Value)
+			h.Write(buf[:])
+		} else {
+			writeInt(0)
 		}
 	}
 	var out [sha256.Size]byte

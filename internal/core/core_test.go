@@ -378,9 +378,9 @@ func TestSampleDistribution(t *testing.T) {
 	rng := rand.New(rand.NewSource(60))
 	counts := map[uint64]int{}
 	for i := 0; i < 2000; i++ {
-		idx, ok := m.Sample(v, 2, rng)
-		if !ok {
-			t.Fatal("sampling failed")
+		idx, err := m.Sample(v, 2, rng)
+		if err != nil {
+			t.Fatalf("sampling failed: %v", err)
 		}
 		counts[idx]++
 	}

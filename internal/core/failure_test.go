@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+	"math/rand"
 	"testing"
 
 	"repro/internal/alg"
@@ -44,8 +46,43 @@ func TestMakeNodeValidation(t *testing.T) {
 func TestProjectValidation(t *testing.T) {
 	m := algManager(NormLeft)
 	v := m.BasisState(2, 0)
-	mustPanic(t, "Project qubit out of range", func() { m.Project(v, 2, 5, 0) })
-	mustPanic(t, "Project bad outcome", func() { m.Project(v, 2, 0, 2) })
+	if _, _, err := m.Project(v, 2, 5, 0); err == nil {
+		t.Error("Project qubit out of range did not error")
+	}
+	if _, _, err := m.Project(v, 2, -1, 0); err == nil {
+		t.Error("Project negative qubit did not error")
+	}
+	if _, _, err := m.Project(v, 2, 0, 2); err == nil {
+		t.Error("Project bad outcome did not error")
+	}
+	// A matrix diagram is not a vector diagram: Project must refuse it
+	// instead of panicking.
+	if _, _, err := m.Project(m.Identity(2), 2, 0, 0); !errors.Is(err, ErrMalformedDiagram) {
+		t.Errorf("Project on matrix diagram: err = %v, want ErrMalformedDiagram", err)
+	}
+	// A diagram shallower than the claimed qubit count is malformed.
+	if _, _, err := m.Project(m.BasisState(1, 0), 3, 2, 0); !errors.Is(err, ErrMalformedDiagram) {
+		t.Errorf("Project on shallow diagram: err = %v, want ErrMalformedDiagram", err)
+	}
+}
+
+func TestSampleValidation(t *testing.T) {
+	m := algManager(NormLeft)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := m.Sample(m.ZeroEdge(), 2, rng); !errors.Is(err, ErrZeroVector) {
+		t.Errorf("Sample of zero vector: err = %v, want ErrZeroVector", err)
+	}
+	if _, err := m.Sample(m.Identity(2), 2, rng); !errors.Is(err, ErrMalformedDiagram) {
+		t.Errorf("Sample of matrix diagram: err = %v, want ErrMalformedDiagram", err)
+	}
+	// Claiming more qubits than the diagram has levels must error, not walk
+	// off the terminal.
+	if _, err := m.Sample(m.BasisState(1, 0), 3, rng); !errors.Is(err, ErrMalformedDiagram) {
+		t.Errorf("Sample of shallow diagram: err = %v, want ErrMalformedDiagram", err)
+	}
+	if _, err := m.NewSampler(m.BasisState(2, 0), 0); err == nil {
+		t.Error("NewSampler with zero qubits did not error")
+	}
 }
 
 func TestBuildersValidate(t *testing.T) {

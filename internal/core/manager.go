@@ -100,7 +100,7 @@ type Manager[T any] struct {
 	ct       *computeTable[T]
 	nextID   atomic.Uint64
 	gateSeq  atomic.Uint64 // LocalGate registry IDs (apply.go)
-	stats    Stats // Prune counters only; table counters live in the shards
+	stats    Stats         // Prune counters only; table counters live in the shards
 
 	// Intra-operation parallelism (ops_parallel.go). shared mirrors
 	// intraWorkers>1 into one branch-predictable bool consulted by the

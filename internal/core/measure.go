@@ -1,7 +1,5 @@
 package core
 
-import "math/rand"
-
 // Measurement-related queries. Probabilities are computed in float64 — they
 // feed sampling and diagnostics, not the exact representation itself.
 
@@ -43,40 +41,15 @@ func (m *Manager[T]) Probability(v Edge[T], n int, idx uint64) float64 {
 // Sample draws one basis-state outcome from the distribution induced by the
 // vector diagram, using the standard top-down QMDD sampling procedure.
 // The diagram need not be exactly normalized: probabilities are renormalized
-// level by level. Sampling a zero vector returns 0, false.
-func (m *Manager[T]) Sample(v Edge[T], n int, rng *rand.Rand) (uint64, bool) {
-	if m.IsZero(v) {
-		return 0, false
+// level by level. Sampling a zero vector returns ErrZeroVector; structurally
+// invalid diagrams return an ErrMalformedDiagram-wrapped error.
+//
+// Each call rebuilds the node-mass memo (O(nodes)); for repeated draws from
+// one state build a Sampler once and call Draw (O(n) per draw).
+func (m *Manager[T]) Sample(v Edge[T], n int, rng Rand01) (uint64, error) {
+	s, err := m.NewSampler(v, n)
+	if err != nil {
+		return 0, err
 	}
-	memo := make(map[*Node[T]]float64)
-	total := m.R.Abs2(v.W) * m.mass(v.N, memo)
-	if total <= 0 {
-		return 0, false
-	}
-	var idx uint64
-	e := v
-	for l := n; l >= 1; l-- {
-		if e.N == nil {
-			panic("core: malformed vector diagram in Sample")
-		}
-		var p [2]float64
-		for i := 0; i < 2; i++ {
-			c := e.N.E[i]
-			if m.R.IsZero(c.W) {
-				continue
-			}
-			p[i] = m.R.Abs2(c.W) * m.mass(c.N, memo)
-		}
-		sum := p[0] + p[1]
-		if sum <= 0 {
-			return 0, false
-		}
-		i := 0
-		if rng.Float64()*sum >= p[0] {
-			i = 1
-		}
-		idx |= uint64(i) << (l - 1)
-		e = e.N.E[i]
-	}
-	return idx, true
+	return s.Draw(rng)
 }

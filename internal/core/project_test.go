@@ -13,7 +13,10 @@ func TestProjectBellState(t *testing.T) {
 	s := alg.QInvSqrt2
 	bell := m.FromVector([]alg.Q{s, alg.QZero, alg.QZero, s})
 	for _, outcome := range []int{0, 1} {
-		proj, p := m.Project(bell, 2, 0, outcome)
+		proj, p, err := m.Project(bell, 2, 0, outcome)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if math.Abs(p-0.5) > 1e-12 {
 			t.Fatalf("P(q0=%d) = %v, want 0.5", outcome, p)
 		}
@@ -41,7 +44,10 @@ func TestProjectOnLowerQubit(t *testing.T) {
 		h.Mul(h), alg.QZero, h.Mul(h), alg.QZero,
 	}
 	v := m.FromVector(amps)
-	proj, p := m.Project(v, 3, 1, 1)
+	proj, p, err := m.Project(v, 3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(p-0.5) > 1e-12 {
 		t.Fatalf("P = %v", p)
 	}
@@ -66,8 +72,11 @@ func TestProjectProbabilitiesSumToOne(t *testing.T) {
 			continue
 		}
 		for q := 0; q < 4; q++ {
-			_, p0 := m.Project(v, 4, q, 0)
-			_, p1 := m.Project(v, 4, q, 1)
+			_, p0, err0 := m.Project(v, 4, q, 0)
+			_, p1, err1 := m.Project(v, 4, q, 1)
+			if err0 != nil || err1 != nil {
+				t.Fatal(err0, err1)
+			}
 			if math.Abs(p0+p1-1) > 1e-9 {
 				t.Fatalf("P0+P1 = %v for qubit %d", p0+p1, q)
 			}
@@ -77,7 +86,10 @@ func TestProjectProbabilitiesSumToOne(t *testing.T) {
 
 func TestProjectZeroVector(t *testing.T) {
 	m := algManager(NormLeft)
-	proj, p := m.Project(m.ZeroEdge(), 2, 0, 1)
+	proj, p, err := m.Project(m.ZeroEdge(), 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !m.IsZero(proj) || p != 0 {
 		t.Fatalf("projection of zero vector: %v, %v", proj, p)
 	}

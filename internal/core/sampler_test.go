@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/alg"
+)
+
+// randomState builds a pseudo-random 2^n-amplitude float state (not
+// normalized; the sampler renormalizes level by level).
+func randomState(m *Manager[complex128], n int, seed int64) Edge[complex128] {
+	r := rand.New(rand.NewSource(seed))
+	amps := make([]complex128, 1<<uint(n))
+	for i := range amps {
+		amps[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return m.FromVector(amps)
+}
+
+func TestSamplerMatchesSample(t *testing.T) {
+	// With identical RNG streams, the hoisted sampler and the per-call
+	// Sample must walk identical paths: same renormalization, same branch
+	// rule, one uniform per level.
+	m := numManager(0)
+	v := randomState(m, 6, 11)
+	s, err := m.NewSampler(v, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := rand.New(rand.NewSource(42))
+	r2 := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		a, err := m.Sample(v, 6, r1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.Draw(r2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("draw %d: Sample %d ≠ Sampler %d", i, a, b)
+		}
+	}
+}
+
+func TestSamplerDistribution(t *testing.T) {
+	m := numManager(0)
+	// Unbalanced two-qubit state: P(00)=0.64, P(11)=0.36.
+	v := m.FromVector([]complex128{0.8, 0, 0, 0.6})
+	s, err := m.NewSampler(v, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Mass()-1) > 1e-12 {
+		t.Fatalf("Mass = %v, want 1", s.Mass())
+	}
+	rng := rand.New(rand.NewSource(7))
+	counts := map[uint64]int{}
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		idx, err := s.Draw(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[idx]++
+	}
+	if counts[1] != 0 || counts[2] != 0 {
+		t.Fatalf("sampled impossible outcomes: %v", counts)
+	}
+	got := float64(counts[0]) / draws
+	if math.Abs(got-0.64) > 0.02 {
+		t.Fatalf("P(00) ≈ %v, want 0.64", got)
+	}
+}
+
+func TestSamplerExactRing(t *testing.T) {
+	// The sampler works over the exact ring too: Bell state in Q[ω].
+	m := algManager(NormLeft)
+	s := alg.QInvSqrt2
+	bell := m.FromVector([]alg.Q{s, alg.QZero, alg.QZero, s})
+	smp, err := m.NewSampler(bell, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		idx, err := smp.Draw(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != 0 && idx != 3 {
+			t.Fatalf("Bell draw yielded impossible outcome %d", idx)
+		}
+	}
+}
+
+// benchState builds a dense-ish 12-qubit state with many live nodes so the
+// per-call mass pass has real work to redo.
+func benchState(b *testing.B) (*Manager[complex128], Edge[complex128], int) {
+	b.Helper()
+	const n = 12
+	m := numManager(0)
+	v := randomState(m, n, 5)
+	if m.IsZero(v) {
+		b.Fatal("bench state collapsed")
+	}
+	return m, v, n
+}
+
+// BenchmarkSamplePerDraw is the pre-Sampler behavior: every draw rebuilds
+// the node-mass memo, O(draws × nodes) overall.
+func BenchmarkSamplePerDraw(b *testing.B) {
+	m, v, n := benchState(b)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Sample(v, n, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSamplerDraw hoists the mass pass: one validating traversal at
+// construction, then O(n) per draw.
+func BenchmarkSamplerDraw(b *testing.B) {
+	m, v, n := benchState(b)
+	s, err := m.NewSampler(v, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Draw(rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

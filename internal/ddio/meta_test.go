@@ -150,10 +150,10 @@ func TestMetaBackwardCompatV1(t *testing.T) {
 func TestMetaMalformedV2(t *testing.T) {
 	m := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
 	cases := []string{
-		"qmdd v2 qomega 2\n",                               // missing meta record
-		"qmdd v2 qomega 2\nroot 0,0,0,1,0,1:t\n",           // record where meta expected
-		"qmdd v2 qomega 2\nmeta repr\n",                    // field without '='
-		"qmdd v2 qomega 2\nmeta repr=alg eps=notafloat\n",  // bad eps
+		"qmdd v2 qomega 2\n",                                // missing meta record
+		"qmdd v2 qomega 2\nroot 0,0,0,1,0,1:t\n",            // record where meta expected
+		"qmdd v2 qomega 2\nmeta repr\n",                     // field without '='
+		"qmdd v2 qomega 2\nmeta repr=alg eps=notafloat\n",   // bad eps
 		"qmdd v3 qomega 2\nmeta repr=alg norm=left eps=0\n", // unknown version
 	}
 	for _, src := range cases {

@@ -1,7 +1,5 @@
 package qasm
 
-
-
 // User-defined gates: OpenQASM 2.0 `gate` declarations are recorded as token
 // streams and macro-expanded at application time, with formal parameters
 // bound to evaluated expressions and formal qubit arguments bound to global

@@ -22,7 +22,6 @@ func TestFingerprintCanonicalization(t *testing.T) {
 		{"register rename", "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg data[2];\nh data[0];\ncx data[0],data[1];\n"},
 		{"split registers", "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg a[1];\nqreg b[1];\nh a[0];\ncx a[0],b[0];\n"},
 		{"no include", "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n"},
-		{"creg noise", "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\n"},
 	}
 	distinct := []struct {
 		name, src string
@@ -35,6 +34,16 @@ func TestFingerprintCanonicalization(t *testing.T) {
 		{"wider register", "OPENQASM 2.0;\nqreg q[3];\nh q[0];\ncx q[0],q[1];\n"},
 		{"different angle", "OPENQASM 2.0;\nqreg q[2];\nrz(0.5) q[0];\ncx q[0],q[1];\n"},
 		{"other angle", "OPENQASM 2.0;\nqreg q[2];\nrz(0.25) q[0];\ncx q[0],q[1];\n"},
+		// Classical structure is semantic since the shots pipeline: a creg
+		// changes the histogram key width, a measure changes the output
+		// distribution, a condition changes the evolution.
+		{"creg", "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\n"},
+		{"trailing measure", "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\nmeasure q -> c;\n"},
+		{"mid-circuit measure", "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nh q[0];\nmeasure q[0] -> c[0];\ncx q[0],q[1];\n"},
+		{"other clbit", "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nh q[0];\nmeasure q[0] -> c[1];\ncx q[0],q[1];\n"},
+		{"conditioned", "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nh q[0];\nmeasure q[0] -> c[0];\nif(c==1) cx q[0],q[1];\n"},
+		{"other condition value", "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nh q[0];\nmeasure q[0] -> c[0];\nif(c==2) cx q[0],q[1];\n"},
+		{"reset", "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nh q[0];\nreset q[0];\ncx q[0],q[1];\n"},
 	}
 
 	want, err := Fingerprint(base)

@@ -1,7 +1,9 @@
 // Package qasm implements a reader and writer for the OpenQASM 2.0 subset
 // needed to exchange the benchmark circuits: qreg/creg declarations, the
-// qelib1 standard gates, parameter expressions with pi, measure and barrier
-// statements (parsed and ignored for simulation purposes).
+// qelib1 standard gates, parameter expressions with pi, barrier statements
+// (ignored), and the dynamic-circuit statements — measure, reset and
+// `if (creg == value)` classical control — which become positioned ops in
+// the circuit IR.
 package qasm
 
 import (

@@ -11,14 +11,15 @@ import (
 // Parse reads an OpenQASM 2.0 program and returns the flattened circuit.
 // Supported statements: OPENQASM version header, include (ignored),
 // qreg/creg declarations, the qelib1 gate set (see applyGate), barrier
-// (ignored) and measure (recorded in Measures, not simulated).
+// (ignored), measure and reset (positioned non-unitary ops in the IR) and
+// `if (creg == value) qop;` classical control.
 func Parse(src, name string) (*circuit.Circuit, error) {
 	toks, err := tokenize(src)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks, name: name, qregs: map[string]qreg{},
-		gateDefs: map[string]*gateDef{}}
+		cregs: map[string]qreg{}, gateDefs: map[string]*gateDef{}}
 	return p.parse()
 }
 
@@ -26,19 +27,15 @@ type qreg struct {
 	offset, size int
 }
 
-// Measure records one "measure q[i] -> c[j]" statement.
-type Measure struct {
-	Qubit, Clbit int
-}
-
 type parser struct {
 	toks []token
 	pos  int
 	name string
 
-	qregs    map[string]qreg
-	nqubits  int
-	Measures []Measure
+	qregs   map[string]qreg
+	nqubits int
+	cregs   map[string]qreg
+	ncbits  int
 
 	// User-defined gates and, during macro expansion, the active bindings.
 	gateDefs  map[string]*gateDef
@@ -69,7 +66,7 @@ func (p *parser) expectSymbol(s string) error {
 }
 
 func (p *parser) parse() (*circuit.Circuit, error) {
-	var pending []pendingGate
+	var pending []pendingOp
 	for {
 		t := p.next()
 		switch {
@@ -111,6 +108,9 @@ func (p *parser) parse() (*circuit.Circuit, error) {
 			if t.text == "qreg" {
 				p.qregs[nameTok.text] = qreg{offset: p.nqubits, size: sz}
 				p.nqubits += sz
+			} else {
+				p.cregs[nameTok.text] = qreg{offset: p.ncbits, size: sz}
+				p.ncbits += sz
 			}
 		case t.kind == tokIdent && t.text == "gate":
 			if err := p.parseGateDef(false); err != nil {
@@ -126,29 +126,18 @@ func (p *parser) parse() (*circuit.Circuit, error) {
 					break
 				}
 			}
-		case t.kind == tokIdent && t.text == "measure":
-			qs, err := p.parseOperand()
+		case t.kind == tokIdent && t.text == "if":
+			ops, err := p.parseIf(t)
 			if err != nil {
 				return nil, err
 			}
-			if a := p.next(); a.kind != tokArrow {
-				return nil, p.errf(a, "expected -> in measure")
-			}
-			// classical operand: ident with optional [idx]; skip to ;
-			for p.peek().kind != tokEOF {
-				if tt := p.next(); tt.kind == tokSymbol && tt.text == ";" {
-					break
-				}
-			}
-			for i, q := range qs {
-				p.Measures = append(p.Measures, Measure{Qubit: q, Clbit: i})
-			}
+			pending = append(pending, ops...)
 		case t.kind == tokIdent:
-			g, err := p.parseGate(t)
+			ops, err := p.parseQop(t, nil)
 			if err != nil {
 				return nil, err
 			}
-			pending = append(pending, g...)
+			pending = append(pending, ops...)
 		default:
 			return nil, p.errf(t, "unexpected token %q", t.text)
 		}
@@ -158,8 +147,9 @@ done:
 		return nil, fmt.Errorf("qasm: no qreg declared")
 	}
 	c := circuit.New(p.name, p.nqubits)
-	for _, g := range pending {
-		if err := applyGate(c, g); err != nil {
+	c.Cbits = p.ncbits
+	for _, op := range pending {
+		if err := op.lower(c); err != nil {
 			return nil, err
 		}
 	}
@@ -171,6 +161,184 @@ type pendingGate struct {
 	params []float64
 	args   []int
 	line   int
+}
+
+// opKind discriminates the three positioned statement forms.
+type opKind int
+
+const (
+	opGate opKind = iota
+	opMeasure
+	opReset
+)
+
+// pendingOp is one positioned circuit op awaiting lowering (gate lowering
+// needs the final qubit count, so statements are collected first).
+type pendingOp struct {
+	kind  opKind
+	gate  pendingGate // opGate
+	qubit int         // opMeasure/opReset
+	clbit int         // opMeasure
+	cond  *circuit.Cond
+	line  int
+}
+
+// lower appends the op to the circuit. A classical condition is attached to
+// every gate the op lowers to (multi-gate lowerings like swap fire
+// all-or-nothing, so guarding each emitted gate is exact).
+func (op pendingOp) lower(c *circuit.Circuit) error {
+	start := c.Len()
+	switch op.kind {
+	case opMeasure:
+		c.Measure(op.qubit, op.clbit)
+	case opReset:
+		c.Reset(op.qubit)
+	default:
+		if err := applyGate(c, op.gate); err != nil {
+			return err
+		}
+	}
+	if op.cond != nil {
+		for i := start; i < c.Len(); i++ {
+			c.Gates[i].Cond = op.cond
+		}
+	}
+	return nil
+}
+
+// parseQop parses one quantum operation statement (gate application,
+// measure, or reset) starting at its head token, attaching cond to every
+// resulting op.
+func (p *parser) parseQop(head token, cond *circuit.Cond) ([]pendingOp, error) {
+	switch head.text {
+	case "measure":
+		return p.parseMeasure(head, cond)
+	case "reset":
+		qs, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(";"); err != nil {
+			return nil, err
+		}
+		ops := make([]pendingOp, len(qs))
+		for i, q := range qs {
+			ops[i] = pendingOp{kind: opReset, qubit: q, cond: cond, line: head.line}
+		}
+		return ops, nil
+	default:
+		gs, err := p.parseGate(head)
+		if err != nil {
+			return nil, err
+		}
+		ops := make([]pendingOp, len(gs))
+		for i, g := range gs {
+			ops[i] = pendingOp{kind: opGate, gate: g, cond: cond, line: g.line}
+		}
+		return ops, nil
+	}
+}
+
+// parseMeasure parses `measure q[i] -> c[j];` (or the whole-register form,
+// which broadcasts element-wise and requires equal sizes).
+func (p *parser) parseMeasure(head token, cond *circuit.Cond) ([]pendingOp, error) {
+	qs, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	if a := p.next(); a.kind != tokArrow {
+		return nil, p.errf(a, "expected -> in measure")
+	}
+	cs, err := p.parseClOperand()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return nil, err
+	}
+	if len(qs) != len(cs) {
+		return nil, errAt(head.line, "measure register sizes differ (%d qubits -> %d classical bits)",
+			len(qs), len(cs))
+	}
+	ops := make([]pendingOp, len(qs))
+	for i := range qs {
+		ops[i] = pendingOp{kind: opMeasure, qubit: qs[i], clbit: cs[i], cond: cond, line: head.line}
+	}
+	return ops, nil
+}
+
+// parseIf parses `if (creg == value) qop;` — OpenQASM 2.0 conditions compare
+// one whole classical register against a non-negative integer.
+func (p *parser) parseIf(head token) ([]pendingOp, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	regTok := p.next()
+	if regTok.kind != tokIdent {
+		return nil, p.errf(regTok, "expected classical register in if, got %q", regTok.text)
+	}
+	r, ok := p.cregs[regTok.text]
+	if !ok {
+		return nil, p.errf(regTok, "unknown classical register %q", regTok.text)
+	}
+	if r.size > 64 {
+		return nil, p.errf(regTok, "register %s[%d] too wide for a classical condition (max 64)",
+			regTok.text, r.size)
+	}
+	if eq := p.next(); eq.kind != tokEquals {
+		return nil, p.errf(eq, "expected == in if, got %q", eq.text)
+	}
+	valTok := p.next()
+	val, err := strconv.ParseUint(valTok.text, 10, 64)
+	if err != nil {
+		return nil, p.errf(valTok, "bad comparison value %q in if", valTok.text)
+	}
+	if r.size < 64 && val >= 1<<uint(r.size) {
+		return nil, p.errf(valTok, "comparison value %d does not fit register %s[%d]",
+			val, regTok.text, r.size)
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	body := p.next()
+	if body.kind != tokIdent {
+		return nil, p.errf(body, "expected quantum op after if, got %q", body.text)
+	}
+	if body.text == "if" {
+		return nil, p.errf(body, "nested if is not allowed")
+	}
+	cond := &circuit.Cond{Offset: r.offset, Width: r.size, Value: val}
+	return p.parseQop(body, cond)
+}
+
+// parseClOperand parses a classical operand "c" (whole register) or "c[3]"
+// and returns the global classical bit indices.
+func (p *parser) parseClOperand() ([]int, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, p.errf(t, "expected classical register operand, got %q", t.text)
+	}
+	r, ok := p.cregs[t.text]
+	if !ok {
+		return nil, p.errf(t, "unknown classical register %q", t.text)
+	}
+	if p.peek().kind == tokSymbol && p.peek().text == "[" {
+		p.next()
+		it := p.next()
+		idx, err := strconv.Atoi(it.text)
+		if err != nil || idx < 0 || idx >= r.size {
+			return nil, p.errf(it, "bad index %q into register %s[%d]", it.text, t.text, r.size)
+		}
+		if err := p.expectSymbol("]"); err != nil {
+			return nil, err
+		}
+		return []int{r.offset + idx}, nil
+	}
+	out := make([]int, r.size)
+	for i := range out {
+		out[i] = r.offset + i
+	}
+	return out, nil
 }
 
 // parseOperand parses "q" (whole register) or "q[3]" and returns the global

@@ -27,8 +27,8 @@ func TestParseBell(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.N != 2 || c.Len() != 2 {
-		t.Fatalf("parsed %d qubits, %d gates", c.N, c.Len())
+	if c.N != 2 || c.Len() != 4 || c.Cbits != 2 {
+		t.Fatalf("parsed %d qubits, %d ops, %d clbits", c.N, c.Len(), c.Cbits)
 	}
 	if c.Gates[0].Name != "h" || c.Gates[0].Target != 0 {
 		t.Fatalf("gate 0 = %v", c.Gates[0])
@@ -36,8 +36,18 @@ func TestParseBell(t *testing.T) {
 	if c.Gates[1].Name != "x" || len(c.Gates[1].Controls) != 1 || c.Gates[1].Controls[0].Qubit != 0 {
 		t.Fatalf("gate 1 = %v", c.Gates[1])
 	}
+	// measure q -> c broadcasts element-wise into the positioned suffix.
+	for i, want := range []circuit.Gate{
+		{Name: circuit.OpMeasure, Target: 0, Clbit: 0},
+		{Name: circuit.OpMeasure, Target: 1, Clbit: 1},
+	} {
+		g := c.Gates[2+i]
+		if g.Name != want.Name || g.Target != want.Target || g.Clbit != want.Clbit {
+			t.Fatalf("op %d = %v, want %v", 2+i, g, want)
+		}
+	}
 	s := dense.New(2)
-	if err := s.Run(c); err != nil {
+	if err := s.Run(c.UnitaryPrefix()); err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(s.Probability(0)-0.5) > 1e-12 || math.Abs(s.Probability(3)-0.5) > 1e-12 {
@@ -160,23 +170,127 @@ func TestWriteRejectsInexpressible(t *testing.T) {
 	}
 }
 
-func TestMeasuresRecorded(t *testing.T) {
-	c, err := Parse(bellSrc, "bell")
+// TestMeasureIsPositioned is the regression test for the side-list bug: the
+// parser used to record measures out-of-band, so a gate written after a
+// measurement was silently reordered in front of it. The measure must now
+// appear in the gate list at its source position.
+func TestMeasureIsPositioned(t *testing.T) {
+	src := `OPENQASM 2.0;
+qreg q[2];
+creg c[1];
+h q[0];
+measure q[0] -> c[0];
+x q[1];
+`
+	c, err := Parse(src, "mid")
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = c
-	// Parse again via the parser to inspect measures.
-	toks, err := tokenize(bellSrc)
+	want := []string{"h", circuit.OpMeasure, "x"}
+	if c.Len() != len(want) {
+		t.Fatalf("parsed %d ops, want %d: %v", c.Len(), len(want), c.Gates)
+	}
+	for i, name := range want {
+		if c.Gates[i].Name != name {
+			t.Fatalf("op %d = %q, want %q (measure lost its position)", i, c.Gates[i].Name, name)
+		}
+	}
+	if !c.Dynamic() {
+		t.Error("mid-circuit measurement not flagged as dynamic")
+	}
+}
+
+func TestParseResetAndIf(t *testing.T) {
+	src := `OPENQASM 2.0;
+qreg q[3];
+creg c0[1];
+creg c1[2];
+h q[0];
+measure q[0] -> c0[0];
+reset q[0];
+if(c0==1) x q[1];
+if(c1==2) measure q[2] -> c1[0];
+if(c0==0) reset q;
+`
+	c, err := Parse(src, "dyn")
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := &parser{toks: toks, name: "bell", qregs: map[string]qreg{}}
-	if _, err := p.parse(); err != nil {
+	if c.Cbits != 3 {
+		t.Fatalf("Cbits = %d, want 3", c.Cbits)
+	}
+	// h, measure, reset, cond-x, cond-measure, 3× cond-reset (broadcast).
+	if c.Len() != 8 {
+		t.Fatalf("parsed %d ops: %v", c.Len(), c.Gates)
+	}
+	if !c.Gates[2].IsReset() || c.Gates[2].Target != 0 || c.Gates[2].Cond != nil {
+		t.Fatalf("op 2 = %v, want unconditional reset q0", c.Gates[2])
+	}
+	if cd := c.Gates[3].Cond; cd == nil || *cd != (circuit.Cond{Offset: 0, Width: 1, Value: 1}) {
+		t.Fatalf("op 3 cond = %v", c.Gates[3].Cond)
+	}
+	// c1 is the second register: offset 1, width 2.
+	if cd := c.Gates[4].Cond; cd == nil || *cd != (circuit.Cond{Offset: 1, Width: 2, Value: 2}) ||
+		!c.Gates[4].IsMeasure() || c.Gates[4].Clbit != 1 {
+		t.Fatalf("op 4 = %v cond %v", c.Gates[4], c.Gates[4].Cond)
+	}
+	for i := 5; i < 8; i++ {
+		if !c.Gates[i].IsReset() || c.Gates[i].Cond == nil {
+			t.Fatalf("op %d = %v, want conditioned reset", i, c.Gates[i])
+		}
+	}
+}
+
+func TestParseDynamicErrors(t *testing.T) {
+	cases := []string{
+		`OPENQASM 2.0; qreg q[2]; creg c[1]; measure q -> c;`,           // size mismatch
+		`OPENQASM 2.0; qreg q[2]; measure q[0] -> c[0];`,                // unknown creg
+		`OPENQASM 2.0; qreg q[2]; creg c[1]; measure q[0] -> q[1];`,     // quantum dest
+		`OPENQASM 2.0; qreg q[2]; creg c[1]; if(c==2) x q[0];`,          // value too wide
+		`OPENQASM 2.0; qreg q[2]; creg c[1]; if(d==0) x q[0];`,          // unknown register
+		`OPENQASM 2.0; qreg q[2]; creg c[1]; if(c) x q[0];`,             // missing ==
+		`OPENQASM 2.0; qreg q[2]; creg c[1]; if(c==0) if(c==0) x q[0];`, // nested if
+		`OPENQASM 2.0; qreg q[2]; creg c[1]; reset c[0];`,               // reset classical
+	}
+	for _, src := range cases {
+		if _, err := Parse(src, "bad"); err == nil {
+			t.Fatalf("no error for %q", src)
+		}
+	}
+}
+
+func TestWriteDynamicRoundTrip(t *testing.T) {
+	src := `OPENQASM 2.0;
+qreg q[3];
+creg c0[1];
+creg c1[1];
+x q[0];
+h q[1];
+cx q[1],q[2];
+cx q[0],q[1];
+h q[0];
+measure q[0] -> c0[0];
+measure q[1] -> c1[0];
+if(c1==1) x q[2];
+if(c0==1) z q[2];
+reset q[0];
+`
+	c, err := Parse(src, "teleport")
+	if err != nil {
 		t.Fatal(err)
 	}
-	if len(p.Measures) != 2 {
-		t.Fatalf("recorded %d measures, want 2", len(p.Measures))
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Parse(sb.String(), "teleport")
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, sb.String())
+	}
+	// The round trip must preserve the op sequence exactly — same
+	// fingerprint, conditions and measure destinations included.
+	if circuit.Fingerprint(c) != circuit.Fingerprint(c2) {
+		t.Fatalf("round trip changed the circuit:\n%s", sb.String())
 	}
 }
 

@@ -46,6 +46,34 @@ func TestIdentityKeySensitivity(t *testing.T) {
 	}
 }
 
+// TestIdentityKeyShotsPolicy pins the shots fold: Shots == 0 leaves the
+// key exactly as before the shots pipeline existed (old disk tiers stay
+// valid), and a shots identity is keyed by both count and seed.
+func TestIdentityKeyShotsPolicy(t *testing.T) {
+	base := Identity{Circuit: fp(1), Repr: "alg", Norm: "left", Output: "amplitudes", TopK: 16}
+	withSeed := base
+	withSeed.Seed = 99 // seed without shots must be inert
+	if base.Key() != withSeed.Key() {
+		t.Error("seed changed the key of a non-shots identity")
+	}
+	shots := Identity{Circuit: fp(1), Repr: "alg", Norm: "left", Output: "histogram", Shots: 100, Seed: 7}
+	variants := []Identity{
+		{Circuit: fp(1), Repr: "alg", Norm: "left", Output: "histogram", Shots: 200, Seed: 7},
+		{Circuit: fp(1), Repr: "alg", Norm: "left", Output: "histogram", Shots: 100, Seed: 8},
+		{Circuit: fp(2), Repr: "alg", Norm: "left", Output: "histogram", Shots: 100, Seed: 7},
+	}
+	seen := map[Key]bool{base.Key(): true, shots.Key(): true}
+	if len(seen) != 2 {
+		t.Fatal("shots identity collided with its non-shots base")
+	}
+	for i, v := range variants {
+		if seen[v.Key()] {
+			t.Errorf("shots variant %d collided", i)
+		}
+		seen[v.Key()] = true
+	}
+}
+
 func TestFlightIDIncludesBudgets(t *testing.T) {
 	id := Identity{Circuit: fp(1), Repr: "alg", Norm: "left", Output: "amplitudes", TopK: 16}
 	a := FlightID{Identity: id, MaxNodes: 1000}

@@ -63,9 +63,16 @@ type Identity struct {
 	// as 0) for the exact algebraic representation.
 	Eps float64
 	// Output and TopK select the shape of the result envelope
-	// ("amplitudes"/"stats"/"ddio", amplitude list length).
+	// ("amplitudes"/"stats"/"ddio"/"histogram", amplitude list length).
 	Output string
 	TopK   int
+	// Shots and Seed identify a histogram job: a seeded shots run is a
+	// deterministic function of (circuit, repr, norm, ε, shots, seed), so
+	// its envelope is cacheable like any other. Both are folded into the
+	// key only when Shots > 0, which keeps every pre-shots key — and any
+	// disk tier written by an older build — valid unchanged.
+	Shots int
+	Seed  int64
 }
 
 // Stamp returns the provenance stamp for entries stored under this
@@ -102,6 +109,11 @@ func (id Identity) Key() Key {
 	}
 	writeStr(id.Output)
 	writeInt(int64(id.TopK))
+	if id.Shots > 0 {
+		writeStr("shots")
+		writeInt(int64(id.Shots))
+		writeInt(id.Seed)
+	}
 	var k Key
 	h.Sum(k[:0])
 	return k

@@ -2,6 +2,7 @@ package server
 
 import (
 	"crypto/rand"
+	"encoding/binary"
 	"encoding/hex"
 	"fmt"
 	"sync"
@@ -36,11 +37,22 @@ type JobRequest struct {
 
 	// Output selects what the job returns: "amplitudes" (default; the TopK
 	// most probable outcomes with exact weight encodings), "stats" (manager
-	// counters only), or "ddio" (a lossless serialization of the state
-	// diagram — the portable certificate).
+	// counters only), "ddio" (a lossless serialization of the state
+	// diagram — the portable certificate), or "histogram" (shot counts;
+	// requires Shots > 0 and is the forced default whenever Shots is set).
 	Output string `json:"output,omitempty"`
 	// TopK bounds the amplitude list (default 16, clamped to the server cap).
 	TopK int `json:"top_k,omitempty"`
+	// Shots switches the job into shots mode: the circuit is measured this
+	// many times and the result is a histogram. Required (and the only
+	// mode allowed) for dynamic circuits — mid-circuit measurement, reset
+	// or classical control. Capped by the server's MaxShots.
+	Shots int `json:"shots,omitempty"`
+	// Seed selects the deterministic random stream of a shots job. Any
+	// non-zero seed makes the histogram reproducible — and therefore
+	// cacheable. Seed 0 (the default) means "pick one": the server draws a
+	// random seed, echoes it in the result, and skips the cache.
+	Seed int64 `json:"seed,omitempty"`
 	// Wait makes POST /v1/jobs block until the job finishes and return the
 	// full result, so small jobs need no polling round-trip.
 	Wait bool `json:"wait,omitempty"`
@@ -61,15 +73,24 @@ type Amplitude struct {
 
 // JobResult is the payload of a finished job.
 type JobResult struct {
-	Qubits         int            `json:"qubits"`
-	Gates          int            `json:"gates"`
-	Representation string         `json:"representation"`
-	ElapsedMS      float64        `json:"elapsed_ms"`
-	Norm2          float64        `json:"norm2"`
-	StateNodes     int            `json:"state_nodes"`
-	Amplitudes     []Amplitude    `json:"amplitudes,omitempty"`
-	DDIO           string         `json:"ddio,omitempty"`
-	Stats          *core.Snapshot `json:"stats,omitempty"`
+	Qubits         int         `json:"qubits"`
+	Gates          int         `json:"gates"`
+	Representation string      `json:"representation"`
+	ElapsedMS      float64     `json:"elapsed_ms"`
+	Norm2          float64     `json:"norm2"`
+	StateNodes     int         `json:"state_nodes"`
+	Amplitudes     []Amplitude `json:"amplitudes,omitempty"`
+	DDIO           string      `json:"ddio,omitempty"`
+	// Shots-mode fields. Histogram maps fixed-width binary keys (the
+	// classical register when the circuit measures, the basis index
+	// otherwise) to counts; encoding/json sorts map keys, so the envelope
+	// bytes are deterministic and cache cleanly. Seed echoes the effective
+	// seed — the requested one, or the server-drawn seed of an unseeded job.
+	Histogram map[string]int `json:"histogram,omitempty"`
+	Strategy  string         `json:"strategy,omitempty"`
+	Shots     int            `json:"shots,omitempty"`
+	Seed      int64          `json:"seed,omitempty"`
+	Stats     *core.Snapshot `json:"stats,omitempty"`
 }
 
 // ErrorBody is the structured error shape of every non-2xx response and
@@ -181,6 +202,20 @@ func newJobID() string {
 		panic(fmt.Sprintf("server: job id entropy: %v", err))
 	}
 	return "j" + hex.EncodeToString(b[:])
+}
+
+// randomSeed draws the non-zero seed of an unseeded shots job (zero is the
+// request sentinel for "pick one", so it must never be the pick).
+func randomSeed() int64 {
+	var b [8]byte
+	for {
+		if _, err := rand.Read(b[:]); err != nil {
+			panic(fmt.Sprintf("server: seed entropy: %v", err))
+		}
+		if s := int64(binary.LittleEndian.Uint64(b[:])); s != 0 {
+			return s
+		}
+	}
 }
 
 // add registers a new queued job; it fails only when the store is full of

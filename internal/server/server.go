@@ -43,6 +43,10 @@ type Config struct {
 	MaxQubits int
 	// MaxTopK caps the amplitude list length (default 4096).
 	MaxTopK int
+	// MaxShots caps the shot count of a histogram job (default 1<<20).
+	// Requests above the cap are rejected, not clamped — fewer shots is a
+	// different histogram, not a tightened version of the same one.
+	MaxShots int
 	// CTSize is the per-manager compute-table slot count (default
 	// core.DefaultCTSize).
 	CTSize int
@@ -93,6 +97,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTopK <= 0 {
 		c.MaxTopK = 4096
+	}
+	if c.MaxShots <= 0 {
+		c.MaxShots = 1 << 20
 	}
 	if c.CTSize <= 0 {
 		c.CTSize = core.DefaultCTSize
@@ -218,6 +225,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// A seeded shots job is a pure function of its request, so it caches
+	// like any other. An unseeded one is sampled fresh every time: the
+	// server draws the seed (echoed in the result for reproduction), and
+	// the random seed keys it away from every concurrent duplicate too.
+	seeded := req.Shots == 0 || req.Seed != 0
+	if req.Shots > 0 && req.Seed == 0 {
+		req.Seed = randomSeed()
+	}
+
 	// Content address of the job: the circuit fingerprint (comment-,
 	// whitespace- and register-name-insensitive) plus everything else that
 	// shapes the result envelope. Budgets are deliberately excluded — a
@@ -229,6 +245,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Eps:     req.Eps,
 		Output:  req.Output,
 		TopK:    req.TopK,
+		Shots:   req.Shots,
+		Seed:    req.Seed,
 	}
 	cacheKey := ident.Key()
 	stamp := ident.Stamp()
@@ -266,7 +284,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if leader {
 		j.cacheKey = cacheKey
 		j.stamp = stamp
-		j.cacheable = true
+		j.cacheable = seeded
 		j.flight = call
 	}
 
@@ -408,21 +426,42 @@ func (s *Server) validate(req *JobRequest) (*circuit.Circuit, *ErrorBody) {
 		return nil, invalid("%v", err)
 	}
 	req.Norm = norm.String() // canonical name ("" → "left") keys the cache
-	switch req.Output {
-	case "", "amplitudes":
-		req.Output = "amplitudes"
-	case "stats", "ddio":
-	default:
-		return nil, invalid("unknown output %q (want amplitudes, stats or ddio)", req.Output)
+	if req.Shots < 0 {
+		return nil, invalid("shots must be non-negative")
 	}
-	if req.TopK < 0 {
-		return nil, invalid("top_k must be non-negative")
+	if req.Shots > s.cfg.MaxShots {
+		return nil, invalid("shots %d exceeds the server cap %d", req.Shots, s.cfg.MaxShots)
 	}
-	if req.TopK == 0 {
-		req.TopK = 16
-	}
-	if req.TopK > s.cfg.MaxTopK {
-		req.TopK = s.cfg.MaxTopK
+	if req.Shots > 0 {
+		// Shots mode: the histogram is the only envelope, and TopK plays no
+		// part in it — both are pinned so equivalent requests share one
+		// cache key.
+		switch req.Output {
+		case "", "histogram":
+			req.Output = "histogram"
+		default:
+			return nil, invalid("output %q is incompatible with shots; a shots job returns a histogram", req.Output)
+		}
+		req.TopK = 0
+	} else {
+		switch req.Output {
+		case "", "amplitudes":
+			req.Output = "amplitudes"
+		case "stats", "ddio":
+		case "histogram":
+			return nil, invalid("output histogram requires shots > 0")
+		default:
+			return nil, invalid("unknown output %q (want amplitudes, stats, ddio or histogram)", req.Output)
+		}
+		if req.TopK < 0 {
+			return nil, invalid("top_k must be non-negative")
+		}
+		if req.TopK == 0 {
+			req.TopK = 16
+		}
+		if req.TopK > s.cfg.MaxTopK {
+			req.TopK = s.cfg.MaxTopK
+		}
 	}
 	if req.MaxNodes < 0 || req.MaxWeights < 0 || req.MaxBytes < 0 || req.TimeoutMS < 0 {
 		return nil, invalid("budget fields must be non-negative")
@@ -448,6 +487,21 @@ func (s *Server) validate(req *JobRequest) (*circuit.Circuit, *ErrorBody) {
 	}
 	if circ.N > s.cfg.MaxQubits {
 		return nil, invalid("circuit has %d qubits, server cap is %d", circ.N, s.cfg.MaxQubits)
+	}
+	if req.Shots == 0 {
+		if circ.Dynamic() {
+			return nil, invalid("circuit contains mid-circuit measurement, reset or classical control; submit with shots > 0 to run it")
+		}
+		if circ.Cbits != 0 || !circ.IsUnitary() {
+			// Amplitude/stats/ddio outputs describe the pre-measurement
+			// state: strip the trailing read-out block and the classical
+			// register so the job shares a cache key with its measure-free
+			// twin.
+			p := circ.UnitaryPrefix()
+			circ = &circuit.Circuit{Name: p.Name, N: p.N, Gates: p.Gates}
+		}
+	} else if circ.Cbits > 64 {
+		return nil, invalid("circuit uses %d classical bits; the histogram key is capped at 64", circ.Cbits)
 	}
 	return circ, nil
 }

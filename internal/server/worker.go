@@ -190,6 +190,9 @@ func scrub[T any](m *core.Manager[T]) {
 func runTyped[T any](ctx context.Context, m *core.Manager[T], codec ddio.Codec[T], j *job, budget core.Budget) (*JobResult, *ErrorBody, core.Snapshot) {
 	m.SetBudget(budget)
 	m.ResetPeaks()
+	if j.req.Shots > 0 {
+		return runShots(ctx, m, j)
+	}
 	simr := sim.New(m, j.circ.N)
 	start := time.Now()
 	err := simr.RunCtx(ctx, j.circ, nil)
@@ -232,6 +235,35 @@ func runTyped[T any](ctx context.Context, m *core.Manager[T], codec ddio.Codec[T
 		}
 	}
 	return res, nil, snap
+}
+
+// runShots runs a histogram job through the sim shots engine. The strategy
+// is resolved from the circuit shape (one simulation plus N draws when it
+// is static, per-shot re-simulation with projective collapse when it is
+// dynamic); the effective seed was fixed at submit time, so the histogram
+// — and the whole envelope — is a deterministic function of the request.
+func runShots[T any](ctx context.Context, m *core.Manager[T], j *job) (*JobResult, *ErrorBody, core.Snapshot) {
+	start := time.Now()
+	sr, err := sim.SampleShotsCtx(ctx, m, j.circ, sim.ShotOptions{
+		Shots: j.req.Shots,
+		Seed:  j.req.Seed,
+	})
+	elapsed := time.Since(start)
+	snap := m.Snapshot()
+	if err != nil {
+		return nil, classify(err), snap
+	}
+	return &JobResult{
+		Qubits:         j.circ.N,
+		Gates:          j.circ.Len(),
+		Representation: j.req.Representation,
+		ElapsedMS:      float64(elapsed) / float64(time.Millisecond),
+		Histogram:      sr.Counts,
+		Strategy:       sr.Strategy,
+		Shots:          sr.Shots,
+		Seed:           j.req.Seed,
+		Stats:          &snap,
+	}, nil, snap
 }
 
 // classify maps a simulation error onto the wire taxonomy: the governor's

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+)
+
+// Projective collapse: the non-unitary state transitions of dynamic
+// circuits. Both operations consume exactly one uniform from rng — a fixed
+// draw discipline the shots engine relies on to keep per-shot random
+// streams reproducible regardless of measurement outcomes.
+
+// MeasureQubit performs a projective measurement of one qubit in the
+// computational basis: it draws the outcome from the state's marginal
+// (u < P(0) selects 0) and collapses the state to the matching projection.
+//
+// Renorm tracking: core.Project returns the projection unnormalized —
+// 1/√p generally lies outside an exact ring. When the manager's ring can
+// represent the factor (numeric rings always can) the state is rescaled to
+// unit norm, so epsilon-rounding keeps operating at its intended amplitude
+// scale over long dynamic circuits. Exact rings skip the rescale; every
+// probability downstream (Project, Sampler) is a ratio of squared norms,
+// so an unnormalized state measures identically.
+func (s *Simulator[T]) MeasureQubit(q int, rng core.Rand01) (int, error) {
+	proj0, p0, err := s.M.Project(s.State, s.N, q, 0)
+	if err != nil {
+		return 0, err
+	}
+	outcome, proj, p := 0, proj0, p0
+	if rng.Float64() >= p0 {
+		proj1, p1, err := s.M.Project(s.State, s.N, q, 1)
+		if err != nil {
+			return 0, err
+		}
+		outcome, proj, p = 1, proj1, p1
+	}
+	if p <= 0 {
+		return 0, fmt.Errorf("sim: measured qubit %d into an outcome of probability %v", q, p)
+	}
+	if w, ok := s.M.R.FromComplex(complex(1/math.Sqrt(p), 0)); ok {
+		proj = s.M.Scale(proj, w)
+	}
+	s.State = proj
+	return outcome, nil
+}
+
+// ResetQubit measures the qubit (consuming one uniform) and flips it back
+// to |0⟩ when the outcome was 1 — the standard measure-and-correct
+// lowering of the reset operation.
+func (s *Simulator[T]) ResetQubit(q int, rng core.Rand01) error {
+	out, err := s.MeasureQubit(q, rng)
+	if err != nil {
+		return err
+	}
+	if out == 1 {
+		return s.Apply(circuit.Gate{Name: "x", Target: q})
+	}
+	return nil
+}

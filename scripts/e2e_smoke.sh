@@ -2,9 +2,12 @@
 # End-to-end smoke test for the qmddd daemon: build the binary, boot it on a
 # random port with the result cache on, run a 2-qubit Grover circuit (the
 # final state is exactly |11⟩, so the assertion is sharp), resubmit it and
-# require a cache hit, scrape /metrics, then SIGTERM and require a clean
-# drain and exit 0 — and finally reboot over the same cache directory and
-# require the disk tier to survive the restart.
+# require a cache hit, scrape /metrics, run a seeded teleportation shots job
+# (dynamic circuit: mid-circuit measurement + classical feedback) and require
+# a deterministic, representation-independent histogram plus a cache hit on
+# resubmission, then SIGTERM and require a clean drain and exit 0 — and
+# finally reboot over the same cache directory and require the disk tier
+# (including the shots entry) to survive the restart.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -51,6 +54,35 @@ echo "$metrics" | grep -q '^qmddd_cache_hits_total 1$'     || { echo "cache hit 
 echo "$metrics" | grep -q '^qmddd_cache_stores_total 1$'   || { echo "cache store not counted:"; echo "$metrics"; exit 1; }
 echo "$metrics" | grep -q '^qmddd_queue_latency_seconds_count 1$' || { echo "queue latency not observed:"; echo "$metrics"; exit 1; }
 
+# Seeded shots job on a dynamic teleportation circuit: mid-circuit Bell
+# measurement plus classically controlled corrections, so every shot is
+# re-simulated with projective collapse. The read-out creg c2 lands in the
+# histogram key's leading bit and the teleported payload is X|0> = |1>, so
+# every observed key must start with "1".
+teleport='{"qasm":"OPENQASM 2.0;\nqreg q[3];\ncreg c0[1];\ncreg c1[1];\ncreg c2[1];\nx q[0];\nh q[1];\ncx q[1],q[2];\ncx q[0],q[1];\nh q[0];\nmeasure q[0] -> c0[0];\nmeasure q[1] -> c1[0];\nif(c1==1) x q[2];\nif(c0==1) z q[2];\nmeasure q[2] -> c2[0];","shots":256,"seed":7,"wait":true}'
+shot1=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$teleport" "$base/v1/jobs")
+echo "$shot1" | grep -q '"status": "done"'            || { echo "shots job did not finish: $shot1"; exit 1; }
+echo "$shot1" | grep -q '"strategy": "resimulate"'    || { echo "dynamic circuit not re-simulated: $shot1"; exit 1; }
+echo "$shot1" | grep -q '"seed": 7'                   || { echo "seed not echoed: $shot1"; exit 1; }
+hist1=$(echo "$shot1" | awk '/"histogram": {/,/}/')
+[ -n "$hist1" ] || { echo "missing histogram: $shot1"; exit 1; }
+echo "$hist1" | grep -q '"0' && { echo "teleported qubit read 0: $hist1"; exit 1; }
+
+# Same circuit, same seed, float representation: a fresh simulation under a
+# different number system must reproduce the histogram byte for byte.
+teleport_float=${teleport%\}}',"representation":"float","eps":0}'
+shotf=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$teleport_float" "$base/v1/jobs")
+echo "$shotf" | grep -q '"cached"' && { echo "float variant unexpectedly cached: $shotf"; exit 1; }
+histf=$(echo "$shotf" | awk '/"histogram": {/,/}/')
+[ "$hist1" = "$histf" ] || { echo "histogram differs across representations:"; echo "$hist1"; echo "vs"; echo "$histf"; exit 1; }
+
+# Resubmitting the seeded shots job must hit the cache with the identical
+# histogram.
+shot2=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$teleport" "$base/v1/jobs")
+echo "$shot2" | grep -q '"cached": true' || { echo "seeded shots replay was not cached: $shot2"; exit 1; }
+hist2=$(echo "$shot2" | awk '/"histogram": {/,/}/')
+[ "$hist1" = "$hist2" ] || { echo "cached histogram differs:"; echo "$hist1"; echo "vs"; echo "$hist2"; exit 1; }
+
 kill -TERM "$pid"
 wait "$pid"   # non-zero exit status fails the script via set -e
 
@@ -67,6 +99,15 @@ echo "$revived" | grep -q '"state": "11"'  || { echo "restart replay lost the re
 metrics=$(curl -fsS "$base/metrics")
 echo "$metrics" | grep -q '^qmddd_cache_disk_hits_total 1$' || { echo "disk hit not counted:"; echo "$metrics"; exit 1; }
 echo "$metrics" | grep -q '^qmddd_jobs_started_total 0$'    || { echo "restart replay ran the simulation:"; echo "$metrics"; exit 1; }
+
+# The seeded shots entry must also survive the restart via the disk tier.
+shot_revived=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$teleport" "$base/v1/jobs")
+echo "$shot_revived" | grep -q '"cached": true' || { echo "shots disk entry did not survive restart: $shot_revived"; exit 1; }
+hist_revived=$(echo "$shot_revived" | awk '/"histogram": {/,/}/')
+[ "$hist1" = "$hist_revived" ] || { echo "revived histogram differs:"; echo "$hist1"; echo "vs"; echo "$hist_revived"; exit 1; }
+metrics=$(curl -fsS "$base/metrics")
+echo "$metrics" | grep -q '^qmddd_cache_disk_hits_total 2$' || { echo "shots disk hit not counted:"; echo "$metrics"; exit 1; }
+echo "$metrics" | grep -q '^qmddd_jobs_started_total 0$'    || { echo "shots replay ran the simulation:"; echo "$metrics"; exit 1; }
 
 kill -TERM "$pid"
 wait "$pid"
