@@ -1,0 +1,83 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/alg"
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// runApproxBench measures what fidelity-bounded graceful degradation buys:
+// each workload first runs unbudgeted to learn its node demand, then reruns
+// under half that budget twice — once exact (expected: budget_exceeded) and
+// once with the requested fidelity floor (expected: an approximate success).
+// Reported per workload: the refusal the floor converts into a completion,
+// the retained fidelity with its exactness, the event count, and both wall
+// times.
+func runApproxBench(ctx context.Context, p bench.FigureParams, minFid float64) error {
+	if minFid <= 0 || minFid >= 1 {
+		return fmt.Errorf("approx-bench: fidelity floor must be in (0, 1), got %v", minFid)
+	}
+	workloads := []struct {
+		name string
+		c    *circuit.Circuit
+	}{
+		{"grover", bench.GroverCircuit(p)},
+		{"bwt", bench.BWTCircuit(p)},
+	}
+	fmt.Printf("approx-bench: exact fail-fast vs. min-fidelity %.3f under a halved node budget:\n", minFid)
+	for _, w := range workloads {
+		m := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
+		s := sim.New(m, w.c.N)
+		start := time.Now()
+		if err := s.RunCtx(ctx, w.c, nil); err != nil {
+			return fmt.Errorf("approx-bench %s unbudgeted: %w", w.name, err)
+		}
+		full := time.Since(start)
+		demand := m.Stats().UniqueNodes
+		budget := core.Budget{MaxNodes: demand / 2}
+
+		m2 := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
+		m2.SetBudget(budget)
+		exactOutcome := "completed (budget never tripped)"
+		if err := sim.New(m2, w.c.N).RunCtx(ctx, w.c, nil); err != nil {
+			if !errors.Is(err, core.ErrBudgetExceeded) {
+				return fmt.Errorf("approx-bench %s capped exact run: %w", w.name, err)
+			}
+			exactOutcome = "budget_exceeded"
+		}
+
+		m3 := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
+		m3.SetBudget(budget)
+		s3 := sim.New(m3, w.c.N)
+		s3.EnableApproximation(sim.ApproxPolicy{MinFidelity: minFid, MaxEvents: 1000})
+		start = time.Now()
+		approxOutcome := "completed"
+		if err := s3.RunCtx(ctx, w.c, nil); err != nil {
+			if !errors.Is(err, core.ErrBudgetExceeded) {
+				return fmt.Errorf("approx-bench %s capped approx run: %w", w.name, err)
+			}
+			// Some states (Grover's, famously) are intrinsically compact or
+			// have no low-contribution tail at this floor: shedding cannot
+			// free enough nodes, and the refusal stands. That is data too.
+			approxOutcome = "budget_exceeded (nothing cheap to shed)"
+		}
+		approxTime := time.Since(start)
+		ap := s3.Approximation()
+		kind := "float"
+		if ap.Exact {
+			kind = "exact"
+		}
+		fmt.Printf("  %-6s %2dq %5d gates  demand %6d nodes, budget %6d:  exact → %s;  floor → %s, fidelity %.6f (%s, %d events), state %d nodes, full %v vs capped %v\n",
+			w.name, w.c.N, w.c.Len(), demand, budget.MaxNodes, exactOutcome,
+			approxOutcome, ap.Fidelity, kind, ap.Events, s3.State.NodeCount(),
+			full.Round(time.Millisecond), approxTime.Round(time.Millisecond))
+	}
+	return nil
+}

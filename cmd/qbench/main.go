@@ -61,6 +61,7 @@ func main() {
 		cacheDir    = flag.String("cache", "", "benchmark the qcache disk tier instead of a figure sweep: run each workload cold (simulate + cache the final state in this directory), then warm (replay from cache), and report both wall times")
 		benchJSON   = flag.String("bench-json", "", "single-run implementation benchmark instead of a figure sweep: time each workload under BuildDD+Mul, sequential local apply, and parallel local apply, and write the JSON report to this path")
 		sampleBench = flag.Int("sample-bench", 0, "measurement-sampling micro-benchmark instead of a figure sweep: draw this many samples from each workload's final state, per-call (fresh mass pass per draw) vs hoisted (reusable Sampler), and report both")
+		approxBench = flag.Float64("min-fidelity", 0, "graceful-degradation benchmark instead of a figure sweep: rerun each workload under half its node demand, exact (fail-fast) vs approximated down to this fidelity floor, and report what the floor buys")
 	)
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -156,6 +157,8 @@ func main() {
 	}
 	var runErr error
 	switch {
+	case *approxBench > 0:
+		runErr = runApproxBench(ctx, p, *approxBench)
 	case *sampleBench > 0:
 		runErr = runSampleBench(ctx, p, *sampleBench)
 	case *benchJSON != "":

@@ -50,6 +50,7 @@ func main() {
 		weightCap   = flag.Int("weight-cap", 0, "server-side cap on per-job MaxWeights budget (0 = none)")
 		byteCap     = flag.Int64("byte-cap", 0, "server-side cap on per-job MaxBytes budget (0 = none)")
 		timeoutCap  = flag.Duration("timeout-cap", 0, "server-side cap on per-job wall clock; also the default when a job asks for none (0 = none)")
+		minFidFloor = flag.Float64("min-fidelity-floor", 0, "server-side floor for fidelity-bounded approximation: min_fidelity requests below it are raised to it (0 = no floor)")
 		cacheBytes  = flag.Int64("cache-bytes", 0, "in-memory result-cache byte cap (0 = cache off)")
 		cacheDir    = flag.String("cache-dir", "", "result-cache disk tier; persists across restarts (empty = no disk tier)")
 		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline for in-flight jobs")
@@ -60,22 +61,26 @@ func main() {
 		fmt.Println("qmddd", buildinfo.Read())
 		return
 	}
+	if *minFidFloor < 0 || *minFidFloor >= 1 {
+		log.Fatalf("qmddd: -min-fidelity-floor must be in [0, 1), got %v", *minFidFloor)
+	}
 
 	srv, err := server.New(server.Config{
-		Workers:      *workers,
-		QueueSize:    *queueSize,
-		MaxBodyBytes: *maxBody,
-		MaxJobs:      *maxJobs,
-		MaxQubits:    *maxQubits,
-		MaxShots:     *maxShots,
-		CTSize:       *ctSize,
-		IntraWorkers: *intraW,
-		NodeCap:      *nodeCap,
-		WeightCap:    *weightCap,
-		ByteCap:      *byteCap,
-		TimeoutCap:   *timeoutCap,
-		CacheBytes:   *cacheBytes,
-		CacheDir:     *cacheDir,
+		Workers:          *workers,
+		QueueSize:        *queueSize,
+		MaxBodyBytes:     *maxBody,
+		MaxJobs:          *maxJobs,
+		MaxQubits:        *maxQubits,
+		MaxShots:         *maxShots,
+		CTSize:           *ctSize,
+		IntraWorkers:     *intraW,
+		NodeCap:          *nodeCap,
+		WeightCap:        *weightCap,
+		ByteCap:          *byteCap,
+		TimeoutCap:       *timeoutCap,
+		MinFidelityFloor: *minFidFloor,
+		CacheBytes:       *cacheBytes,
+		CacheDir:         *cacheDir,
 	})
 	if err != nil {
 		log.Fatalf("qmddd: %v", err)

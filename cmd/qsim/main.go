@@ -62,6 +62,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget (0 = none); on expiry partial stats are printed, not a crash")
 		maxNodes  = flag.Int("max-nodes", 0, "budget: max live QMDD nodes (0 = unlimited)")
 		maxMem    = flag.Int64("max-mem", 0, "budget: approximate max bytes of nodes+weights (0 = unlimited)")
+		minFid    = flag.Float64("min-fidelity", 0, "degrade gracefully under budget pressure: approximate the state (shedding lowest-contribution amplitudes) as long as retained fidelity stays above this floor (0 = fail fast, exact only)")
 		verify    = flag.Bool("verify", false, "cross-check against the dense array simulator (n ≤ 16)")
 		expand    = flag.Bool("expand", false, "expand multi-controlled gates over ancillas before simulating")
 		writeQASM = flag.String("writeqasm", "", "write the (possibly expanded) circuit to this OpenQASM file")
@@ -107,6 +108,12 @@ func main() {
 	if nshots == 0 && *samples > 0 {
 		fmt.Fprintln(os.Stderr, "qsim: -samples is deprecated; use -shots")
 		nshots = *samples
+	}
+	if *minFid < 0 || *minFid > 1 {
+		fatal(fmt.Errorf("-min-fidelity must be in [0, 1], got %v", *minFid))
+	}
+	if *minFid > 0 && nshots > 0 {
+		fatal(fmt.Errorf("-min-fidelity is incompatible with -shots: a histogram drawn from an approximated state would be silently biased"))
 	}
 	if c.Dynamic() && nshots == 0 {
 		fatal(fmt.Errorf("circuit %q contains mid-circuit measurement, reset or classical control; run it with -shots N", c.Name))
@@ -160,7 +167,7 @@ func main() {
 			return
 		}
 		cc := qcache.NewStateCache(disk, ampCirc, "alg", 0, norm, ddio.Codec[alg.Q](ddio.AlgCodec{}))
-		runAndReport(ctx, m, ampCirc, *topK, *stats, true, *verify, *prune, cc)
+		runAndReport(ctx, m, ampCirc, *topK, *stats, true, *verify, *prune, *minFid, cc)
 	case "num":
 		m := core.NewManager[complex128](num.NewRing(*eps), norm, core.WithComputeTableSize(*ctSize))
 		m.SetIntraWorkers(*intraW)
@@ -170,7 +177,7 @@ func main() {
 			return
 		}
 		cc := qcache.NewStateCache(disk, ampCirc, "float", *eps, norm, ddio.Codec[complex128](ddio.NumCodec{}))
-		runAndReport(ctx, m, ampCirc, *topK, *stats, false, *verify, *prune, cc)
+		runAndReport(ctx, m, ampCirc, *topK, *stats, false, *verify, *prune, *minFid, cc)
 	default:
 		fatal(fmt.Errorf("unknown representation %q (want alg or num)", *repr))
 	}
@@ -275,10 +282,13 @@ func buildCircuit(algName, file string, o buildOpts) (*circuit.Circuit, error) {
 	return nil, fmt.Errorf("choose a workload with -alg {grover,bwt,gse,ghz} or -file <qasm>")
 }
 
-func runAndReport[T any](ctx context.Context, m *core.Manager[T], c *circuit.Circuit, topK int, stats, exact, verify bool, prune int, cc *qcache.StateCache[T]) {
+func runAndReport[T any](ctx context.Context, m *core.Manager[T], c *circuit.Circuit, topK int, stats, exact, verify bool, prune int, minFid float64, cc *qcache.StateCache[T]) {
 	s := sim.New(m, c.N)
 	if prune > 0 {
 		s.EnableAutoPrune(prune)
+	}
+	if minFid > 0 && minFid < 1 {
+		s.EnableApproximation(sim.ApproxPolicy{MinFidelity: minFid})
 	}
 	start := time.Now()
 	if e, ok := cc.Load(m, c.N); ok {
@@ -301,7 +311,16 @@ func runAndReport[T any](ctx context.Context, m *core.Manager[T], c *circuit.Cir
 		elapsed := time.Since(start)
 		fmt.Printf("simulated in %v; state QMDD has %d nodes; ‖ψ‖ = %.12f\n",
 			elapsed, s.State.NodeCount(), m.Norm2(s.State))
-		if err := cc.Store(m, s.State, c.N); err != nil {
+		if ap := s.Approximation(); ap.Events > 0 {
+			kind := "float estimate"
+			if ap.Exact {
+				kind = "exact"
+			}
+			fmt.Printf("approximated under budget pressure: %d events, retained fidelity %.6f (%s)\n",
+				ap.Events, ap.Fidelity, kind)
+			// An approximate state is not the circuit's exact result: it must
+			// never warm-start a future exact run.
+		} else if err := cc.Store(m, s.State, c.N); err != nil {
 			// The cache is an accelerator, not part of the result: warn only.
 			fmt.Fprintln(os.Stderr, "qsim: caching state:", err)
 		}

@@ -48,6 +48,11 @@ func (Ring) Key(a Q) string { return a.Key() }
 // immutable after publication.
 func (Ring) ConcurrentSafe() bool { return true }
 
+// Exact reports that Q[ω] arithmetic is exact (coeff.ExactRing): every ring
+// operation returns the true algebraic value, so derived quantities like the
+// retained-fidelity ratio of core.Approximate can be certified.
+func (Ring) Exact() bool { return true }
+
 // FromQ is the identity injection.
 func (Ring) FromQ(q Q) Q { return q }
 

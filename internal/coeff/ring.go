@@ -68,6 +68,17 @@ type ConcurrentRing interface {
 	ConcurrentSafe() bool
 }
 
+// ExactRing is an optional marker a Ring can implement to declare whether
+// its arithmetic is exact: every Add/Mul/Div result is the true value, not a
+// rounded or tolerance-interned approximation. The algebraic ring qualifies;
+// the numerical ring does not (complex128 rounding, plus ε-interning side
+// effects at ε > 0). Consumers that can certify results exactly — the
+// fidelity accounting of core.Approximate — use this to decide whether to
+// report an exact or an approximate figure.
+type ExactRing interface {
+	Exact() bool
+}
+
 // GCDRing is implemented by coefficient rings that additionally support
 // Euclidean GCDs, enabling the GCD normalization scheme (Algorithm 3).
 type GCDRing[T any] interface {

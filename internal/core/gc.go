@@ -18,9 +18,11 @@ package core
 // number of nodes removed. Single-threaded: never call while an intra-op
 // worker group is running (the sim/bench layers only prune between gates).
 func (m *Manager[T]) Prune(roots ...Edge[T]) int {
+	// Mark with an explicit worklist: the recursion this replaces overflowed
+	// the goroutine stack on deep (≥1e5-level) vector diagrams.
 	live := make(map[*Node[T]]struct{})
-	var mark func(n *Node[T])
-	mark = func(n *Node[T]) {
+	stack := make([]*Node[T], 0, 64)
+	push := func(n *Node[T]) {
 		if n == nil {
 			return
 		}
@@ -28,12 +30,17 @@ func (m *Manager[T]) Prune(roots ...Edge[T]) int {
 			return
 		}
 		live[n] = struct{}{}
-		for _, c := range n.E {
-			mark(c.N)
-		}
+		stack = append(stack, n)
 	}
 	for _, r := range roots {
-		mark(r.N)
+		push(r.N)
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range n.E {
+			push(c.N)
+		}
 	}
 	removed := m.ut.count() - len(live)
 
@@ -69,6 +76,9 @@ func (m *Manager[T]) Prune(roots ...Edge[T]) int {
 	// Compute-table entries may reference swept nodes or stale WIDs; drop
 	// them all.
 	m.ct.clear()
+	// Invalidate outstanding Samplers: their node pointers and mass memos
+	// may reference swept nodes (sampler.go returns ErrStaleSampler).
+	m.pruneGen++
 	m.stats.Prunes++
 	m.stats.PrunedNodes += uint64(removed)
 	return removed

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+// TestPruneDeepChain is the regression test for the recursive mark phase of
+// Prune: a ≥1e5-level vector diagram must prune cleanly. The goroutine
+// stack ceiling is lowered to 8 MiB for the duration so the pre-fix
+// per-level mark recursion dies where the worklist version stays flat —
+// everything else on this path (MakeNode, the survivor rebuild, Stats) is
+// iterative and unaffected by the ceiling.
+func TestPruneDeepChain(t *testing.T) {
+	defer debug.SetMaxStack(debug.SetMaxStack(8 << 20))
+
+	const depth = 150_000
+	m := algManager(NormLeft)
+	e := m.OneEdge()
+	for l := 1; l <= depth; l++ {
+		e = m.MakeVectorNode(l, e, m.ZeroEdge())
+	}
+	if got := m.Stats().UniqueNodes; got != depth {
+		t.Fatalf("built %d nodes, want %d", got, depth)
+	}
+	// Everything is reachable from the root: the sweep must remove nothing
+	// and keep the chain intact.
+	if removed := m.Prune(e); removed != 0 {
+		t.Fatalf("Prune removed %d reachable nodes", removed)
+	}
+	if got := m.Stats().UniqueNodes; got != depth {
+		t.Fatalf("chain lost nodes across Prune: %d of %d left", got, depth)
+	}
+	// A root-less prune must also sweep the full depth without recursing.
+	if removed := m.Prune(); removed != depth {
+		t.Fatalf("root-less Prune removed %d, want %d", removed, depth)
+	}
+}

@@ -101,6 +101,7 @@ type Manager[T any] struct {
 	nextID   atomic.Uint64
 	gateSeq  atomic.Uint64 // LocalGate registry IDs (apply.go)
 	stats    Stats         // Prune counters only; table counters live in the shards
+	pruneGen uint64        // bumped by every Prune; Samplers capture it to detect staleness
 
 	// Intra-operation parallelism (ops_parallel.go). shared mirrors
 	// intraWorkers>1 into one branch-predictable bool consulted by the

@@ -62,15 +62,18 @@ func (m *Manager[T]) projectRec(e Edge[T], level, outcome int, memo map[*Node[T]
 	if len(e.N.E) != VectorArity {
 		return m.ZeroEdge(), fmt.Errorf("%w: matrix node (arity %d) in Project", ErrMalformedDiagram, len(e.N.E))
 	}
+	if sub, ok := memo[e.N]; ok {
+		return m.Scale(sub, e.W), nil
+	}
 	if e.N.Level == level {
+		// Memoized like every other level: a target-level node shared by many
+		// parents is projected once, not once per incoming edge.
 		kept := e.N.E[outcome]
 		var es [2]Edge[T]
 		es[outcome] = kept
 		es[1-outcome] = m.ZeroEdge()
 		sub := m.MakeVectorNode(level, es[0], es[1])
-		return m.Scale(sub, e.W), nil
-	}
-	if sub, ok := memo[e.N]; ok {
+		memo[e.N] = sub
 		return m.Scale(sub, e.W), nil
 	}
 	es := make([]Edge[T], len(e.N.E))

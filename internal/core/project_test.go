@@ -173,3 +173,53 @@ func TestAutoPruner(t *testing.T) {
 		t.Fatalf("table kept growing: %d nodes", got)
 	}
 }
+
+// TestProjectMemoizesTargetLevel is the regression test for the unmemoized
+// target-level arm of projectRec: a target-level node shared by many parents
+// was recombined once per incoming edge, so measure-heavy workloads paid
+// O(edges into the target level) extra table lookups instead of O(nodes).
+// The state below funnels every block through ONE shared level-1 node, and
+// the MakeNode lookup count across a Project must stay within one lookup per
+// distinct diagram node.
+func TestProjectMemoizesTargetLevel(t *testing.T) {
+	m := algManager(NormLeft)
+	const n = 6
+	// amps[2k] = c_k·1, amps[2k+1] = c_k·2 with distinct c_k: level 1 is a
+	// single shared (1,2) node, while every level-2 node above it is distinct.
+	amps := make([]alg.Q, 1<<n)
+	for k := 0; k < 1<<(n-1); k++ {
+		c := alg.QFromInt(int64(k + 1))
+		amps[2*k] = c
+		amps[2*k+1] = c.Mul(alg.QFromInt(2))
+	}
+	v := m.FromVector(amps)
+	nodes := v.NodeCount()
+
+	before := m.Stats().UniqueLookups
+	proj, p, err := m.Project(v, n, n-1, 0) // qubit n-1 = level 1, the shared node
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookups := m.Stats().UniqueLookups - before
+	// One MakeNode per distinct node of the input diagram (plus slack for the
+	// projected-root bookkeeping). The pre-fix code pays one extra MakeNode
+	// per edge into the shared target node — 2^(n-2) of them here.
+	if limit := uint64(nodes + 2); lookups > limit {
+		t.Fatalf("Project did %d MakeNode lookups over a %d-node diagram (limit %d): target level not memoized",
+			lookups, nodes, limit)
+	}
+	// Sanity: the projection itself is correct — P(q5=0) = Σc²·1 / Σc²·5.
+	if math.Abs(p-0.2) > 1e-12 {
+		t.Fatalf("P = %v, want 0.2", p)
+	}
+	for i := uint64(0); i < 1<<n; i++ {
+		a := m.Amplitude(proj, n, i)
+		if i%2 == 0 {
+			if !a.Equal(amps[i]) {
+				t.Fatalf("kept amplitude %d = %v, want %v", i, a, amps[i])
+			}
+		} else if !a.IsZero() {
+			t.Fatalf("projected-out amplitude %d = %v, want 0", i, a)
+		}
+	}
+}

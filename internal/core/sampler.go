@@ -20,6 +20,12 @@ var ErrZeroVector = errors.New("core: cannot sample a zero-mass vector diagram")
 // vector diagram (skipped levels, matrix nodes, terminals above level 0).
 var ErrMalformedDiagram = errors.New("core: malformed vector diagram")
 
+// ErrStaleSampler is returned by Draw and Mass when the manager has been
+// pruned since the sampler was built: the sampler's node pointers and mass
+// memo may reference swept nodes, so using them would read garbage. Build a
+// fresh Sampler from the live state.
+var ErrStaleSampler = errors.New("core: sampler invalidated by a Prune; rebuild it from the live state")
+
 // Sampler draws basis-state outcomes from the distribution induced by one
 // vector diagram. Construction runs a single validating mass pass over the
 // diagram's nodes (O(nodes)); every Draw afterwards walks one root-to-
@@ -28,12 +34,14 @@ var ErrMalformedDiagram = errors.New("core: malformed vector diagram")
 // the per-call memo of Sample would cost O(draws × nodes).
 //
 // A Sampler holds node pointers into its manager; it is invalidated by
-// Prune and must not outlive the state it was built from. It is not safe
-// for concurrent use (the draws advance the caller's RNG anyway).
+// Prune (it captures the manager's prune generation at construction, and
+// Draw/Mass return ErrStaleSampler once the generations diverge). It is not
+// safe for concurrent use (the draws advance the caller's RNG anyway).
 type Sampler[T any] struct {
 	m    *Manager[T]
 	root Edge[T]
 	n    int
+	gen  uint64 // manager prune generation at construction
 	mass map[*Node[T]]float64
 }
 
@@ -45,7 +53,7 @@ func (m *Manager[T]) NewSampler(v Edge[T], n int) (*Sampler[T], error) {
 	if n < 1 {
 		return nil, fmt.Errorf("core: NewSampler: need at least one qubit, got %d", n)
 	}
-	s := &Sampler[T]{m: m, root: v, n: n, mass: make(map[*Node[T]]float64)}
+	s := &Sampler[T]{m: m, root: v, n: n, gen: m.pruneGen, mass: make(map[*Node[T]]float64)}
 	total, err := s.edgeMass(v, n)
 	if err != nil {
 		return nil, err
@@ -120,6 +128,9 @@ func (s *Sampler[T]) branchMass(e Edge[T]) float64 {
 // diagram representations. The diagram need not be normalized; branch
 // probabilities are renormalized level by level.
 func (s *Sampler[T]) Draw(rng Rand01) (uint64, error) {
+	if s.gen != s.m.pruneGen {
+		return 0, ErrStaleSampler
+	}
 	var idx uint64
 	e := s.root
 	for l := s.n; l >= 1; l-- {
@@ -141,5 +152,11 @@ func (s *Sampler[T]) Draw(rng Rand01) (uint64, error) {
 }
 
 // Mass returns the diagram's total probability mass Σ|amplitude|² (equal to
-// Norm2 of the root), as computed at construction.
-func (s *Sampler[T]) Mass() float64 { return s.branchMass(s.root) }
+// Norm2 of the root), as computed at construction. Like Draw, it fails with
+// ErrStaleSampler once the manager has been pruned.
+func (s *Sampler[T]) Mass() (float64, error) {
+	if s.gen != s.m.pruneGen {
+		return 0, ErrStaleSampler
+	}
+	return s.branchMass(s.root), nil
+}

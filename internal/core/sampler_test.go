@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -54,8 +55,12 @@ func TestSamplerDistribution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(s.Mass()-1) > 1e-12 {
-		t.Fatalf("Mass = %v, want 1", s.Mass())
+	mass, err := s.Mass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mass-1) > 1e-12 {
+		t.Fatalf("Mass = %v, want 1", mass)
 	}
 	rng := rand.New(rand.NewSource(7))
 	counts := map[uint64]int{}
@@ -94,6 +99,34 @@ func TestSamplerExactRing(t *testing.T) {
 		if idx != 0 && idx != 3 {
 			t.Fatalf("Bell draw yielded impossible outcome %d", idx)
 		}
+	}
+}
+
+func TestSamplerStaleAfterPrune(t *testing.T) {
+	// Regression: a Sampler built before a Prune holds pointers into swept
+	// tables. Before the prune-generation check, Draw silently walked freed
+	// structure; now both Draw and Mass must fail with ErrStaleSampler.
+	m := numManager(0)
+	v := randomState(m, 4, 9)
+	s, err := m.NewSampler(v, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Prune(v) // state survives, but the sampler's generation is stale
+	rng := rand.New(rand.NewSource(1))
+	if _, err := s.Draw(rng); !errors.Is(err, ErrStaleSampler) {
+		t.Fatalf("Draw after Prune: err = %v, want ErrStaleSampler", err)
+	}
+	if _, err := s.Mass(); !errors.Is(err, ErrStaleSampler) {
+		t.Fatalf("Mass after Prune: err = %v, want ErrStaleSampler", err)
+	}
+	// A fresh sampler over the pruned (still live) state works again.
+	s2, err := m.NewSampler(v, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Draw(rng); err != nil {
+		t.Fatalf("fresh sampler after Prune: %v", err)
 	}
 }
 

@@ -28,6 +28,12 @@ func (r *Ring) Eps() float64 { return r.T.Tol }
 // representatives insertion-order-dependent.
 func (r *Ring) ConcurrentSafe() bool { return r.T.Tol <= 0 }
 
+// Exact reports that complex128 arithmetic is not exact (coeff.ExactRing):
+// results carry float rounding, and at ε > 0 the interning tolerance folds
+// nearby values together. Fidelity figures derived in this ring are
+// approximate and are flagged as such by core.Approximate.
+func (r *Ring) Exact() bool { return false }
+
 func (r *Ring) intern(v complex128) complex128 { return r.T.Lookup(v) }
 
 // Zero returns 0.

@@ -73,6 +73,17 @@ type Identity struct {
 	// disk tier written by an older build — valid unchanged.
 	Shots int
 	Seed  int64
+	// MinFidelity and the budget caps identify an *approximate* result:
+	// which edges a fidelity-bounded run sheds depends on the floor and on
+	// where the memory budget tripped, so all four shape the envelope. They
+	// are folded into the key only when MinFidelity > 0; exact results —
+	// including a min_fidelity run that never needed to approximate — are
+	// keyed with MinFidelity 0 and stay valid unchanged. The timeout is
+	// still excluded: a deadline trip fails a job, it never approximates it.
+	MinFidelity float64
+	MaxNodes    int
+	MaxWeights  int
+	MaxBytes    int64
 }
 
 // Stamp returns the provenance stamp for entries stored under this
@@ -114,6 +125,14 @@ func (id Identity) Key() Key {
 		writeInt(int64(id.Shots))
 		writeInt(id.Seed)
 	}
+	if id.MinFidelity > 0 {
+		writeStr("approx")
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(id.MinFidelity))
+		h.Write(buf[:])
+		writeInt(int64(id.MaxNodes))
+		writeInt(int64(id.MaxWeights))
+		writeInt(id.MaxBytes)
+	}
 	var k Key
 	h.Sum(k[:0])
 	return k
@@ -130,6 +149,10 @@ type FlightID struct {
 	MaxWeights int
 	MaxBytes   int64
 	TimeoutMS  int64
+	// MinFidelity separates fidelity-bounded submissions: an approximate
+	// success is a different envelope than an exact one, so the two must
+	// never collapse onto one flight.
+	MinFidelity float64
 }
 
 // Key derives the singleflight grouping key.
@@ -143,6 +166,8 @@ func (f FlightID) Key() Key {
 		binary.LittleEndian.PutUint64(buf[:], uint64(v))
 		h.Write(buf[:])
 	}
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f.MinFidelity))
+	h.Write(buf[:])
 	var k Key
 	h.Sum(k[:0])
 	return k

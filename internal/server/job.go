@@ -35,6 +35,16 @@ type JobRequest struct {
 	MaxBytes   int64 `json:"max_bytes,omitempty"`
 	TimeoutMS  int64 `json:"timeout_ms,omitempty"`
 
+	// MinFidelity opts the job into fidelity-bounded graceful degradation:
+	// when the budget would otherwise refuse the run, the state is
+	// approximated (lowest-contribution amplitudes shed) as long as the
+	// retained fidelity stays ≥ this floor, and the result reports what was
+	// given up. 0 (the default) keeps the exact fail-fast behavior; the
+	// server's -min-fidelity-floor raises requests below its own floor.
+	// Incompatible with shots — a histogram drawn from an approximated state
+	// would be silently biased.
+	MinFidelity float64 `json:"min_fidelity,omitempty"`
+
 	// Output selects what the job returns: "amplitudes" (default; the TopK
 	// most probable outcomes with exact weight encodings), "stats" (manager
 	// counters only), "ddio" (a lossless serialization of the state
@@ -90,7 +100,18 @@ type JobResult struct {
 	Strategy  string         `json:"strategy,omitempty"`
 	Shots     int            `json:"shots,omitempty"`
 	Seed      int64          `json:"seed,omitempty"`
-	Stats     *core.Snapshot `json:"stats,omitempty"`
+	// Approximation fields, present only when fidelity-bounded degradation
+	// actually fired: the job completed approximately, with the guaranteed
+	// retained fidelity (the product of per-event fidelities, ≥ the
+	// requested min_fidelity), whether that figure was computed with exact
+	// ring arithmetic, and how many approximation events it took. A
+	// min_fidelity job that never hit its budget omits all four — its
+	// envelope is byte-identical to the exact job's.
+	Approximate   bool           `json:"approximate,omitempty"`
+	Fidelity      float64        `json:"fidelity,omitempty"`
+	FidelityExact bool           `json:"fidelity_exact,omitempty"`
+	ApproxEvents  int            `json:"approx_events,omitempty"`
+	Stats         *core.Snapshot `json:"stats,omitempty"`
 }
 
 // ErrorBody is the structured error shape of every non-2xx response and
@@ -165,10 +186,15 @@ type job struct {
 	circ *circuit.Circuit
 	done chan struct{}
 
-	// Cache/singleflight wiring, set at submit time: key and stamp address
-	// this job's result envelope; flight is non-nil on a leader and must be
-	// completed exactly once when the job reaches a terminal status.
+	// Cache/singleflight wiring, set at submit time: cacheKey addresses the
+	// exact result envelope; approxKey (set only for min_fidelity jobs)
+	// addresses the approximate one — finishJob picks by whether
+	// approximation actually fired, so exact results always share the exact
+	// key. flight is non-nil on a leader and must be completed exactly once
+	// when the job reaches a terminal status.
 	cacheKey  qcache.Key
+	approxKey qcache.Key
+	hasApprox bool
 	stamp     qcache.Stamp
 	cacheable bool
 	flight    *qcache.Call[flightOutcome]

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"io"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,11 +26,32 @@ type metrics struct {
 	rejected  atomic.Uint64 // submissions refused with 429
 	deduped   atomic.Uint64 // submissions collapsed onto an identical in-flight job
 
+	approximated    atomic.Uint64 // jobs completed approximately (fidelity-bounded degradation fired)
+	approxEvents    atomic.Uint64 // approximation events across all jobs
+	fidelityGivenUp floatCounter  // Σ (1 − retained fidelity) over approximate jobs
+
 	queueLatency histogram // submit → worker pickup, seconds
 
 	mu      sync.Mutex
 	workers []workerMetrics
 }
+
+// floatCounter is a lock-free monotone float64 counter (CAS on the bit
+// pattern — the stdlib has no atomic float).
+type floatCounter struct {
+	bits atomic.Uint64
+}
+
+func (c *floatCounter) add(v float64) {
+	for {
+		old := c.bits.Load()
+		if c.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (c *floatCounter) load() float64 { return math.Float64frombits(c.bits.Load()) }
 
 // histogram is a fixed-bucket Prometheus histogram (cumulative buckets plus
 // sum and count). Good enough for queue latency; no client library needed.
@@ -113,6 +135,9 @@ func (m *metrics) render(w io.Writer, queueDepth, queueCap int, cs qcache.Stats)
 	counter("qmddd_jobs_cancelled_total", "Jobs cancelled by timeout or shutdown.", m.cancelled.Load())
 	counter("qmddd_jobs_rejected_total", "Submissions refused with 429.", m.rejected.Load())
 	counter("qmddd_jobs_deduped_total", "Submissions collapsed onto an identical in-flight job.", m.deduped.Load())
+	counter("qmddd_approximated_jobs_total", "Jobs completed approximately under a min_fidelity floor.", m.approximated.Load())
+	counter("qmddd_approximations_total", "Fidelity-bounded approximation events across all jobs.", m.approxEvents.Load())
+	fmt.Fprintf(w, "# HELP qmddd_fidelity_given_up_total Cumulative (1 - retained fidelity) over approximate jobs.\n# TYPE qmddd_fidelity_given_up_total counter\nqmddd_fidelity_given_up_total %g\n", m.fidelityGivenUp.load())
 	counter("qmddd_cache_hits_total", "Result-cache hits (memory or disk).", cs.Hits)
 	counter("qmddd_cache_disk_hits_total", "Result-cache hits served by the disk tier.", cs.DiskHits)
 	counter("qmddd_cache_misses_total", "Result-cache misses.", cs.Misses)

@@ -66,6 +66,13 @@ type Config struct {
 	ByteCap    int64
 	TimeoutCap time.Duration
 
+	// MinFidelityFloor is the server-side floor for fidelity-bounded
+	// approximation: a min_fidelity request below it is raised to it, so an
+	// operator can bound how much fidelity any client may trade away. Zero
+	// imposes no floor. It never turns approximation on by itself — jobs
+	// without min_fidelity stay exact.
+	MinFidelityFloor float64
+
 	// CacheBytes caps the in-memory result-cache tier; zero disables it.
 	// CacheDir, when non-empty, enables the disk tier: finished result
 	// envelopes persist across restarts under repr/ε/norm-stamped headers.
@@ -251,13 +258,36 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	cacheKey := ident.Key()
 	stamp := ident.Stamp()
 
-	if payload, ok := s.cache.Get(cacheKey, stamp); ok {
-		if res, err := decodeResult(payload); err == nil {
-			s.serveCached(w, req, res)
-			return
+	// A min_fidelity job has a second address: the approximate envelope,
+	// which additionally depends on the floor and on the clamped memory
+	// budgets (they decide where approximation fires). The exact key is
+	// consulted first — an exact result trivially satisfies any fidelity
+	// floor — then the approximate one.
+	var approxKey qcache.Key
+	hasApprox := req.MinFidelity > 0
+	if hasApprox {
+		aident := ident
+		aident.MinFidelity = req.MinFidelity
+		aident.MaxNodes = req.MaxNodes
+		aident.MaxWeights = req.MaxWeights
+		aident.MaxBytes = req.MaxBytes
+		approxKey = aident.Key()
+	}
+	for _, k := range []struct {
+		key qcache.Key
+		on  bool
+	}{{cacheKey, true}, {approxKey, hasApprox}} {
+		if !k.on {
+			continue
 		}
-		// Undecodable payload (should be impossible past the checksums):
-		// treat as a miss and recompute.
+		if payload, ok := s.cache.Get(k.key, stamp); ok {
+			if res, err := decodeResult(payload); err == nil {
+				s.serveCached(w, req, res)
+				return
+			}
+			// Undecodable payload (should be impossible past the checksums):
+			// treat as a miss and recompute.
+		}
 	}
 
 	// Singleflight: concurrent identical submissions elect one leader that
@@ -265,11 +295,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// the clamped budgets in, so a follower can never inherit a
 	// budget_exceeded verdict it did not ask for.
 	fid := qcache.FlightID{
-		Identity:   ident,
-		MaxNodes:   req.MaxNodes,
-		MaxWeights: req.MaxWeights,
-		MaxBytes:   req.MaxBytes,
-		TimeoutMS:  req.TimeoutMS,
+		Identity:    ident,
+		MaxNodes:    req.MaxNodes,
+		MaxWeights:  req.MaxWeights,
+		MaxBytes:    req.MaxBytes,
+		TimeoutMS:   req.TimeoutMS,
+		MinFidelity: req.MinFidelity,
 	}
 	call, leader := s.flight.Join(fid.Key())
 
@@ -283,6 +314,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if leader {
 		j.cacheKey = cacheKey
+		j.approxKey = approxKey
+		j.hasApprox = hasApprox
 		j.stamp = stamp
 		j.cacheable = seeded
 		j.flight = call
@@ -465,6 +498,22 @@ func (s *Server) validate(req *JobRequest) (*circuit.Circuit, *ErrorBody) {
 	}
 	if req.MaxNodes < 0 || req.MaxWeights < 0 || req.MaxBytes < 0 || req.TimeoutMS < 0 {
 		return nil, invalid("budget fields must be non-negative")
+	}
+	if req.MinFidelity < 0 || req.MinFidelity > 1 {
+		return nil, invalid("min_fidelity must be in [0, 1]")
+	}
+	if req.MinFidelity == 1 {
+		// A floor of 1 permits shedding nothing: exact semantics, and the
+		// exact cache key.
+		req.MinFidelity = 0
+	}
+	if req.MinFidelity > 0 {
+		if req.Shots > 0 {
+			return nil, invalid("min_fidelity is incompatible with shots: a histogram drawn from an approximated state is silently biased")
+		}
+		if f := s.cfg.MinFidelityFloor; f > 0 && req.MinFidelity < f {
+			req.MinFidelity = f
+		}
 	}
 	req.MaxNodes = clampInt(req.MaxNodes, s.cfg.NodeCap)
 	req.MaxWeights = clampInt(req.MaxWeights, s.cfg.WeightCap)

@@ -133,6 +133,11 @@ func (s *Server) runJob(workerID int, ws *workerState, j *job) {
 
 	switch {
 	case errBody == nil:
+		if res != nil && res.Approximate {
+			s.met.approximated.Add(1)
+			s.met.approxEvents.Add(uint64(res.ApproxEvents))
+			s.met.fidelityGivenUp.add(1 - res.Fidelity)
+		}
 		s.finishJob(j, StatusDone, res, nil)
 		s.met.completed.Add(1)
 	case errBody.Kind == KindCancelled || errBody.Kind == KindTimeout:
@@ -156,7 +161,14 @@ func (s *Server) finishJob(j *job, status string, res *JobResult, errBody *Error
 		if b, err := json.Marshal(res); err == nil {
 			payload = b
 			if j.cacheable {
-				s.cache.Put(j.cacheKey, payload, j.stamp)
+				// An approximate envelope is valid only for the same floor and
+				// memory budget; an exact one (approximation never fired)
+				// serves every request for this circuit.
+				key := j.cacheKey
+				if res.Approximate && j.hasApprox {
+					key = j.approxKey
+				}
+				s.cache.Put(key, payload, j.stamp)
 			}
 		}
 	}
@@ -194,6 +206,9 @@ func runTyped[T any](ctx context.Context, m *core.Manager[T], codec ddio.Codec[T
 		return runShots(ctx, m, j)
 	}
 	simr := sim.New(m, j.circ.N)
+	if j.req.MinFidelity > 0 {
+		simr.EnableApproximation(sim.ApproxPolicy{MinFidelity: j.req.MinFidelity})
+	}
 	start := time.Now()
 	err := simr.RunCtx(ctx, j.circ, nil)
 	elapsed := time.Since(start)
@@ -209,6 +224,12 @@ func runTyped[T any](ctx context.Context, m *core.Manager[T], codec ddio.Codec[T
 		Norm2:          m.Norm2(simr.State),
 		StateNodes:     simr.State.NodeCount(),
 		Stats:          &snap,
+	}
+	if ap := simr.Approximation(); ap.Events > 0 {
+		res.Approximate = true
+		res.Fidelity = ap.Fidelity
+		res.FidelityExact = ap.Exact
+		res.ApproxEvents = ap.Events
 	}
 	switch j.req.Output {
 	case "stats":

@@ -31,6 +31,10 @@ type Simulator[T any] struct {
 	// a property of the simulator's next circuit.
 	pruneHighWater  int
 	pruneConfigured int
+	// approxPolicy is the configured fidelity-bounded degradation policy
+	// (approx.go); approxState is the run-local accounting it maintains.
+	approxPolicy ApproxPolicy
+	approxState  ApproxState
 }
 
 // EnableAutoPrune garbage-collects the manager whenever its unique table
@@ -58,11 +62,12 @@ func New[T any](m *core.Manager[T], n int) *Simulator[T] {
 	defer m.SetBudget(m.Budget())
 	m.SetBudget(core.Budget{})
 	return &Simulator[T]{
-		M:          m,
-		N:          n,
-		State:      m.BasisState(n, 0),
-		gateCache:  make(map[string]core.Edge[T]),
-		localCache: make(map[string]*core.LocalGate[T]),
+		M:           m,
+		N:           n,
+		State:       m.BasisState(n, 0),
+		gateCache:   make(map[string]core.Edge[T]),
+		localCache:  make(map[string]*core.LocalGate[T]),
+		approxState: freshApproxState(),
 	}
 }
 
@@ -70,7 +75,9 @@ func New[T any](m *core.Manager[T], n int) *Simulator[T] {
 // the simulator's run-local policy state: the auto-prune watermark goes
 // back to its configured value (a thrash-guard raise from a previous
 // table-saturating run must not leave the reused simulator effectively
-// prune-free), and the gate-diagram cache is dropped (cached DDs are prune
+// prune-free), the approximation accounting is cleared (the policy itself
+// persists, like the configured watermark), and the gate-diagram cache is
+// dropped (cached DDs are prune
 // roots, so carrying them across circuits would pin dead gate diagrams
 // forever). The manager's tables are left as-is — the next prune sweeps
 // what the dropped cache no longer protects. The local-gate cache is kept:
@@ -80,6 +87,7 @@ func (s *Simulator[T]) Reset() {
 	defer s.M.SetBudget(s.M.Budget())
 	s.M.SetBudget(core.Budget{})
 	s.pruneHighWater = s.pruneConfigured
+	s.approxState = freshApproxState()
 	s.gateCache = make(map[string]core.Edge[T])
 	s.State = s.M.BasisState(s.N, 0)
 }
@@ -197,7 +205,11 @@ func (s *Simulator[T]) Apply(g circuit.Gate) (err error) {
 
 // maybePrune runs the auto-prune policy with the thrash guard: when the
 // last prune reclaimed less than 10% of the table, the watermark is raised
-// to twice the surviving live size so near-useless full sweeps stop.
+// to twice the surviving live size so near-useless full sweeps stop. With an
+// approximation policy installed, a saturated table first gets one shed
+// attempt — the live state itself is the thing that outgrew the watermark,
+// and dropping its low-contribution tail may keep the configured watermark
+// honest instead of inflating it.
 func (s *Simulator[T]) maybePrune() (err error) {
 	defer core.RecoverTo(&err)
 	if s.pruneHighWater <= 0 {
@@ -207,14 +219,14 @@ func (s *Simulator[T]) maybePrune() (err error) {
 	if before <= s.pruneHighWater {
 		return nil
 	}
-	roots := make([]core.Edge[T], 0, len(s.gateCache)+1)
-	roots = append(roots, s.State)
-	for _, e := range s.gateCache {
-		roots = append(roots, e)
-	}
-	removed := s.M.Prune(roots...)
+	removed := s.pruneNow()
 	if removed*10 < before {
-		live := before - removed
+		if s.shedLoad(false) {
+			if live := s.M.Stats().UniqueNodes; live <= s.pruneHighWater {
+				return nil
+			}
+		}
+		live := s.M.Stats().UniqueNodes
 		s.pruneHighWater = 2 * live
 	}
 	return nil
@@ -264,7 +276,7 @@ func (s *Simulator[T]) RunCtx(ctx context.Context, c *circuit.Circuit, hook func
 				return fmt.Errorf("sim: cancelled before gate %d: %w", i, err)
 			}
 		}
-		if err := s.Apply(g); err != nil {
+		if err := s.applyWithFallback(g); err != nil {
 			// A deadline carried by ctx trips inside the manager as a budget
 			// error; report it as the cancellation it is, so callers see one
 			// error shape for "the context ended this run". The explicit

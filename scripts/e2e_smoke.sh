@@ -34,25 +34,25 @@ wait_healthy
 
 payload='{"qasm":"OPENQASM 2.0;\nqreg q[2];\nh q[0]; h q[1];\ncz q[0],q[1];\nh q[0]; h q[1];\nx q[0]; x q[1];\ncz q[0],q[1];\nx q[0]; x q[1];\nh q[0]; h q[1];","wait":true}'
 result=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$payload" "$base/v1/jobs")
-echo "$result" | grep -q '"status": "done"'    || { echo "job did not finish: $result"; exit 1; }
-echo "$result" | grep -q '"state": "11"'       || { echo "missing |11> outcome: $result"; exit 1; }
-echo "$result" | grep -q '"prob": 1'           || { echo "Grover probability is not 1: $result"; exit 1; }
-echo "$result" | grep -q '"cached"' && { echo "first run claims to be cached: $result"; exit 1; }
+echo "$result" | grep >/dev/null '"status": "done"'    || { echo "job did not finish: $result"; exit 1; }
+echo "$result" | grep >/dev/null '"state": "11"'       || { echo "missing |11> outcome: $result"; exit 1; }
+echo "$result" | grep >/dev/null '"prob": 1'           || { echo "Grover probability is not 1: $result"; exit 1; }
+echo "$result" | grep >/dev/null '"cached"' && { echo "first run claims to be cached: $result"; exit 1; }
 
 # The identical job again: must be served from the cache, byte-identical
 # result envelope, without running the simulation a second time.
 replay=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$payload" "$base/v1/jobs")
-echo "$replay" | grep -q '"cached": true'      || { echo "replay was not cached: $replay"; exit 1; }
-echo "$replay" | grep -q '"state": "11"'       || { echo "cached replay lost the result: $replay"; exit 1; }
+echo "$replay" | grep >/dev/null '"cached": true'      || { echo "replay was not cached: $replay"; exit 1; }
+echo "$replay" | grep >/dev/null '"state": "11"'       || { echo "cached replay lost the result: $replay"; exit 1; }
 
-curl -fsS "$base/v1/version" | grep -q '"name": "qmddd"'
+curl -fsS "$base/v1/version" | grep >/dev/null '"name": "qmddd"'
 
 metrics=$(curl -fsS "$base/metrics")
 [ -n "$metrics" ] || { echo "empty /metrics"; exit 1; }
-echo "$metrics" | grep -q '^qmddd_jobs_completed_total 1$' || { echo "bad metrics:"; echo "$metrics"; exit 1; }
-echo "$metrics" | grep -q '^qmddd_cache_hits_total 1$'     || { echo "cache hit not counted:"; echo "$metrics"; exit 1; }
-echo "$metrics" | grep -q '^qmddd_cache_stores_total 1$'   || { echo "cache store not counted:"; echo "$metrics"; exit 1; }
-echo "$metrics" | grep -q '^qmddd_queue_latency_seconds_count 1$' || { echo "queue latency not observed:"; echo "$metrics"; exit 1; }
+echo "$metrics" | grep >/dev/null '^qmddd_jobs_completed_total 1$' || { echo "bad metrics:"; echo "$metrics"; exit 1; }
+echo "$metrics" | grep >/dev/null '^qmddd_cache_hits_total 1$'     || { echo "cache hit not counted:"; echo "$metrics"; exit 1; }
+echo "$metrics" | grep >/dev/null '^qmddd_cache_stores_total 1$'   || { echo "cache store not counted:"; echo "$metrics"; exit 1; }
+echo "$metrics" | grep >/dev/null '^qmddd_queue_latency_seconds_count 1$' || { echo "queue latency not observed:"; echo "$metrics"; exit 1; }
 
 # Seeded shots job on a dynamic teleportation circuit: mid-circuit Bell
 # measurement plus classically controlled corrections, so every shot is
@@ -61,27 +61,56 @@ echo "$metrics" | grep -q '^qmddd_queue_latency_seconds_count 1$' || { echo "que
 # every observed key must start with "1".
 teleport='{"qasm":"OPENQASM 2.0;\nqreg q[3];\ncreg c0[1];\ncreg c1[1];\ncreg c2[1];\nx q[0];\nh q[1];\ncx q[1],q[2];\ncx q[0],q[1];\nh q[0];\nmeasure q[0] -> c0[0];\nmeasure q[1] -> c1[0];\nif(c1==1) x q[2];\nif(c0==1) z q[2];\nmeasure q[2] -> c2[0];","shots":256,"seed":7,"wait":true}'
 shot1=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$teleport" "$base/v1/jobs")
-echo "$shot1" | grep -q '"status": "done"'            || { echo "shots job did not finish: $shot1"; exit 1; }
-echo "$shot1" | grep -q '"strategy": "resimulate"'    || { echo "dynamic circuit not re-simulated: $shot1"; exit 1; }
-echo "$shot1" | grep -q '"seed": 7'                   || { echo "seed not echoed: $shot1"; exit 1; }
+echo "$shot1" | grep >/dev/null '"status": "done"'            || { echo "shots job did not finish: $shot1"; exit 1; }
+echo "$shot1" | grep >/dev/null '"strategy": "resimulate"'    || { echo "dynamic circuit not re-simulated: $shot1"; exit 1; }
+echo "$shot1" | grep >/dev/null '"seed": 7'                   || { echo "seed not echoed: $shot1"; exit 1; }
 hist1=$(echo "$shot1" | awk '/"histogram": {/,/}/')
 [ -n "$hist1" ] || { echo "missing histogram: $shot1"; exit 1; }
-echo "$hist1" | grep -q '"0' && { echo "teleported qubit read 0: $hist1"; exit 1; }
+echo "$hist1" | grep >/dev/null '"0' && { echo "teleported qubit read 0: $hist1"; exit 1; }
 
 # Same circuit, same seed, float representation: a fresh simulation under a
 # different number system must reproduce the histogram byte for byte.
 teleport_float=${teleport%\}}',"representation":"float","eps":0}'
 shotf=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$teleport_float" "$base/v1/jobs")
-echo "$shotf" | grep -q '"cached"' && { echo "float variant unexpectedly cached: $shotf"; exit 1; }
+echo "$shotf" | grep >/dev/null '"cached"' && { echo "float variant unexpectedly cached: $shotf"; exit 1; }
 histf=$(echo "$shotf" | awk '/"histogram": {/,/}/')
 [ "$hist1" = "$histf" ] || { echo "histogram differs across representations:"; echo "$hist1"; echo "vs"; echo "$histf"; exit 1; }
 
 # Resubmitting the seeded shots job must hit the cache with the identical
 # histogram.
 shot2=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$teleport" "$base/v1/jobs")
-echo "$shot2" | grep -q '"cached": true' || { echo "seeded shots replay was not cached: $shot2"; exit 1; }
+echo "$shot2" | grep >/dev/null '"cached": true' || { echo "seeded shots replay was not cached: $shot2"; exit 1; }
 hist2=$(echo "$shot2" | awk '/"histogram": {/,/}/')
 [ "$hist1" = "$hist2" ] || { echo "cached histogram differs:"; echo "$hist1"; echo "vs"; echo "$hist2"; exit 1; }
+
+# Fidelity-bounded graceful degradation: a clutter circuit (small-angle ry
+# layers + CX chains grow a dominant |0…0> branch with a broad low-mass tail)
+# under a node budget it cannot fit. Without min_fidelity the job must fail
+# budget_exceeded; with it the worker sheds the tail and completes, stamping
+# the retained fidelity on the result.
+clutter='OPENQASM 2.0;\nqreg q[10];'
+for l in $(seq 1 8); do
+    for i in $(seq 0 9); do
+        clutter="$clutter\nry(0.0$((20 + (l*10 + i) % 15))) q[$i];"
+    done
+    for i in $(seq 0 8); do
+        clutter="$clutter\ncx q[$i],q[$((i+1))];"
+    done
+done
+capped='{"qasm":"'$clutter'","representation":"float","max_nodes":600,"wait":true}'
+refused=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$capped" "$base/v1/jobs")
+echo "$refused" | grep >/dev/null '"status": "failed"'     || { echo "capped exact job did not fail: $refused"; exit 1; }
+echo "$refused" | grep >/dev/null 'budget_exceeded'        || { echo "capped exact job failed for the wrong reason: $refused"; exit 1; }
+
+degraded=${capped%\}}',"min_fidelity":0.6}'
+approx=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$degraded" "$base/v1/jobs")
+echo "$approx" | grep >/dev/null '"status": "done"'        || { echo "min_fidelity did not flip the refusal: $approx"; exit 1; }
+echo "$approx" | grep >/dev/null '"approximate": true'     || { echo "approximate flag missing: $approx"; exit 1; }
+echo "$approx" | grep >/dev/null '"fidelity": 0\.'         || { echo "retained fidelity missing: $approx"; exit 1; }
+
+metrics=$(curl -fsS "$base/metrics")
+echo "$metrics" | grep >/dev/null '^qmddd_approximated_jobs_total 1$'    || { echo "approximated job not counted:"; echo "$metrics"; exit 1; }
+echo "$metrics" | grep -E >/dev/null '^qmddd_approximations_total [1-9]'   || { echo "approximation events not counted:"; echo "$metrics"; exit 1; }
 
 kill -TERM "$pid"
 wait "$pid"   # non-zero exit status fails the script via set -e
@@ -94,20 +123,20 @@ pid=$!
 wait_healthy
 
 revived=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$payload" "$base/v1/jobs")
-echo "$revived" | grep -q '"cached": true' || { echo "disk tier did not survive restart: $revived"; exit 1; }
-echo "$revived" | grep -q '"state": "11"'  || { echo "restart replay lost the result: $revived"; exit 1; }
+echo "$revived" | grep >/dev/null '"cached": true' || { echo "disk tier did not survive restart: $revived"; exit 1; }
+echo "$revived" | grep >/dev/null '"state": "11"'  || { echo "restart replay lost the result: $revived"; exit 1; }
 metrics=$(curl -fsS "$base/metrics")
-echo "$metrics" | grep -q '^qmddd_cache_disk_hits_total 1$' || { echo "disk hit not counted:"; echo "$metrics"; exit 1; }
-echo "$metrics" | grep -q '^qmddd_jobs_started_total 0$'    || { echo "restart replay ran the simulation:"; echo "$metrics"; exit 1; }
+echo "$metrics" | grep >/dev/null '^qmddd_cache_disk_hits_total 1$' || { echo "disk hit not counted:"; echo "$metrics"; exit 1; }
+echo "$metrics" | grep >/dev/null '^qmddd_jobs_started_total 0$'    || { echo "restart replay ran the simulation:"; echo "$metrics"; exit 1; }
 
 # The seeded shots entry must also survive the restart via the disk tier.
 shot_revived=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$teleport" "$base/v1/jobs")
-echo "$shot_revived" | grep -q '"cached": true' || { echo "shots disk entry did not survive restart: $shot_revived"; exit 1; }
+echo "$shot_revived" | grep >/dev/null '"cached": true' || { echo "shots disk entry did not survive restart: $shot_revived"; exit 1; }
 hist_revived=$(echo "$shot_revived" | awk '/"histogram": {/,/}/')
 [ "$hist1" = "$hist_revived" ] || { echo "revived histogram differs:"; echo "$hist1"; echo "vs"; echo "$hist_revived"; exit 1; }
 metrics=$(curl -fsS "$base/metrics")
-echo "$metrics" | grep -q '^qmddd_cache_disk_hits_total 2$' || { echo "shots disk hit not counted:"; echo "$metrics"; exit 1; }
-echo "$metrics" | grep -q '^qmddd_jobs_started_total 0$'    || { echo "shots replay ran the simulation:"; echo "$metrics"; exit 1; }
+echo "$metrics" | grep >/dev/null '^qmddd_cache_disk_hits_total 2$' || { echo "shots disk hit not counted:"; echo "$metrics"; exit 1; }
+echo "$metrics" | grep >/dev/null '^qmddd_jobs_started_total 0$'    || { echo "shots replay ran the simulation:"; echo "$metrics"; exit 1; }
 
 kill -TERM "$pid"
 wait "$pid"
