@@ -9,13 +9,22 @@
 //	POST /v1/jobs             submit a circuit ({"qasm": …, "wait": true})
 //	GET  /v1/jobs/{id}        poll job status
 //	GET  /v1/jobs/{id}/result fetch the finished job's result
+//	GET  /v1/cache/{key}      cache peering: the stamped envelope for a key
 //	GET  /v1/version          build identity
-//	GET  /healthz             liveness (503 while draining)
+//	GET  /healthz             liveness (200 while the process serves at all)
+//	GET  /readyz              readiness (503 while draining or warming)
 //	GET  /metrics             Prometheus text metrics
 //
-// On SIGTERM/SIGINT the daemon stops intake, drains in-flight jobs through
-// the run governor until -drain expires (then cancels them cooperatively),
-// and exits 0.
+// In a cluster, give every worker -self (its advertised URL) and -peers (the
+// full membership): on a local cache miss the worker first asks the ring
+// owners of the key for their stored result envelope — validated by checksum
+// and provenance stamp — so a topology change migrates warm results instead
+// of recomputing them. Put cmd/qrouter in front to shard jobs onto the same
+// membership.
+//
+// On SIGTERM/SIGINT the daemon stops intake (readyz flips unready; healthz
+// stays live), drains in-flight jobs through the run governor until -drain
+// expires (then cancels them cooperatively), and exits 0.
 package main
 
 import (
@@ -23,10 +32,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -34,6 +45,17 @@ import (
 	"repro/internal/core"
 	"repro/internal/server"
 )
+
+// splitCSV parses a comma-separated flag value, dropping empty elements.
+func splitCSV(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 func main() {
 	var (
@@ -53,6 +75,10 @@ func main() {
 		minFidFloor = flag.Float64("min-fidelity-floor", 0, "server-side floor for fidelity-bounded approximation: min_fidelity requests below it are raised to it (0 = no floor)")
 		cacheBytes  = flag.Int64("cache-bytes", 0, "in-memory result-cache byte cap (0 = cache off)")
 		cacheDir    = flag.String("cache-dir", "", "result-cache disk tier; persists across restarts (empty = no disk tier)")
+		self        = flag.String("self", "", "this node's advertised base URL for cache peering (e.g. http://10.0.0.3:8080)")
+		peers       = flag.String("peers", "", "comma-separated base URLs of the cluster membership (cache peering off when empty)")
+		peerTimeout = flag.Duration("peer-timeout", 2*time.Second, "per-fetch deadline for peer cache lookups")
+		accessLog   = flag.Bool("access-log", false, "emit one structured access-log line per HTTP exchange to stderr")
 		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline for in-flight jobs")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
@@ -65,6 +91,10 @@ func main() {
 		log.Fatalf("qmddd: -min-fidelity-floor must be in [0, 1), got %v", *minFidFloor)
 	}
 
+	var logw io.Writer
+	if *accessLog {
+		logw = os.Stderr
+	}
 	srv, err := server.New(server.Config{
 		Workers:          *workers,
 		QueueSize:        *queueSize,
@@ -81,6 +111,10 @@ func main() {
 		MinFidelityFloor: *minFidFloor,
 		CacheBytes:       *cacheBytes,
 		CacheDir:         *cacheDir,
+		Self:             *self,
+		Peers:            splitCSV(*peers),
+		PeerTimeout:      *peerTimeout,
+		AccessLog:        logw,
 	})
 	if err != nil {
 		log.Fatalf("qmddd: %v", err)

@@ -1,4 +1,4 @@
-package server
+package engine
 
 import (
 	"crypto/rand"
@@ -13,10 +13,10 @@ import (
 	"repro/internal/qcache"
 )
 
-// JobRequest is the POST /v1/jobs body. Representation, budget and output
-// selection mirror the qsim CLI; all budget fields are clamped against the
-// server-side caps, so a request can only tighten the governor, never evade
-// it.
+// JobRequest is the submit payload (POST /v1/jobs on the wire). The
+// representation, budget and output selection mirror the qsim CLI; all
+// budget fields are clamped against the engine caps, so a request can only
+// tighten the governor, never evade it.
 type JobRequest struct {
 	// QASM is the OpenQASM 2.0 source of the circuit to simulate.
 	QASM string `json:"qasm"`
@@ -29,7 +29,7 @@ type JobRequest struct {
 	// Norm selects the normalization scheme: left (default), max or gcd.
 	Norm string `json:"norm,omitempty"`
 
-	// Budget fields, clamped to the server caps (0 = server default).
+	// Budget fields, clamped to the engine caps (0 = engine default).
 	MaxNodes   int   `json:"max_nodes,omitempty"`
 	MaxWeights int   `json:"max_weights,omitempty"`
 	MaxBytes   int64 `json:"max_bytes,omitempty"`
@@ -40,7 +40,7 @@ type JobRequest struct {
 	// approximated (lowest-contribution amplitudes shed) as long as the
 	// retained fidelity stays ≥ this floor, and the result reports what was
 	// given up. 0 (the default) keeps the exact fail-fast behavior; the
-	// server's -min-fidelity-floor raises requests below its own floor.
+	// engine's MinFidelityFloor raises requests below its own floor.
 	// Incompatible with shots — a histogram drawn from an approximated state
 	// would be silently biased.
 	MinFidelity float64 `json:"min_fidelity,omitempty"`
@@ -51,20 +51,21 @@ type JobRequest struct {
 	// diagram — the portable certificate), or "histogram" (shot counts;
 	// requires Shots > 0 and is the forced default whenever Shots is set).
 	Output string `json:"output,omitempty"`
-	// TopK bounds the amplitude list (default 16, clamped to the server cap).
+	// TopK bounds the amplitude list (default 16, clamped to the engine cap).
 	TopK int `json:"top_k,omitempty"`
 	// Shots switches the job into shots mode: the circuit is measured this
 	// many times and the result is a histogram. Required (and the only
 	// mode allowed) for dynamic circuits — mid-circuit measurement, reset
-	// or classical control. Capped by the server's MaxShots.
+	// or classical control. Capped by the engine's MaxShots.
 	Shots int `json:"shots,omitempty"`
 	// Seed selects the deterministic random stream of a shots job. Any
 	// non-zero seed makes the histogram reproducible — and therefore
-	// cacheable. Seed 0 (the default) means "pick one": the server draws a
+	// cacheable. Seed 0 (the default) means "pick one": the engine draws a
 	// random seed, echoes it in the result, and skips the cache.
 	Seed int64 `json:"seed,omitempty"`
-	// Wait makes POST /v1/jobs block until the job finishes and return the
-	// full result, so small jobs need no polling round-trip.
+	// Wait makes the submitting transport block until the job finishes and
+	// return the full result, so small jobs need no polling round-trip. The
+	// engine itself ignores it — waiting is the transport's job, via Done.
 	Wait bool `json:"wait,omitempty"`
 }
 
@@ -95,7 +96,7 @@ type JobResult struct {
 	// classical register when the circuit measures, the basis index
 	// otherwise) to counts; encoding/json sorts map keys, so the envelope
 	// bytes are deterministic and cache cleanly. Seed echoes the effective
-	// seed — the requested one, or the server-drawn seed of an unseeded job.
+	// seed — the requested one, or the engine-drawn seed of an unseeded job.
 	Histogram map[string]int `json:"histogram,omitempty"`
 	Strategy  string         `json:"strategy,omitempty"`
 	Shots     int            `json:"shots,omitempty"`
@@ -114,16 +115,18 @@ type JobResult struct {
 	Stats         *core.Snapshot `json:"stats,omitempty"`
 }
 
-// ErrorBody is the structured error shape of every non-2xx response and
-// every failed job: Kind distinguishes the governor refusing work
-// (budget_exceeded, with Limit and Peak), malformed circuits (parse_error,
-// with Line), cancellation/timeout, and plain request errors.
+// ErrorBody is the structured error shape of every refused or failed job:
+// Kind distinguishes the governor refusing work (budget_exceeded, with Limit
+// and Peak), malformed circuits (parse_error, with Line), cancellation/
+// timeout, and plain request errors. RequestID is stamped by the transport
+// on the way out (it identifies one HTTP exchange, not the job record).
 type ErrorBody struct {
-	Kind    string          `json:"kind"`
-	Message string          `json:"message"`
-	Line    int             `json:"line,omitempty"`  // parse_error: offending QASM line
-	Limit   string          `json:"limit,omitempty"` // budget_exceeded: nodes|weights|bytes|deadline
-	Peak    *core.PeakStats `json:"peak,omitempty"`  // budget_exceeded: high-water marks
+	Kind      string          `json:"kind"`
+	Message   string          `json:"message"`
+	Line      int             `json:"line,omitempty"`  // parse_error: offending QASM line
+	Limit     string          `json:"limit,omitempty"` // budget_exceeded: nodes|weights|bytes|deadline
+	Peak      *core.PeakStats `json:"peak,omitempty"`  // budget_exceeded: high-water marks
+	RequestID string          `json:"request_id,omitempty"`
 }
 
 // Error kinds.
@@ -150,11 +153,10 @@ const (
 	StatusCancelled = "cancelled"
 )
 
-// JobView is the wire form of a job record (GET /v1/jobs/{id} and, with
-// Result populated, GET /v1/jobs/{id}/result). Cached marks a job whose
-// result was served without running the simulation: a qcache hit, or a
-// submission collapsed onto an identical in-flight job by the singleflight
-// layer.
+// JobView is the wire form of a job record. Cached marks a job whose result
+// was served without running the simulation here: a qcache hit, a ring-peer
+// fetch, or a submission collapsed onto an identical in-flight job by the
+// singleflight layer.
 type JobView struct {
 	ID         string     `json:"id"`
 	Status     string     `json:"status"`
@@ -177,14 +179,16 @@ type flightOutcome struct {
 	errBody *ErrorBody
 }
 
-// job is the internal record flowing through the queue. Mutable fields are
-// guarded by the store's mutex; done is closed exactly once when the job
-// reaches a terminal status.
-type job struct {
-	id   string
-	req  JobRequest
-	circ *circuit.Circuit
-	done chan struct{}
+// Job is the record flowing through the queue, retained for polling. All
+// fields are package-private; transports observe a job through ID, Done and
+// View. Mutable fields are guarded by the store's mutex; done is closed
+// exactly once when the job reaches a terminal status.
+type Job struct {
+	id    string
+	req   JobRequest
+	circ  *circuit.Circuit
+	done  chan struct{}
+	store *jobStore
 
 	// Cache/singleflight wiring, set at submit time: cacheKey addresses the
 	// exact result envelope; approxKey (set only for min_fidelity jobs)
@@ -208,24 +212,36 @@ type job struct {
 	result     *JobResult
 }
 
+// ID returns the job's record id (stable for the life of the process).
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job reaches a terminal status.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// View snapshots the job's wire form; withResult attaches the payload.
+func (j *Job) View(withResult bool) JobView { return j.store.view(j, withResult) }
+
+// Request returns the validated (normalized, clamped) request the job runs.
+func (j *Job) Request() JobRequest { return j.req }
+
 // jobStore retains job records for polling, bounded at cap: once full,
 // the oldest finished job is evicted per new submission (queued/running
 // jobs are never evicted — a worker holds their pointer).
 type jobStore struct {
 	mu    sync.Mutex
 	cap   int
-	jobs  map[string]*job
+	jobs  map[string]*Job
 	order []string // insertion order, for eviction
 }
 
 func newJobStore(capacity int) *jobStore {
-	return &jobStore{cap: capacity, jobs: make(map[string]*job)}
+	return &jobStore{cap: capacity, jobs: make(map[string]*Job)}
 }
 
 func newJobID() string {
 	var b [8]byte
 	if _, err := rand.Read(b[:]); err != nil {
-		panic(fmt.Sprintf("server: job id entropy: %v", err))
+		panic(fmt.Sprintf("engine: job id entropy: %v", err))
 	}
 	return "j" + hex.EncodeToString(b[:])
 }
@@ -236,7 +252,7 @@ func randomSeed() int64 {
 	var b [8]byte
 	for {
 		if _, err := rand.Read(b[:]); err != nil {
-			panic(fmt.Sprintf("server: seed entropy: %v", err))
+			panic(fmt.Sprintf("engine: seed entropy: %v", err))
 		}
 		if s := int64(binary.LittleEndian.Uint64(b[:])); s != 0 {
 			return s
@@ -246,7 +262,7 @@ func randomSeed() int64 {
 
 // add registers a new queued job; it fails only when the store is full of
 // unfinished jobs.
-func (st *jobStore) add(j *job) bool {
+func (st *jobStore) add(j *Job) bool {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if len(st.order) >= st.cap && !st.evictLocked() {
@@ -270,13 +286,13 @@ func (st *jobStore) evictLocked() bool {
 	return false
 }
 
-func (st *jobStore) get(id string) *job {
+func (st *jobStore) get(id string) *Job {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return st.jobs[id]
 }
 
-func (st *jobStore) setRunning(j *job) {
+func (st *jobStore) setRunning(j *Job) {
 	st.mu.Lock()
 	j.status = StatusRunning
 	j.startedAt = time.Now()
@@ -286,14 +302,14 @@ func (st *jobStore) setRunning(j *job) {
 // markCached flags a job whose result was delivered by the cache or flight
 // layer instead of a simulation run. Call before finish: waiters read the
 // flag as soon as done closes.
-func (st *jobStore) markCached(j *job) {
+func (st *jobStore) markCached(j *Job) {
 	st.mu.Lock()
 	j.cached = true
 	st.mu.Unlock()
 }
 
 // finish moves j to a terminal status and wakes waiters.
-func (st *jobStore) finish(j *job, status string, res *JobResult, errBody *ErrorBody) {
+func (st *jobStore) finish(j *Job, status string, res *JobResult, errBody *ErrorBody) {
 	st.mu.Lock()
 	j.status = status
 	j.result = res
@@ -304,7 +320,7 @@ func (st *jobStore) finish(j *job, status string, res *JobResult, errBody *Error
 }
 
 // view snapshots a job's wire form; withResult attaches the payload.
-func (st *jobStore) view(j *job, withResult bool) JobView {
+func (st *jobStore) view(j *Job, withResult bool) JobView {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	v := JobView{ID: j.id, Status: j.status, Cached: j.cached, QueuedAt: j.queuedAt, Error: j.errBody}

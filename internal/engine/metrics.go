@@ -1,4 +1,4 @@
-package server
+package engine
 
 import (
 	"fmt"
@@ -12,7 +12,7 @@ import (
 	"repro/internal/qcache"
 )
 
-// metrics is the daemon's observability state, rendered as Prometheus text
+// metrics is the engine's observability state, rendered as Prometheus text
 // exposition format by render — stdlib only, no client library. Job-level
 // counters are lock-free atomics bumped on the request and worker paths;
 // per-worker utilization and the last manager table snapshot are guarded by
@@ -25,6 +25,7 @@ type metrics struct {
 	cancelled atomic.Uint64 // jobs cancelled (timeout, shutdown)
 	rejected  atomic.Uint64 // submissions refused with 429
 	deduped   atomic.Uint64 // submissions collapsed onto an identical in-flight job
+	peerHits  atomic.Uint64 // misses answered by a ring peer's cache instead of a simulation
 
 	approximated    atomic.Uint64 // jobs completed approximately (fidelity-bounded degradation fired)
 	approxEvents    atomic.Uint64 // approximation events across all jobs
@@ -121,6 +122,44 @@ func (m *metrics) observe(w int, busy time.Duration, snap core.Snapshot) {
 	wm.hasSnap = true
 }
 
+// avgServiceSeconds estimates mean per-job service time across the pool —
+// the number a readiness probe reports so the router can turn queue depth
+// into an expected-wait estimate. Zero until the first job finishes.
+func (m *metrics) avgServiceSeconds() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var jobs uint64
+	var busy time.Duration
+	for i := range m.workers {
+		jobs += m.workers[i].jobs
+		busy += m.workers[i].busy
+	}
+	if jobs == 0 {
+		return 0
+	}
+	return busy.Seconds() / float64(jobs)
+}
+
+// AvgServiceSeconds reports the pool's mean per-job wall-clock service time.
+func (e *Engine) AvgServiceSeconds() float64 { return e.met.avgServiceSeconds() }
+
+// PeerHits reports misses answered by a ring peer's cache.
+func (e *Engine) PeerHits() uint64 { return e.met.peerHits.Load() }
+
+// JobsStarted reports jobs dequeued by a worker (the counter the cluster
+// smoke test asserts on to prove a warm key was served without simulation).
+func (e *Engine) JobsStarted() uint64 { return e.met.started.Load() }
+
+// Deduped reports submissions collapsed onto an identical in-flight job.
+func (e *Engine) Deduped() uint64 { return e.met.deduped.Load() }
+
+// RenderMetrics writes the engine's Prometheus text exposition. The
+// transport may append its own families (peer-client errors, HTTP-level
+// counters) after this call — text format concatenates cleanly.
+func (e *Engine) RenderMetrics(w io.Writer) {
+	e.met.render(w, len(e.queue), e.cfg.QueueSize, e.cache.Stats())
+}
+
 // render writes the Prometheus text exposition.
 func (m *metrics) render(w io.Writer, queueDepth, queueCap int, cs qcache.Stats) {
 	counter := func(name, help string, v uint64) {
@@ -143,6 +182,7 @@ func (m *metrics) render(w io.Writer, queueDepth, queueCap int, cs qcache.Stats)
 	counter("qmddd_cache_misses_total", "Result-cache misses.", cs.Misses)
 	counter("qmddd_cache_stores_total", "Result envelopes stored in the cache.", cs.Stores)
 	counter("qmddd_cache_evictions_total", "Memory-tier entries evicted under the byte cap.", cs.Evictions)
+	counter("qmddd_cache_peer_hits_total", "Local cache misses answered by a ring peer's cache.", m.peerHits.Load())
 	gauge("qmddd_cache_bytes", "Bytes held by the in-memory cache tier (payload + overhead).", cs.Bytes)
 	gauge("qmddd_cache_entries", "Entries in the in-memory cache tier.", int64(cs.Entries))
 	fmt.Fprintf(w, "# HELP qmddd_queue_depth Jobs waiting in the bounded queue.\n# TYPE qmddd_queue_depth gauge\nqmddd_queue_depth %d\n", queueDepth)

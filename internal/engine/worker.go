@@ -1,4 +1,4 @@
-package server
+package engine
 
 import (
 	"context"
@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/alg"
@@ -69,33 +70,35 @@ func (ws *workerState) floatManager(eps float64, norm core.NormScheme, ctSize, i
 
 // worker is one pool goroutine: it drains the bounded queue until the queue
 // is closed (graceful shutdown drains what was accepted), running every job
-// on its private managers.
-func (s *Server) worker(id int) {
-	defer s.wg.Done()
+// on its private managers. It signals started once it has entered the drain
+// loop — the pool is warm (Ready) when every worker has.
+func (e *Engine) worker(id int, started *sync.WaitGroup) {
+	defer e.wg.Done()
 	ws := newWorkerState()
-	for j := range s.queue {
-		s.runJob(id, ws, j)
+	started.Done()
+	for j := range e.queue {
+		e.runJob(id, ws, j)
 	}
 }
 
 // runJob executes one job end to end: mark running, install the governor,
 // simulate, classify the outcome, publish metrics, and scrub the manager
 // for the next tenant.
-func (s *Server) runJob(workerID int, ws *workerState, j *job) {
+func (e *Engine) runJob(workerID int, ws *workerState, j *Job) {
 	// Past the drain deadline (or after a hard stop) accepted-but-unstarted
 	// jobs are cancelled, not run.
-	if s.runCtx.Err() != nil {
-		s.finishJob(j, StatusCancelled, nil, &ErrorBody{
+	if e.runCtx.Err() != nil {
+		e.finishJob(j, StatusCancelled, nil, &ErrorBody{
 			Kind: KindCancelled, Message: "server shut down before the job started",
 		})
-		s.met.cancelled.Add(1)
+		e.met.cancelled.Add(1)
 		return
 	}
-	s.store.setRunning(j)
-	s.met.started.Add(1)
-	s.met.queueLatency.observe(time.Since(j.queuedAt).Seconds())
+	e.store.setRunning(j)
+	e.met.started.Add(1)
+	e.met.queueLatency.observe(time.Since(j.queuedAt).Seconds())
 
-	ctx := s.runCtx
+	ctx := e.runCtx
 	if j.req.TimeoutMS > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(j.req.TimeoutMS)*time.Millisecond)
@@ -108,8 +111,8 @@ func (s *Server) runJob(workerID int, ws *workerState, j *job) {
 	}
 	// The hook sits between governor setup and the run so tests can model
 	// slow work under an already-ticking deadline.
-	if s.cfg.hookRunning != nil {
-		s.cfg.hookRunning(j)
+	if e.cfg.HookRunning != nil {
+		e.cfg.HookRunning(j)
 	}
 
 	start := time.Now()
@@ -120,32 +123,32 @@ func (s *Server) runJob(workerID int, ws *workerState, j *job) {
 	)
 	switch j.req.Representation {
 	case "alg":
-		m := ws.algManager(j.norm(), s.cfg.CTSize, s.cfg.IntraWorkers)
+		m := ws.algManager(j.norm(), e.cfg.CTSize, e.cfg.IntraWorkers)
 		res, errBody, snap = runTyped(ctx, m, ddio.AlgCodec{}, j, budget)
 		scrub(m)
 	default: // "float", validated at submit
-		m := ws.floatManager(j.req.Eps, j.norm(), s.cfg.CTSize, s.cfg.IntraWorkers)
+		m := ws.floatManager(j.req.Eps, j.norm(), e.cfg.CTSize, e.cfg.IntraWorkers)
 		res, errBody, snap = runTyped(ctx, m, ddio.NumCodec{}, j, budget)
 		scrub(m)
 	}
 	busy := time.Since(start)
-	s.met.observe(workerID, busy, snap)
+	e.met.observe(workerID, busy, snap)
 
 	switch {
 	case errBody == nil:
 		if res != nil && res.Approximate {
-			s.met.approximated.Add(1)
-			s.met.approxEvents.Add(uint64(res.ApproxEvents))
-			s.met.fidelityGivenUp.add(1 - res.Fidelity)
+			e.met.approximated.Add(1)
+			e.met.approxEvents.Add(uint64(res.ApproxEvents))
+			e.met.fidelityGivenUp.add(1 - res.Fidelity)
 		}
-		s.finishJob(j, StatusDone, res, nil)
-		s.met.completed.Add(1)
+		e.finishJob(j, StatusDone, res, nil)
+		e.met.completed.Add(1)
 	case errBody.Kind == KindCancelled || errBody.Kind == KindTimeout:
-		s.finishJob(j, StatusCancelled, nil, errBody)
-		s.met.cancelled.Add(1)
+		e.finishJob(j, StatusCancelled, nil, errBody)
+		e.met.cancelled.Add(1)
 	default:
-		s.finishJob(j, StatusFailed, nil, errBody)
-		s.met.failed.Add(1)
+		e.finishJob(j, StatusFailed, nil, errBody)
+		e.met.failed.Add(1)
 	}
 }
 
@@ -155,7 +158,7 @@ func (s *Server) runJob(workerID int, ws *workerState, j *job) {
 // never cached), and publishes the same bytes to the flight so followers and
 // future cache hits all serve a byte-identical envelope. The flight is
 // always completed, on every path, so followers never hang.
-func (s *Server) finishJob(j *job, status string, res *JobResult, errBody *ErrorBody) {
+func (e *Engine) finishJob(j *Job, status string, res *JobResult, errBody *ErrorBody) {
 	var payload []byte
 	if status == StatusDone && res != nil {
 		if b, err := json.Marshal(res); err == nil {
@@ -168,11 +171,11 @@ func (s *Server) finishJob(j *job, status string, res *JobResult, errBody *Error
 				if res.Approximate && j.hasApprox {
 					key = j.approxKey
 				}
-				s.cache.Put(key, payload, j.stamp)
+				e.cache.Put(key, payload, j.stamp)
 			}
 		}
 	}
-	s.store.finish(j, status, res, errBody)
+	e.store.finish(j, status, res, errBody)
 	if j.flight != nil {
 		j.flight.Complete(flightOutcome{status: status, payload: payload, errBody: errBody}, status == StatusDone && payload != nil)
 	}
@@ -180,7 +183,7 @@ func (s *Server) finishJob(j *job, status string, res *JobResult, errBody *Error
 
 // norm returns the job's validated normalization scheme (submit rejected
 // unparsable values, so this cannot fail).
-func (j *job) norm() core.NormScheme {
+func (j *Job) norm() core.NormScheme {
 	n, _ := core.ParseNormScheme(j.req.Norm)
 	return n
 }
@@ -199,7 +202,7 @@ func scrub[T any](m *core.Manager[T]) {
 // runTyped runs one job on a concrete representation. It returns the result
 // or a classified error body, plus the manager snapshot observed right after
 // the run (before the scrub) for worker metrics.
-func runTyped[T any](ctx context.Context, m *core.Manager[T], codec ddio.Codec[T], j *job, budget core.Budget) (*JobResult, *ErrorBody, core.Snapshot) {
+func runTyped[T any](ctx context.Context, m *core.Manager[T], codec ddio.Codec[T], j *Job, budget core.Budget) (*JobResult, *ErrorBody, core.Snapshot) {
 	m.SetBudget(budget)
 	m.ResetPeaks()
 	if j.req.Shots > 0 {
@@ -263,7 +266,7 @@ func runTyped[T any](ctx context.Context, m *core.Manager[T], codec ddio.Codec[T
 // is static, per-shot re-simulation with projective collapse when it is
 // dynamic); the effective seed was fixed at submit time, so the histogram
 // — and the whole envelope — is a deterministic function of the request.
-func runShots[T any](ctx context.Context, m *core.Manager[T], j *job) (*JobResult, *ErrorBody, core.Snapshot) {
+func runShots[T any](ctx context.Context, m *core.Manager[T], j *Job) (*JobResult, *ErrorBody, core.Snapshot) {
 	start := time.Now()
 	sr, err := sim.SampleShotsCtx(ctx, m, j.circ, sim.ShotOptions{
 		Shots: j.req.Shots,

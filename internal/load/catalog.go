@@ -1,0 +1,67 @@
+package load
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/qasm"
+)
+
+// Workload is one entry of the serving mix: a circuit already lowered to
+// portable OpenQASM, plus the representation and tolerance the job should
+// request. Seed is pinned per workload so repeats are byte-identical and
+// cacheable.
+type Workload struct {
+	Name string  `json:"name"`
+	QASM string  `json:"-"`
+	Repr string  `json:"repr"`
+	Eps  float64 `json:"eps"`
+	Seed int64   `json:"-"`
+}
+
+// CatalogEps is the tolerance axis of the serving mix: exact Q[ω], near-exact
+// float, and lossy float (a subset of the paper's Fig. 3–5 sweep — enough to
+// exercise distinct cache identities per tolerance without inflating the mix).
+var CatalogEps = []float64{1e-15, 1e-5}
+
+// Catalog builds the qload workload mix from the paper's figure circuits at
+// the given scale: each of Grover, BWT and GSE lowered to portable OpenQASM,
+// crossed with the exact "alg" representation and "float" at each CatalogEps
+// tolerance.
+func Catalog(p bench.FigureParams) ([]Workload, error) {
+	gse, err := bench.GSECircuit(p)
+	if err != nil {
+		return nil, fmt.Errorf("load: building GSE workload: %w", err)
+	}
+	circuits := []struct {
+		key string
+		c   *circuit.Circuit
+	}{
+		{fmt.Sprintf("grover%d", p.GroverQubits), bench.GroverCircuit(p)},
+		{fmt.Sprintf("bwt%dx%d", p.BWTDepth, p.BWTSteps), bench.BWTCircuit(p)},
+		{fmt.Sprintf("gse%db", p.GSEPhaseBits), gse},
+	}
+	var out []Workload
+	for i, entry := range circuits {
+		low, err := Lower(entry.c)
+		if err != nil {
+			return nil, fmt.Errorf("load: lowering %s: %w", entry.key, err)
+		}
+		var sb strings.Builder
+		if err := qasm.Write(&sb, low); err != nil {
+			return nil, fmt.Errorf("load: writing %s: %w", entry.key, err)
+		}
+		src := sb.String()
+		seed := int64(1000 + i) // any fixed non-zero value: determinism is what matters
+		out = append(out, Workload{Name: entry.key + "/alg", QASM: src, Repr: "alg", Seed: seed})
+		for _, eps := range CatalogEps {
+			out = append(out, Workload{
+				Name: fmt.Sprintf("%s/float/%.0e", entry.key, eps),
+				QASM: src, Repr: "float", Eps: eps, Seed: seed,
+			})
+		}
+	}
+	return out, nil
+}

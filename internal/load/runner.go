@@ -1,0 +1,347 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Options configures one qload run.
+type Options struct {
+	// Target is the base URL jobs are submitted to (a qrouter or a single
+	// qmddd worker — the API is the same).
+	Target string
+	// Rate is the offered arrival rate in jobs/second. qload is open-loop:
+	// arrivals fire on schedule whether or not earlier jobs have finished,
+	// so a saturated server shows up as latency, not as a lower offered
+	// rate.
+	Rate float64
+	// Duration is how long arrivals are generated for.
+	Duration time.Duration
+	// SLOP99 declares the p99 latency objective the run is judged against.
+	SLOP99 time.Duration
+	// Seed drives the zipf pick sequence. Same seed + same catalog = same
+	// request sequence, so replays are comparable and result digests must
+	// match byte for byte.
+	Seed int64
+	// ZipfS is the zipf skew of workload repeats (default 1.3): a few
+	// workloads dominate, as real serving traffic does, which is what makes
+	// the cache tier earn its keep.
+	ZipfS float64
+	// TopK bounds each job's amplitude list (default 16).
+	TopK int
+	// Timeout bounds one request (default 60s).
+	Timeout time.Duration
+	// Tenant, when non-empty, is sent as the X-Tenant header.
+	Tenant string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Rate <= 0 {
+		o.Rate = 10
+	}
+	if o.Duration <= 0 {
+		o.Duration = 5 * time.Second
+	}
+	if o.ZipfS <= 1 {
+		o.ZipfS = 1.3
+	}
+	if o.TopK <= 0 {
+		o.TopK = 16
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 60 * time.Second
+	}
+	return o
+}
+
+// WorkloadReport is the per-workload slice of a Report.
+type WorkloadReport struct {
+	Name     string  `json:"name"`
+	Repr     string  `json:"repr"`
+	Eps      float64 `json:"eps,omitempty"`
+	Requests int     `json:"requests"`
+	OK       int     `json:"ok"`
+	// Digest is the canonical result digest (amplitudes, histogram, norm²
+	// — never timings), identical across runs and across workers.
+	Digest string `json:"digest,omitempty"`
+	// Consistent is false when repeats of this workload returned differing
+	// result digests — a cross-worker determinism violation.
+	Consistent bool `json:"consistent"`
+}
+
+// Report is the BENCH_serve.json payload.
+type Report struct {
+	GeneratedBy  string  `json:"generated_by"`
+	Target       string  `json:"target"`
+	Seed         int64   `json:"seed"`
+	ZipfS        float64 `json:"zipf_s"`
+	OfferedRate  float64 `json:"offered_rate"`
+	AchievedRate float64 `json:"achieved_rate"`
+	DurationSec  float64 `json:"duration_sec"`
+	Requests     int     `json:"requests"`
+	OK           int     `json:"ok"`
+	Shed         int     `json:"shed_429"`
+	Errors       int     `json:"errors"`
+	CacheHits    int     `json:"cache_hits"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	LatencyMS    struct {
+		P50  float64 `json:"p50"`
+		P99  float64 `json:"p99"`
+		P999 float64 `json:"p999"`
+		Max  float64 `json:"max"`
+	} `json:"latency_ms"`
+	SLO struct {
+		P99MS   float64 `json:"p99_ms"`
+		Verdict string  `json:"verdict"` // "pass" | "fail" | "undeclared"
+	} `json:"slo"`
+	Workloads []WorkloadReport `json:"workloads"`
+	// ResultsDigest folds every workload's result digest in name order:
+	// one hash that must be byte-identical across seed-pinned replays.
+	ResultsDigest string `json:"results_digest"`
+}
+
+// outcome is one request's record.
+type outcome struct {
+	workload int
+	ok       bool
+	shed     bool
+	cached   bool
+	latency  time.Duration
+	digest   string
+}
+
+// resultDigest canonicalizes a job view's result for comparison: only the
+// deterministic fields (amplitudes, histogram, norm², qubit/gate counts)
+// participate — timings and manager statistics never do.
+func resultDigest(raw json.RawMessage) string {
+	var view struct {
+		Result *struct {
+			Qubits     int             `json:"qubits"`
+			Gates      int             `json:"gates"`
+			Norm2      float64         `json:"norm2"`
+			Amplitudes json.RawMessage `json:"amplitudes"`
+			Histogram  json.RawMessage `json:"histogram"`
+			DDIO       string          `json:"ddio"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(raw, &view); err != nil || view.Result == nil {
+		return ""
+	}
+	canon, _ := json.Marshal(view.Result)
+	sum := sha256.Sum256(canon)
+	return hex.EncodeToString(sum[:])
+}
+
+// Run executes one open-loop load run against opts.Target and reduces the
+// outcomes to a Report. The context bounds the whole run (in-flight
+// requests are abandoned at cancellation and counted as errors).
+func Run(ctx context.Context, opts Options, workloads []Workload) (*Report, error) {
+	opts = opts.withDefaults()
+	if len(workloads) == 0 {
+		return nil, fmt.Errorf("load: empty workload catalog")
+	}
+
+	// Pre-marshal each workload's submit body once.
+	bodies := make([][]byte, len(workloads))
+	for i, w := range workloads {
+		b, err := json.Marshal(struct {
+			QASM string  `json:"qasm"`
+			Repr string  `json:"representation,omitempty"`
+			Eps  float64 `json:"eps,omitempty"`
+			TopK int     `json:"top_k"`
+			Seed int64   `json:"seed"`
+			Wait bool    `json:"wait"`
+		}{w.QASM, w.Repr, w.Eps, opts.TopK, w.Seed, true})
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+
+	// The full arrival schedule and workload picks are drawn up front, so
+	// the request sequence is a pure function of (seed, rate, duration,
+	// catalog) — nothing about server timing feeds back into it.
+	total := int(opts.Rate * opts.Duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	picks := make([]int, total)
+	if len(workloads) > 1 {
+		rng := rand.New(rand.NewSource(opts.Seed))
+		zipf := rand.NewZipf(rng, opts.ZipfS, 1, uint64(len(workloads)-1))
+		for i := range picks {
+			picks[i] = int(zipf.Uint64())
+		}
+	}
+
+	client := &http.Client{Timeout: opts.Timeout}
+	outcomes := make([]outcome, total)
+	var wg sync.WaitGroup
+	start := time.Now()
+	interval := time.Duration(float64(time.Second) / opts.Rate)
+	for i := 0; i < total; i++ {
+		due := start.Add(time.Duration(i) * interval)
+		if d := time.Until(due); d > 0 {
+			select {
+			case <-ctx.Done():
+			case <-time.After(d):
+			}
+		}
+		if ctx.Err() != nil {
+			total = i // arrivals stop here; the fired slots are all there is
+			break
+		}
+		wg.Add(1)
+		go func(slot, pick int) {
+			defer wg.Done()
+			outcomes[slot] = fire(ctx, client, opts, bodies[pick], pick)
+		}(i, picks[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return reduce(opts, workloads, outcomes[:total], elapsed), nil
+}
+
+// fire issues one submission and records its outcome.
+func fire(ctx context.Context, client *http.Client, opts Options, body []byte, pick int) outcome {
+	out := outcome{workload: pick}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, opts.Target+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return out
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if opts.Tenant != "" {
+		req.Header.Set("X-Tenant", opts.Tenant)
+	}
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	out.latency = time.Since(t0)
+	if err != nil {
+		return out
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	out.latency = time.Since(t0)
+	if err != nil {
+		return out
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var view struct {
+			Status string `json:"status"`
+			Cached bool   `json:"cached"`
+		}
+		if json.Unmarshal(raw, &view) != nil || view.Status != "done" {
+			return out
+		}
+		out.ok = true
+		out.cached = view.Cached
+		out.digest = resultDigest(raw)
+	case http.StatusTooManyRequests:
+		out.shed = true
+	}
+	return out
+}
+
+// reduce folds outcomes into the Report.
+func reduce(opts Options, workloads []Workload, outcomes []outcome, elapsed time.Duration) *Report {
+	r := &Report{
+		GeneratedBy: "qload",
+		Target:      opts.Target,
+		Seed:        opts.Seed,
+		ZipfS:       opts.ZipfS,
+		OfferedRate: opts.Rate,
+		DurationSec: elapsed.Seconds(),
+		Requests:    len(outcomes),
+	}
+	perWL := make([]WorkloadReport, len(workloads))
+	for i, w := range workloads {
+		perWL[i] = WorkloadReport{Name: w.Name, Repr: w.Repr, Eps: w.Eps, Consistent: true}
+	}
+	var okLat []float64
+	for _, o := range outcomes {
+		wl := &perWL[o.workload]
+		wl.Requests++
+		switch {
+		case o.ok:
+			r.OK++
+			wl.OK++
+			okLat = append(okLat, float64(o.latency)/float64(time.Millisecond))
+			if o.cached {
+				r.CacheHits++
+			}
+			if o.digest != "" {
+				if wl.Digest == "" {
+					wl.Digest = o.digest
+				} else if wl.Digest != o.digest {
+					wl.Consistent = false
+				}
+			}
+		case o.shed:
+			r.Shed++
+		default:
+			r.Errors++
+		}
+	}
+	if r.OK > 0 {
+		r.AchievedRate = float64(r.OK) / elapsed.Seconds()
+		r.CacheHitRate = float64(r.CacheHits) / float64(r.OK)
+	}
+	sort.Float64s(okLat)
+	r.LatencyMS.P50 = percentile(okLat, 0.50)
+	r.LatencyMS.P99 = percentile(okLat, 0.99)
+	r.LatencyMS.P999 = percentile(okLat, 0.999)
+	if n := len(okLat); n > 0 {
+		r.LatencyMS.Max = okLat[n-1]
+	}
+	if opts.SLOP99 > 0 {
+		r.SLO.P99MS = float64(opts.SLOP99) / float64(time.Millisecond)
+		r.SLO.Verdict = "pass"
+		if r.OK == 0 || r.LatencyMS.P99 > r.SLO.P99MS {
+			r.SLO.Verdict = "fail"
+		}
+	} else {
+		r.SLO.Verdict = "undeclared"
+	}
+
+	// Fold the per-workload digests, name-sorted, into one replay check.
+	// Workloads that never completed are folded as absent — a replay that
+	// completes a different subset legitimately differs.
+	sorted := append([]WorkloadReport(nil), perWL...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	h := sha256.New()
+	for _, wl := range sorted {
+		if wl.Digest != "" {
+			fmt.Fprintf(h, "%s=%s\n", wl.Name, wl.Digest)
+		}
+	}
+	r.ResultsDigest = hex.EncodeToString(h.Sum(nil))
+	r.Workloads = perWL
+	return r
+}
+
+// percentile returns the p-quantile of sorted (nearest-rank); 0 when empty.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

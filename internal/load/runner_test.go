@@ -1,0 +1,140 @@
+package load
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/server"
+)
+
+// tinyParams shrinks the figure circuits to test scale.
+func tinyParams() bench.FigureParams {
+	p := bench.DefaultParams()
+	p.GroverQubits = 5
+	p.BWTDepth = 3
+	p.BWTSteps = 8
+	p.GSEPhaseBits = 2
+	p.GSETrotter = 1
+	return p
+}
+
+// TestCatalogBuildsAndParses: every catalog entry is portable OpenQASM with
+// the expected repr × ε cross product.
+func TestCatalogBuilds(t *testing.T) {
+	wls, err := Catalog(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 * (1 + len(CatalogEps))
+	if len(wls) != want {
+		t.Fatalf("catalog has %d workloads, want %d", len(wls), want)
+	}
+	for _, w := range wls {
+		if w.QASM == "" || w.Name == "" || w.Seed == 0 {
+			t.Fatalf("incomplete workload %+v", w)
+		}
+	}
+}
+
+// TestRunOpenLoop: a short run against a real worker completes every
+// request, measures sane percentiles, sees cache hits on zipf repeats, and
+// produces an identical results digest on a seed-pinned replay.
+func TestRunOpenLoop(t *testing.T) {
+	wls, err := Catalog(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Workers: 2, CacheBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); srv.Shutdown(time.Second) })
+
+	opts := Options{
+		Target:   ts.URL,
+		Rate:     40,
+		Duration: time.Second,
+		SLOP99:   30 * time.Second,
+		Seed:     7,
+	}
+	rep, err := Run(context.Background(), opts, wls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests < 30 || rep.OK != rep.Requests {
+		t.Fatalf("run: %d requests, %d ok, %d errors", rep.Requests, rep.OK, rep.Errors)
+	}
+	if rep.LatencyMS.P50 <= 0 || rep.LatencyMS.P99 < rep.LatencyMS.P50 || rep.LatencyMS.P999 < rep.LatencyMS.P99 {
+		t.Fatalf("percentiles out of order: %+v", rep.LatencyMS)
+	}
+	if rep.SLO.Verdict != "pass" {
+		t.Fatalf("SLO verdict %q against a 30s objective", rep.SLO.Verdict)
+	}
+	// Zipf repeats of seeded jobs must hit the result cache.
+	if rep.CacheHits == 0 {
+		t.Fatal("no cache hits in a zipf-repeat run")
+	}
+	for _, wl := range rep.Workloads {
+		if !wl.Consistent {
+			t.Fatalf("workload %s returned inconsistent results", wl.Name)
+		}
+	}
+	if rep.ResultsDigest == "" {
+		t.Fatal("empty results digest")
+	}
+
+	// Seed-pinned replay: byte-identical results digest.
+	rep2, err := Run(context.Background(), opts, wls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.ResultsDigest != rep.ResultsDigest {
+		t.Fatalf("replay digest %s != original %s", rep2.ResultsDigest, rep.ResultsDigest)
+	}
+
+	// A different seed reorders arrivals but never changes any per-workload
+	// digest (results are circuit-determined, not schedule-determined).
+	opts.Seed = 8
+	rep3, err := Run(context.Background(), opts, wls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]string{}
+	for _, wl := range rep.Workloads {
+		byName[wl.Name] = wl.Digest
+	}
+	for _, wl := range rep3.Workloads {
+		if d, seen := byName[wl.Name]; seen && d != "" && wl.Digest != "" && d != wl.Digest {
+			t.Fatalf("workload %s digest changed across seeds: %s vs %s", wl.Name, d, wl.Digest)
+		}
+	}
+}
+
+// TestRunVerdictFail: an impossible SLO fails the verdict.
+func TestRunVerdictFail(t *testing.T) {
+	wls, err := Catalog(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); srv.Shutdown(time.Second) })
+
+	rep, err := Run(context.Background(), Options{
+		Target: ts.URL, Rate: 20, Duration: 500 * time.Millisecond,
+		SLOP99: time.Nanosecond, Seed: 1,
+	}, wls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SLO.Verdict != "fail" {
+		t.Fatalf("verdict %q against a 1ns objective", rep.SLO.Verdict)
+	}
+}

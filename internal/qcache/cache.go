@@ -86,6 +86,22 @@ func (c *Cache) Put(k Key, payload []byte, st Stamp) {
 	}
 }
 
+// GetRaw returns the stamped disk-tier envelope for k verbatim (header +
+// payload) — what a cache peer serves over GET /v1/cache/{key}. Only the
+// disk tier is consulted: the memory tier holds bare payloads without their
+// provenance stamps, and re-stamping them here would mint integrity headers
+// this node cannot vouch for.
+func (c *Cache) GetRaw(k Key) ([]byte, bool) {
+	if c == nil || c.disk == nil {
+		return nil, false
+	}
+	raw, ok, err := c.disk.GetRaw(k)
+	if err != nil || !ok {
+		return nil, false
+	}
+	return raw, true
+}
+
 // Stats is a counters snapshot for the observability surface.
 type Stats struct {
 	Hits      uint64

@@ -1,32 +1,23 @@
 package qcache
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
 	"strings"
 )
 
-// Disk is tier 2: one file per entry under a cache directory, written with
-// an atomic rename so a crash mid-write never leaves a half entry under a
-// valid name. Every file starts with a stamped header
-//
-//	qcache v1 repr=<repr> norm=<norm> eps=<hexfloat> len=<n> sha256=<hex>
-//
-// validated on load: wrong format version, provenance mismatch against the
-// requesting identity, length or checksum disagreement all refuse the entry
-// with *DiskEntryError instead of serving bytes that belong to a different
-// configuration (or to nobody, after corruption).
+// Disk is tier 2: one stamped envelope (see EncodeEntry) per entry under a
+// cache directory, written with an atomic rename so a crash mid-write never
+// leaves a half entry under a valid name. Entries are validated on load:
+// wrong format version, provenance mismatch against the requesting identity,
+// length or checksum disagreement all refuse the entry with *DiskEntryError
+// instead of serving bytes that belong to a different configuration (or to
+// nobody, after corruption).
 type Disk struct {
 	dir string
 }
-
-// diskVersion is the on-disk entry format version; unknown versions are
-// refused so a future format change invalidates old caches cleanly.
-const diskVersion = "v1"
 
 // DiskEntryError reports a disk entry that exists but cannot be served:
 // stamped for a different configuration, truncated, or corrupt. Callers
@@ -58,20 +49,12 @@ func (d *Disk) path(k Key) string { return filepath.Join(d.dir, k.String()+".qc"
 // temp file first and is renamed into place, so concurrent readers and
 // crashes only ever observe complete entries.
 func (d *Disk) Put(k Key, payload []byte, st Stamp) error {
-	sum := sha256.Sum256(payload)
-	header := fmt.Sprintf("qcache %s repr=%s norm=%s eps=%s len=%d sha256=%s\n",
-		diskVersion, st.Repr, st.Norm,
-		strconv.FormatFloat(st.Eps, 'x', -1, 64), len(payload), hex.EncodeToString(sum[:]))
 	tmp, err := os.CreateTemp(d.dir, "tmp-*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.WriteString(header); err != nil {
-		tmp.Close()
-		return err
-	}
-	if _, err := tmp.Write(payload); err != nil {
+	if _, err := tmp.Write(EncodeEntry(payload, st)); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -92,64 +75,33 @@ func (d *Disk) Get(k Key, want Stamp) ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	fail := func(format string, args ...any) ([]byte, bool, error) {
-		return nil, false, &DiskEntryError{Path: path, Reason: fmt.Sprintf(format, args...)}
-	}
-	nl := strings.IndexByte(string(raw), '\n')
-	if nl < 0 {
-		return fail("missing header line")
-	}
-	fields := strings.Fields(string(raw[:nl]))
-	if len(fields) < 2 || fields[0] != "qcache" {
-		return fail("bad magic %q", string(raw[:nl]))
-	}
-	if fields[1] != diskVersion {
-		return fail("format version %q, want %q", fields[1], diskVersion)
-	}
-	var (
-		st      Stamp
-		wantLen = -1
-		wantSum string
-	)
-	for _, kv := range fields[2:] {
-		key, val, ok := strings.Cut(kv, "=")
-		if !ok {
-			return fail("bad header field %q", kv)
+	payload, err := DecodeEntry(raw, want)
+	if err != nil {
+		reason := err.Error()
+		var ee *EntryError
+		if errors.As(err, &ee) {
+			reason = ee.Reason
 		}
-		switch key {
-		case "repr":
-			st.Repr = val
-		case "norm":
-			st.Norm = val
-		case "eps":
-			eps, err := strconv.ParseFloat(val, 64)
-			if err != nil {
-				return fail("bad eps %q", val)
-			}
-			st.Eps = eps
-		case "len":
-			n, err := strconv.Atoi(val)
-			if err != nil || n < 0 {
-				return fail("bad len %q", val)
-			}
-			wantLen = n
-		case "sha256":
-			wantSum = val
-		}
-	}
-	if st != want {
-		return fail("stamped for repr=%s norm=%s eps=%g, want repr=%s norm=%s eps=%g",
-			st.Repr, st.Norm, st.Eps, want.Repr, want.Norm, want.Eps)
-	}
-	payload := raw[nl+1:]
-	if wantLen < 0 || wantLen != len(payload) {
-		return fail("payload is %d bytes, header says %d", len(payload), wantLen)
-	}
-	sum := sha256.Sum256(payload)
-	if hex.EncodeToString(sum[:]) != wantSum {
-		return fail("checksum mismatch")
+		return nil, false, &DiskEntryError{Path: path, Reason: reason}
 	}
 	return payload, true, nil
+}
+
+// GetRaw loads the complete envelope (header + payload) under k without
+// validating it — the bytes a cache peer serves verbatim over
+// GET /v1/cache/{key}. The *receiving* side validates with DecodeEntry, so
+// skipping validation here costs nothing: a corrupt envelope is refused at
+// the consumer either way, and the serving side avoids hashing the payload
+// twice.
+func (d *Disk) GetRaw(k Key) ([]byte, bool, error) {
+	raw, err := os.ReadFile(d.path(k))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return raw, true, nil
 }
 
 // Remove deletes the entry under k (used to clear unusable files).

@@ -1,0 +1,111 @@
+package qcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The stamped-envelope format shared by the disk tier and the cache-peer
+// protocol. An entry is a single header line
+//
+//	qcache v1 repr=<repr> norm=<norm> eps=<hexfloat> len=<n> sha256=<hex>
+//
+// followed by the payload bytes. The header is self-authenticating: the
+// length and SHA-256 of the payload detect truncation, corruption and
+// tampering, and the provenance fields refuse entries stamped for a
+// different (repr, norm, ε) configuration. Because the envelope carries its
+// own integrity check, a node can serve it to a ring peer verbatim — the
+// receiving side validates with DecodeEntry exactly as it would a local disk
+// file, so a malicious or corrupted peer can waste a fetch but never poison
+// a cache.
+
+// entryVersion is the envelope format version; unknown versions are refused
+// so a future format change invalidates old caches (and old peers) cleanly.
+const entryVersion = "v1"
+
+// EntryError reports an envelope that cannot be decoded: wrong magic or
+// version, stamped for a different configuration, truncated, or corrupt.
+type EntryError struct {
+	Reason string
+}
+
+func (e *EntryError) Error() string { return "qcache: entry: " + e.Reason }
+
+// EncodeEntry renders payload as a stamped envelope (header line + payload).
+func EncodeEntry(payload []byte, st Stamp) []byte {
+	sum := sha256.Sum256(payload)
+	header := fmt.Sprintf("qcache %s repr=%s norm=%s eps=%s len=%d sha256=%s\n",
+		entryVersion, st.Repr, st.Norm,
+		strconv.FormatFloat(st.Eps, 'x', -1, 64), len(payload), hex.EncodeToString(sum[:]))
+	out := make([]byte, 0, len(header)+len(payload))
+	out = append(out, header...)
+	out = append(out, payload...)
+	return out
+}
+
+// DecodeEntry parses and validates a stamped envelope, returning the payload.
+// Every failure — bad magic, unknown version, provenance mismatch against
+// want, length or checksum disagreement — is an *EntryError.
+func DecodeEntry(raw []byte, want Stamp) ([]byte, error) {
+	fail := func(format string, args ...any) ([]byte, error) {
+		return nil, &EntryError{Reason: fmt.Sprintf(format, args...)}
+	}
+	nl := strings.IndexByte(string(raw), '\n')
+	if nl < 0 {
+		return fail("missing header line")
+	}
+	fields := strings.Fields(string(raw[:nl]))
+	if len(fields) < 2 || fields[0] != "qcache" {
+		return fail("bad magic %q", string(raw[:nl]))
+	}
+	if fields[1] != entryVersion {
+		return fail("format version %q, want %q", fields[1], entryVersion)
+	}
+	var (
+		st      Stamp
+		wantLen = -1
+		wantSum string
+	)
+	for _, kv := range fields[2:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fail("bad header field %q", kv)
+		}
+		switch key {
+		case "repr":
+			st.Repr = val
+		case "norm":
+			st.Norm = val
+		case "eps":
+			eps, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return fail("bad eps %q", val)
+			}
+			st.Eps = eps
+		case "len":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return fail("bad len %q", val)
+			}
+			wantLen = n
+		case "sha256":
+			wantSum = val
+		}
+	}
+	if st != want {
+		return fail("stamped for repr=%s norm=%s eps=%g, want repr=%s norm=%s eps=%g",
+			st.Repr, st.Norm, st.Eps, want.Repr, want.Norm, want.Eps)
+	}
+	payload := raw[nl+1:]
+	if wantLen < 0 || wantLen != len(payload) {
+		return fail("payload is %d bytes, header says %d", len(payload), wantLen)
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != wantSum {
+		return fail("checksum mismatch")
+	}
+	return payload, nil
+}

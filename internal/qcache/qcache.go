@@ -25,6 +25,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"fmt"
 	"math"
 )
 
@@ -34,6 +35,21 @@ type Key [sha256.Size]byte
 
 // String renders the key as lower-case hex (also the disk-tier file stem).
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey decodes the hex form String produces — the path segment of the
+// cache-peering endpoint GET /v1/cache/{key}.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return k, fmt.Errorf("qcache: bad key %q: %w", s, err)
+	}
+	if len(b) != len(k) {
+		return k, fmt.Errorf("qcache: bad key length %d (want %d)", len(b), len(k))
+	}
+	copy(k[:], b)
+	return k, nil
+}
 
 // Stamp is the provenance metadata stored alongside a disk entry and
 // validated on load: an entry written for one (repr, norm, ε)

@@ -1,0 +1,183 @@
+package ring
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+)
+
+// sampleKeys returns n deterministic keys (no RNG: the test must behave
+// identically on every run and platform).
+func sampleKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		k := make([]byte, 8)
+		binary.LittleEndian.PutUint64(k, uint64(i)*0x9e3779b97f4a7c15+1)
+		keys[i] = k
+	}
+	return keys
+}
+
+func members(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://worker-%d:8080", i)
+	}
+	return out
+}
+
+// TestDeterministic: the ring is a pure function of the member set — same
+// owners regardless of member order, across independently built rings (which
+// is what "across process restarts" means for an immutable structure).
+func TestDeterministic(t *testing.T) {
+	ms := members(5)
+	a := New(ms, 128)
+	reversed := make([]string, len(ms))
+	for i, m := range ms {
+		reversed[len(ms)-1-i] = m
+	}
+	b := New(reversed, 128)
+	for _, k := range sampleKeys(2000) {
+		if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+			t.Fatalf("owner differs across rebuilds: %q vs %q", ao, bo)
+		}
+	}
+	// Owners fallback chains must agree too (the router reroutes along them).
+	for _, k := range sampleKeys(200) {
+		ao, bo := a.Owners(k, 3), b.Owners(k, 3)
+		if len(ao) != len(bo) {
+			t.Fatalf("owners length differs: %v vs %v", ao, bo)
+		}
+		for i := range ao {
+			if ao[i] != bo[i] {
+				t.Fatalf("owners[%d] differs: %v vs %v", i, ao, bo)
+			}
+		}
+	}
+}
+
+// TestBoundedMovementOnJoin: growing N=4 to N=5 must remap at most 2/N of a
+// 10k-key sample (the theoretical expectation is 1/N_new = 20%; the bound
+// leaves room for vnode placement variance).
+func TestBoundedMovementOnJoin(t *testing.T) {
+	keys := sampleKeys(10000)
+	before := New(members(4), 128)
+	after := New(members(5), 128)
+	moved := 0
+	for _, k := range keys {
+		if before.Owner(k) != after.Owner(k) {
+			moved++
+		}
+	}
+	bound := 2 * len(keys) / after.Len()
+	if moved > bound {
+		t.Fatalf("join moved %d/%d keys, bound %d", moved, len(keys), bound)
+	}
+	if moved == 0 {
+		t.Fatal("join moved no keys — the new member owns nothing")
+	}
+	// Every moved key must have moved TO the new member: a join never
+	// shuffles keys between existing members.
+	newcomer := members(5)[4]
+	for _, k := range keys {
+		b, a := before.Owner(k), after.Owner(k)
+		if b != a && a != newcomer {
+			t.Fatalf("key moved %q -> %q on join of %q", b, a, newcomer)
+		}
+	}
+}
+
+// TestBoundedMovementOnLeave: removing one of 5 members remaps only that
+// member's keys, and keys on surviving members do not move.
+func TestBoundedMovementOnLeave(t *testing.T) {
+	keys := sampleKeys(10000)
+	ms := members(5)
+	before := New(ms, 128)
+	after := New(ms[:4], 128)
+	leaver := ms[4]
+	moved := 0
+	for _, k := range keys {
+		b, a := before.Owner(k), after.Owner(k)
+		if b != a {
+			moved++
+			if b != leaver {
+				t.Fatalf("key on surviving member moved %q -> %q", b, a)
+			}
+		}
+	}
+	bound := 2 * len(keys) / before.Len()
+	if moved > bound {
+		t.Fatalf("leave moved %d/%d keys, bound %d", moved, len(keys), bound)
+	}
+}
+
+// TestSpread: with 128 vnodes the max/min shard ratio over 10k keys stays
+// under 1.3 for a 4-member ring.
+func TestSpread(t *testing.T) {
+	r := New(members(4), 128)
+	counts := map[string]int{}
+	keys := sampleKeys(10000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d members own keys: %v", len(counts), counts)
+	}
+	minC, maxC := len(keys), 0
+	for _, c := range counts {
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if ratio := float64(maxC) / float64(minC); ratio >= 1.3 {
+		t.Fatalf("shard spread max/min = %.3f (counts %v), want < 1.3", ratio, counts)
+	}
+}
+
+// TestOwnersProperties: Owners returns distinct members, the owner first,
+// clamped to the member count; single-member rings always answer themselves.
+func TestOwnersProperties(t *testing.T) {
+	r := New(members(3), 32)
+	for _, k := range sampleKeys(500) {
+		owners := r.Owners(k, 99)
+		if len(owners) != 3 {
+			t.Fatalf("Owners(k, 99) = %v, want all 3 members", owners)
+		}
+		if owners[0] != r.Owner(k) {
+			t.Fatalf("Owners[0] = %q, Owner = %q", owners[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("duplicate member in %v", owners)
+			}
+			seen[o] = true
+		}
+	}
+	solo := New([]string{"only"}, 8)
+	if got := solo.Owner([]byte("x")); got != "only" {
+		t.Fatalf("solo ring owner = %q", got)
+	}
+	var empty Ring
+	if got := empty.Owner([]byte("x")); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+}
+
+// TestDuplicatesAndEmptyMembers: duplicates collapse, empty names drop; the
+// ring over {a, a, b, ""} equals the ring over {a, b}.
+func TestDuplicatesAndEmptyMembers(t *testing.T) {
+	a := New([]string{"a", "a", "b", ""}, 16)
+	b := New([]string{"b", "a"}, 16)
+	if a.Len() != 2 || b.Len() != 2 {
+		t.Fatalf("lens = %d, %d, want 2, 2", a.Len(), b.Len())
+	}
+	for _, k := range sampleKeys(300) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatal("deduped ring disagrees with canonical ring")
+		}
+	}
+}

@@ -79,7 +79,7 @@ func TestCacheByteIdenticalReplay(t *testing.T) {
 	if !bytes.Equal(res1, res2) {
 		t.Fatalf("cached envelope differs from the original:\n%s\nvs\n%s", res1, res2)
 	}
-	if st := s.cache.Stats(); st.Hits != 1 || st.Stores != 1 {
+	if st := s.eng.CacheStats(); st.Hits != 1 || st.Stores != 1 {
 		t.Fatalf("cache stats = %+v, want 1 hit / 1 store", st)
 	}
 
@@ -103,7 +103,7 @@ func TestCacheByteIdenticalReplay(t *testing.T) {
 func TestConcurrentIdenticalSubmissions(t *testing.T) {
 	var runs atomic.Int32
 	cfg := Config{Workers: 4, CacheBytes: 1 << 20}
-	cfg.hookRunning = func(*job) { runs.Add(1) }
+	cfg.hookRunning = func(*Job) { runs.Add(1) }
 	s, ts := newTestServer(t, cfg)
 
 	const clients = 16
@@ -132,8 +132,8 @@ func TestConcurrentIdenticalSubmissions(t *testing.T) {
 			t.Fatalf("client %d received a different envelope", i)
 		}
 	}
-	st := s.cache.Stats()
-	deduped := s.met.deduped.Load()
+	st := s.eng.CacheStats()
+	deduped := s.eng.Deduped()
 	if int(deduped)+int(st.Hits)+1 != clients {
 		t.Fatalf("accounting: 1 run + %d deduped + %d cache hits != %d clients", deduped, st.Hits, clients)
 	}
@@ -148,7 +148,7 @@ func TestFailedJobsNotCached(t *testing.T) {
 	if view.Status != StatusFailed || view.Error == nil || view.Error.Kind != KindBudgetExceeded {
 		t.Fatalf("tiny budget: %+v", view)
 	}
-	if st := s.cache.Stats(); st.Stores != 0 {
+	if st := s.eng.CacheStats(); st.Stores != 0 {
 		t.Fatalf("failure was cached: %+v", st)
 	}
 
@@ -156,7 +156,7 @@ func TestFailedJobsNotCached(t *testing.T) {
 	if view.Status != StatusDone || view.Cached {
 		t.Fatalf("unbudgeted rerun: %+v", view)
 	}
-	if st := s.cache.Stats(); st.Stores != 1 {
+	if st := s.eng.CacheStats(); st.Stores != 1 {
 		t.Fatalf("success was not cached: %+v", st)
 	}
 }
@@ -191,7 +191,7 @@ func TestDiskTierSurvivesRestart(t *testing.T) {
 	if !bytes.Equal(res1, res2) {
 		t.Fatal("disk-replayed envelope differs from the original")
 	}
-	if st := s2.cache.Stats(); st.DiskHits != 1 {
+	if st := s2.eng.CacheStats(); st.DiskHits != 1 {
 		t.Fatalf("stats after restart hit: %+v", st)
 	}
 	s2.Shutdown(10 * time.Second)

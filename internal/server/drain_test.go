@@ -53,14 +53,28 @@ func TestGracefulDrain(t *testing.T) {
 		t.Fatalf("post-shutdown submit = %d %+v", resp.StatusCode, eb)
 	}
 
-	// healthz reports draining with a 503 so load balancers route away.
-	hr, err := http.Get(ts.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
+	// Liveness vs readiness while draining: the process is still alive —
+	// serving polls for drained jobs — so /healthz stays 200 (a restart
+	// here would lose the drain); /readyz answers 503 so routers stop
+	// sending new work.
+	var h struct {
+		Status   string `json:"status"`
+		Draining bool   `json:"draining"`
 	}
-	hr.Body.Close()
-	if hr.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz during drain = %d", hr.StatusCode)
+	if r := getJSON(t, ts.URL+"/healthz", &h); r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz during drain = %d, want 200 (live)", r.StatusCode)
+	}
+	if !h.Draining {
+		t.Fatalf("healthz body during drain = %+v, want draining=true", h)
+	}
+	var rb struct {
+		Status string `json:"status"`
+	}
+	if r := getJSON(t, ts.URL+"/readyz", &rb); r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain = %d, want 503 (unready)", r.StatusCode)
+	}
+	if rb.Status != "draining" {
+		t.Fatalf("readyz body during drain = %+v, want status=draining", rb)
 	}
 }
 
@@ -71,7 +85,7 @@ func TestDrainDeadlineCancelsInFlight(t *testing.T) {
 	cfg := Config{Workers: 1, QueueSize: 4}
 	release := make(chan struct{})
 	entered := make(chan struct{}, 4)
-	cfg.hookRunning = func(*job) { entered <- struct{}{}; <-release }
+	cfg.hookRunning = func(*Job) { entered <- struct{}{}; <-release }
 	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -90,7 +104,7 @@ func TestDrainDeadlineCancelsInFlight(t *testing.T) {
 	go func() { s.Shutdown(20 * time.Millisecond); close(done) }()
 	// Wait for the drain deadline to trip the run context, then let the
 	// stuck worker proceed into the now-cancelled run.
-	<-s.runCtx.Done()
+	<-s.eng.DrainContext().Done()
 	close(release)
 	select {
 	case <-done:

@@ -1,0 +1,10 @@
+package server
+
+import "repro/internal/httpx"
+
+// Request-id plumbing lives in internal/httpx (shared with the router);
+// these aliases keep the server package's surface self-contained.
+const RequestIDHeader = httpx.RequestIDHeader
+
+// NewRequestID mints a fresh request id.
+func NewRequestID() string { return httpx.NewRequestID() }

@@ -1,28 +1,24 @@
-// Package server implements qmddd, the networked QMDD simulation service:
-// an HTTP/JSON front end that accepts OpenQASM circuits, runs them on a
-// fixed-size pool of workers with private warm managers (the share-nothing
-// design of the sweep pool), governs every job with the per-request budget
-// machinery, and exposes the observability surface (/healthz, /metrics,
-// /v1/version) a deployed process needs. Jobs flow through a bounded queue:
-// submission is cheap and returns a pollable id (or, with "wait": true, the
-// result itself); a full queue answers 429 instead of building backlog.
+// Package server implements the qmddd worker node: the HTTP/JSON transport
+// over internal/engine (which owns the worker pool, the governor, the result
+// cache and the singleflight layer). The transport's own concerns are the
+// wire — body caps, request-id propagation, the access log — plus the
+// cluster surface a scale-out tier needs: a liveness/readiness probe pair
+// (/healthz vs /readyz), the cache-peering endpoint GET /v1/cache/{key}
+// serving stamped disk envelopes to ring peers, and the peer client that
+// asks those peers before paying for a simulation locally.
 package server
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
-	"runtime"
-	"strings"
-	"sync"
 	"time"
 
 	"repro/internal/buildinfo"
-	"repro/internal/circuit"
-	"repro/internal/core"
-	"repro/internal/qasm"
+	"repro/internal/engine"
+	"repro/internal/httpx"
 	"repro/internal/qcache"
 )
 
@@ -44,156 +40,126 @@ type Config struct {
 	// MaxTopK caps the amplitude list length (default 4096).
 	MaxTopK int
 	// MaxShots caps the shot count of a histogram job (default 1<<20).
-	// Requests above the cap are rejected, not clamped — fewer shots is a
-	// different histogram, not a tightened version of the same one.
 	MaxShots int
-	// CTSize is the per-manager compute-table slot count (default
-	// core.DefaultCTSize).
+	// CTSize is the per-manager compute-table slot count.
 	CTSize int
 	// IntraWorkers enables intra-operation parallelism inside each worker's
-	// managers (core.Manager.SetIntraWorkers): one job's Add/ApplyLocal
-	// recursions fan out over up to this many goroutines. Results are
-	// identical at any setting; ε>0 float managers stay sequential. Default
-	// 1 (sequential). Composes multiplicatively with Workers — keep the
-	// product near the core count.
+	// managers. See engine.Config.IntraWorkers.
 	IntraWorkers int
 
 	// NodeCap / WeightCap / ByteCap / TimeoutCap clamp the per-request
-	// budget: a request asking for more (or for nothing, when a cap is set)
-	// gets the cap. Zero leaves the dimension unlimited by default.
+	// budget. See engine.Config.
 	NodeCap    int
 	WeightCap  int
 	ByteCap    int64
 	TimeoutCap time.Duration
 
 	// MinFidelityFloor is the server-side floor for fidelity-bounded
-	// approximation: a min_fidelity request below it is raised to it, so an
-	// operator can bound how much fidelity any client may trade away. Zero
-	// imposes no floor. It never turns approximation on by itself — jobs
-	// without min_fidelity stay exact.
+	// approximation. See engine.Config.MinFidelityFloor.
 	MinFidelityFloor float64
 
-	// CacheBytes caps the in-memory result-cache tier; zero disables it.
-	// CacheDir, when non-empty, enables the disk tier: finished result
-	// envelopes persist across restarts under repr/ε/norm-stamped headers.
-	// With both zero/empty the cache is off entirely (singleflight dedup of
-	// concurrent identical submissions stays on — it costs nothing).
+	// CacheBytes / CacheDir configure the two result-cache tiers. See
+	// engine.Config.
 	CacheBytes int64
 	CacheDir   string
 
+	// Self is this node's advertised base URL (scheme://host:port) and Peers
+	// the full cluster membership (base URLs, self included or not — Self is
+	// always folded in). With ≥2 members, cache peering activates: a local
+	// miss first asks the ring owners of the key for their stored envelope
+	// (GET /v1/cache/{key}), validated by checksum and provenance stamp
+	// before adoption. Empty Peers runs the node standalone.
+	Self  string
+	Peers []string
+	// PeerTimeout bounds one peer cache fetch (default 2s) — peering is an
+	// accelerator, a slow peer must cost less than the simulation it saves.
+	PeerTimeout time.Duration
+
+	// AccessLog, when non-nil, receives one structured line per HTTP
+	// exchange (logfmt: time, request id, method, path, status, bytes,
+	// duration).
+	AccessLog io.Writer
+
 	// hookRunning, when set (tests only), is invoked on the worker goroutine
 	// as soon as a job transitions to running.
-	hookRunning func(*job)
+	hookRunning func(*engine.Job)
 }
 
-func (c Config) withDefaults() Config {
-	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
+func (c Config) engineConfig() engine.Config {
+	return engine.Config{
+		Workers:          c.Workers,
+		QueueSize:        c.QueueSize,
+		MaxJobs:          c.MaxJobs,
+		MaxQubits:        c.MaxQubits,
+		MaxTopK:          c.MaxTopK,
+		MaxShots:         c.MaxShots,
+		CTSize:           c.CTSize,
+		IntraWorkers:     c.IntraWorkers,
+		NodeCap:          c.NodeCap,
+		WeightCap:        c.WeightCap,
+		ByteCap:          c.ByteCap,
+		TimeoutCap:       c.TimeoutCap,
+		MinFidelityFloor: c.MinFidelityFloor,
+		CacheBytes:       c.CacheBytes,
+		CacheDir:         c.CacheDir,
+		HookRunning:      c.hookRunning,
 	}
-	if c.QueueSize <= 0 {
-		c.QueueSize = 64
-	}
-	if c.MaxBodyBytes <= 0 {
-		c.MaxBodyBytes = 1 << 20
-	}
-	if c.MaxJobs <= 0 {
-		c.MaxJobs = 1024
-	}
-	if c.MaxQubits <= 0 || c.MaxQubits > 64 {
-		c.MaxQubits = 64
-	}
-	if c.MaxTopK <= 0 {
-		c.MaxTopK = 4096
-	}
-	if c.MaxShots <= 0 {
-		c.MaxShots = 1 << 20
-	}
-	if c.CTSize <= 0 {
-		c.CTSize = core.DefaultCTSize
-	}
-	if c.IntraWorkers <= 0 {
-		c.IntraWorkers = 1
-	}
-	return c
 }
 
-// Server is the qmddd HTTP handler plus its worker pool. Create with New,
+// Server is the qmddd HTTP transport over one engine. Create with New,
 // serve it (it implements http.Handler), and call Shutdown to drain.
 type Server struct {
-	cfg    Config
-	mux    *http.ServeMux
-	store  *jobStore
-	met    *metrics
-	queue  chan *job
-	cache  *qcache.Cache // nil when both tiers are disabled (nil-safe API)
-	flight *qcache.Flight[flightOutcome]
-
-	mu     sync.Mutex // guards closed + queue sends vs. close(queue)
-	closed bool
-
-	wg        sync.WaitGroup
-	runCtx    context.Context // cancelled at the drain deadline
-	cancelRun context.CancelFunc
+	cfg   Config
+	mux   *http.ServeMux
+	eng   *engine.Engine
+	peers *peerClient // nil when the node runs standalone
 }
 
 // New builds the service and starts its workers. It fails only when the
 // configured cache directory cannot be created.
 func New(cfg Config) (*Server, error) {
-	cfg = cfg.withDefaults()
-	cache, err := qcache.New(cfg.CacheBytes, cfg.CacheDir)
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	ecfg := cfg.engineConfig()
+	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	if pc, err := newPeerClient(cfg.Self, cfg.Peers, cfg.PeerTimeout); err != nil {
+		return nil, err
+	} else if pc != nil {
+		s.peers = pc
+		ecfg.PeerLookup = pc.lookup
+	}
+	eng, err := engine.New(ecfg)
 	if err != nil {
-		return nil, fmt.Errorf("opening result cache: %w", err)
+		return nil, err
 	}
-	s := &Server{
-		cfg:    cfg,
-		mux:    http.NewServeMux(),
-		store:  newJobStore(cfg.MaxJobs),
-		met:    newMetrics(cfg.Workers),
-		queue:  make(chan *job, cfg.QueueSize),
-		cache:  cache,
-		flight: qcache.NewFlight[flightOutcome](),
-	}
-	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
+	s.eng = eng
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCachePeek)
 	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	for i := 0; i < cfg.Workers; i++ {
-		s.wg.Add(1)
-		go s.worker(i)
-	}
 	return s, nil
 }
 
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP serves the API with the request-id and access-log middleware
+// wrapped around every route.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	httpx.WithRequestID(s.cfg.AccessLog, s.mux).ServeHTTP(w, r)
+}
+
+// Engine exposes the underlying engine (introspection for cmd wiring and
+// tests).
+func (s *Server) Engine() *engine.Engine { return s.eng }
 
 // Shutdown drains the service: intake stops immediately (submissions answer
-// 503), workers finish the accepted jobs, and jobs still unfinished at the
-// drain deadline are cancelled cooperatively through the governor. It
-// returns once every worker has exited — always cleanly, so a supervised
-// process can exit 0.
-func (s *Server) Shutdown(drain time.Duration) {
-	s.mu.Lock()
-	if !s.closed {
-		s.closed = true
-		close(s.queue)
-	}
-	s.mu.Unlock()
-
-	done := make(chan struct{})
-	go func() { s.wg.Wait(); close(done) }()
-	t := time.NewTimer(drain)
-	defer t.Stop()
-	select {
-	case <-done:
-	case <-t.C:
-		s.cancelRun() // in-flight jobs unwind through the governor
-		<-done
-	}
-	s.cancelRun()
-}
+// 503 and /readyz flips unready while /healthz stays live), workers finish
+// the accepted jobs, and jobs still unfinished at the drain deadline are
+// cancelled cooperatively through the governor.
+func (s *Server) Shutdown(drain time.Duration) { s.eng.Shutdown(drain) }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -203,13 +169,20 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, body ErrorBody) {
+// writeError serves the structured error envelope, stamped with the
+// exchange's request id so a client-side error report can be joined against
+// the access log.
+func writeError(w http.ResponseWriter, r *http.Request, status int, body ErrorBody) {
+	body.RequestID = httpx.RequestIDFrom(r)
 	writeJSON(w, status, struct {
 		Error ErrorBody `json:"error"`
 	}{body})
 }
 
-// handleSubmit validates, parses and enqueues one job (POST /v1/jobs).
+// handleSubmit decodes and submits one job (POST /v1/jobs). Validation,
+// caching, dedup and peering all happen inside engine.Submit; the transport
+// maps the reject reasons onto HTTP and implements "wait": true by blocking
+// on the job's done channel.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
@@ -218,382 +191,91 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge, ErrorBody{
+			writeError(w, r, http.StatusRequestEntityTooLarge, ErrorBody{
 				Kind: KindTooLarge, Message: fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes),
 			})
 			return
 		}
-		writeError(w, http.StatusBadRequest, ErrorBody{Kind: KindInvalidRequest, Message: "decoding request: " + err.Error()})
-		return
-	}
-	circ, errBody := s.validate(&req)
-	if errBody != nil {
-		writeError(w, http.StatusBadRequest, *errBody)
+		writeError(w, r, http.StatusBadRequest, ErrorBody{Kind: KindInvalidRequest, Message: "decoding request: " + err.Error()})
 		return
 	}
 
-	// A seeded shots job is a pure function of its request, so it caches
-	// like any other. An unseeded one is sampled fresh every time: the
-	// server draws the seed (echoed in the result for reproduction), and
-	// the random seed keys it away from every concurrent duplicate too.
-	seeded := req.Shots == 0 || req.Seed != 0
-	if req.Shots > 0 && req.Seed == 0 {
-		req.Seed = randomSeed()
-	}
-
-	// Content address of the job: the circuit fingerprint (comment-,
-	// whitespace- and register-name-insensitive) plus everything else that
-	// shapes the result envelope. Budgets are deliberately excluded — a
-	// success computed under any budget is valid under every budget.
-	ident := qcache.Identity{
-		Circuit: circuit.Fingerprint(circ),
-		Repr:    req.Representation,
-		Norm:    req.Norm,
-		Eps:     req.Eps,
-		Output:  req.Output,
-		TopK:    req.TopK,
-		Shots:   req.Shots,
-		Seed:    req.Seed,
-	}
-	cacheKey := ident.Key()
-	stamp := ident.Stamp()
-
-	// A min_fidelity job has a second address: the approximate envelope,
-	// which additionally depends on the floor and on the clamped memory
-	// budgets (they decide where approximation fires). The exact key is
-	// consulted first — an exact result trivially satisfies any fidelity
-	// floor — then the approximate one.
-	var approxKey qcache.Key
-	hasApprox := req.MinFidelity > 0
-	if hasApprox {
-		aident := ident
-		aident.MinFidelity = req.MinFidelity
-		aident.MaxNodes = req.MaxNodes
-		aident.MaxWeights = req.MaxWeights
-		aident.MaxBytes = req.MaxBytes
-		approxKey = aident.Key()
-	}
-	for _, k := range []struct {
-		key qcache.Key
-		on  bool
-	}{{cacheKey, true}, {approxKey, hasApprox}} {
-		if !k.on {
-			continue
+	j, serr := s.eng.Submit(req)
+	if serr != nil {
+		status := http.StatusBadRequest
+		switch serr.Reason {
+		case engine.RejectDraining:
+			status = http.StatusServiceUnavailable
+		case engine.RejectBusy:
+			status = http.StatusTooManyRequests
 		}
-		if payload, ok := s.cache.Get(k.key, stamp); ok {
-			if res, err := decodeResult(payload); err == nil {
-				s.serveCached(w, req, res)
-				return
-			}
-			// Undecodable payload (should be impossible past the checksums):
-			// treat as a miss and recompute.
-		}
-	}
-
-	// Singleflight: concurrent identical submissions elect one leader that
-	// runs the simulation; the rest mirror its outcome. The flight key folds
-	// the clamped budgets in, so a follower can never inherit a
-	// budget_exceeded verdict it did not ask for.
-	fid := qcache.FlightID{
-		Identity:    ident,
-		MaxNodes:    req.MaxNodes,
-		MaxWeights:  req.MaxWeights,
-		MaxBytes:    req.MaxBytes,
-		TimeoutMS:   req.TimeoutMS,
-		MinFidelity: req.MinFidelity,
-	}
-	call, leader := s.flight.Join(fid.Key())
-
-	j := &job{
-		id:       newJobID(),
-		req:      req,
-		circ:     circ,
-		done:     make(chan struct{}),
-		status:   StatusQueued,
-		queuedAt: time.Now(),
-	}
-	if leader {
-		j.cacheKey = cacheKey
-		j.approxKey = approxKey
-		j.hasApprox = hasApprox
-		j.stamp = stamp
-		j.cacheable = seeded
-		j.flight = call
-	}
-
-	// Enqueue under the intake lock: after Shutdown flips closed, no send
-	// can race the close of the queue channel.
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		body := ErrorBody{Kind: KindShuttingDown, Message: "server is draining"}
-		if leader {
-			call.Complete(flightOutcome{status: StatusCancelled, errBody: &body}, false)
-		}
-		writeError(w, http.StatusServiceUnavailable, body)
+		writeError(w, r, status, serr.Body)
 		return
 	}
-	if !s.store.add(j) {
-		s.mu.Unlock()
-		s.met.rejected.Add(1)
-		body := ErrorBody{Kind: KindQueueFull, Message: "job store is full of unfinished jobs"}
-		if leader {
-			call.Complete(flightOutcome{status: StatusCancelled, errBody: &body}, false)
-		}
-		writeError(w, http.StatusTooManyRequests, body)
-		return
-	}
-	if !leader {
-		// Follower: no queue slot, no worker — a mirror goroutine copies the
-		// leader's outcome into this record when the flight completes.
-		s.mu.Unlock()
-		s.met.deduped.Add(1)
-		s.wg.Add(1)
-		go s.mirror(j, call)
-	} else {
-		select {
-		case s.queue <- j:
-			s.mu.Unlock()
-		default:
-			s.mu.Unlock()
-			s.met.rejected.Add(1)
-			s.finishJob(j, StatusCancelled, nil, &ErrorBody{Kind: KindQueueFull, Message: "queue full"})
-			writeError(w, http.StatusTooManyRequests, ErrorBody{
-				Kind: KindQueueFull, Message: fmt.Sprintf("queue full (%d jobs waiting)", s.cfg.QueueSize),
-			})
-			return
-		}
-	}
 
+	select {
+	case <-j.Done():
+		// Already finished (cache/peer/flight hit, or a fast run under wait).
+		writeJSON(w, http.StatusOK, j.View(true))
+		return
+	default:
+	}
 	if req.Wait {
 		select {
-		case <-j.done:
-			writeJSON(w, http.StatusOK, s.store.view(j, true))
+		case <-j.Done():
+			writeJSON(w, http.StatusOK, j.View(true))
 		case <-r.Context().Done():
 			// Client gave up; the job keeps running and stays pollable.
-			writeJSON(w, http.StatusAccepted, s.store.view(j, false))
+			writeJSON(w, http.StatusAccepted, j.View(false))
 		}
 		return
 	}
-	writeJSON(w, http.StatusAccepted, s.store.view(j, false))
-}
-
-// decodeResult rebuilds a result envelope from its canonical JSON payload —
-// the bytes the cache stores and the flight hands to followers. Re-encoding
-// the decoded struct reproduces the payload exactly, so every response built
-// from it is byte-identical to the one the original run produced.
-func decodeResult(payload []byte) (*JobResult, error) {
-	var res JobResult
-	if err := json.Unmarshal(payload, &res); err != nil {
-		return nil, err
-	}
-	return &res, nil
-}
-
-// serveCached answers a submission from a cache hit: a synthetic job record
-// born finished, flagged "cached": true, retained for polling on a
-// best-effort basis (a full store or a draining server still serves the
-// response, it just isn't pollable afterwards).
-func (s *Server) serveCached(w http.ResponseWriter, req JobRequest, res *JobResult) {
-	now := time.Now()
-	j := &job{
-		id:         newJobID(),
-		req:        req,
-		done:       make(chan struct{}),
-		status:     StatusDone,
-		cached:     true,
-		queuedAt:   now,
-		finishedAt: now,
-		result:     res,
-	}
-	close(j.done)
-	s.mu.Lock()
-	if !s.closed {
-		s.store.add(j)
-	}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, s.store.view(j, true))
-}
-
-// mirror finishes a follower job with the outcome of the flight it joined.
-// It runs on its own goroutine (registered on s.wg so Shutdown waits for it;
-// the leader always completes its call — workers drain every accepted job —
-// so mirrors cannot leak).
-func (s *Server) mirror(j *job, call *qcache.Call[flightOutcome]) {
-	defer s.wg.Done()
-	<-call.Done()
-	out, ok := call.Outcome()
-	if ok {
-		if res, err := decodeResult(out.payload); err == nil {
-			s.store.markCached(j)
-			s.store.finish(j, StatusDone, res, nil)
-			return
-		}
-		out.status = StatusFailed
-		out.errBody = &ErrorBody{Kind: KindRunError, Message: "deduplicated result payload was undecodable"}
-	}
-	s.store.finish(j, out.status, nil, out.errBody)
-}
-
-// validate normalizes and checks a request, returning the parsed circuit.
-func (s *Server) validate(req *JobRequest) (*circuit.Circuit, *ErrorBody) {
-	invalid := func(format string, args ...any) *ErrorBody {
-		return &ErrorBody{Kind: KindInvalidRequest, Message: fmt.Sprintf(format, args...)}
-	}
-	if strings.TrimSpace(req.QASM) == "" {
-		return nil, invalid("qasm is required")
-	}
-	switch req.Representation {
-	case "", "alg":
-		req.Representation = "alg"
-	case "float", "num":
-		req.Representation = "float"
-	default:
-		return nil, invalid("unknown representation %q (want alg or float)", req.Representation)
-	}
-	if req.Eps < 0 {
-		return nil, invalid("eps must be non-negative")
-	}
-	norm, err := core.ParseNormScheme(req.Norm)
-	if err != nil {
-		return nil, invalid("%v", err)
-	}
-	req.Norm = norm.String() // canonical name ("" → "left") keys the cache
-	if req.Shots < 0 {
-		return nil, invalid("shots must be non-negative")
-	}
-	if req.Shots > s.cfg.MaxShots {
-		return nil, invalid("shots %d exceeds the server cap %d", req.Shots, s.cfg.MaxShots)
-	}
-	if req.Shots > 0 {
-		// Shots mode: the histogram is the only envelope, and TopK plays no
-		// part in it — both are pinned so equivalent requests share one
-		// cache key.
-		switch req.Output {
-		case "", "histogram":
-			req.Output = "histogram"
-		default:
-			return nil, invalid("output %q is incompatible with shots; a shots job returns a histogram", req.Output)
-		}
-		req.TopK = 0
-	} else {
-		switch req.Output {
-		case "", "amplitudes":
-			req.Output = "amplitudes"
-		case "stats", "ddio":
-		case "histogram":
-			return nil, invalid("output histogram requires shots > 0")
-		default:
-			return nil, invalid("unknown output %q (want amplitudes, stats, ddio or histogram)", req.Output)
-		}
-		if req.TopK < 0 {
-			return nil, invalid("top_k must be non-negative")
-		}
-		if req.TopK == 0 {
-			req.TopK = 16
-		}
-		if req.TopK > s.cfg.MaxTopK {
-			req.TopK = s.cfg.MaxTopK
-		}
-	}
-	if req.MaxNodes < 0 || req.MaxWeights < 0 || req.MaxBytes < 0 || req.TimeoutMS < 0 {
-		return nil, invalid("budget fields must be non-negative")
-	}
-	if req.MinFidelity < 0 || req.MinFidelity > 1 {
-		return nil, invalid("min_fidelity must be in [0, 1]")
-	}
-	if req.MinFidelity == 1 {
-		// A floor of 1 permits shedding nothing: exact semantics, and the
-		// exact cache key.
-		req.MinFidelity = 0
-	}
-	if req.MinFidelity > 0 {
-		if req.Shots > 0 {
-			return nil, invalid("min_fidelity is incompatible with shots: a histogram drawn from an approximated state is silently biased")
-		}
-		if f := s.cfg.MinFidelityFloor; f > 0 && req.MinFidelity < f {
-			req.MinFidelity = f
-		}
-	}
-	req.MaxNodes = clampInt(req.MaxNodes, s.cfg.NodeCap)
-	req.MaxWeights = clampInt(req.MaxWeights, s.cfg.WeightCap)
-	req.MaxBytes = clampInt64(req.MaxBytes, s.cfg.ByteCap)
-	if cap := s.cfg.TimeoutCap; cap > 0 {
-		capMS := int64(cap / time.Millisecond)
-		if req.TimeoutMS <= 0 || req.TimeoutMS > capMS {
-			req.TimeoutMS = capMS
-		}
-	}
-
-	circ, err := qasm.Parse(req.QASM, "request")
-	if err != nil {
-		body := &ErrorBody{Kind: KindParseError, Message: err.Error()}
-		var pe *qasm.ParseError
-		if errors.As(err, &pe) {
-			body.Line = pe.Line
-		}
-		return nil, body
-	}
-	if circ.N > s.cfg.MaxQubits {
-		return nil, invalid("circuit has %d qubits, server cap is %d", circ.N, s.cfg.MaxQubits)
-	}
-	if req.Shots == 0 {
-		if circ.Dynamic() {
-			return nil, invalid("circuit contains mid-circuit measurement, reset or classical control; submit with shots > 0 to run it")
-		}
-		if circ.Cbits != 0 || !circ.IsUnitary() {
-			// Amplitude/stats/ddio outputs describe the pre-measurement
-			// state: strip the trailing read-out block and the classical
-			// register so the job shares a cache key with its measure-free
-			// twin.
-			p := circ.UnitaryPrefix()
-			circ = &circuit.Circuit{Name: p.Name, N: p.N, Gates: p.Gates}
-		}
-	} else if circ.Cbits > 64 {
-		return nil, invalid("circuit uses %d classical bits; the histogram key is capped at 64", circ.Cbits)
-	}
-	return circ, nil
-}
-
-// clampInt applies a server cap to a request value: 0 (unset) takes the cap,
-// anything above the cap is clamped down.
-func clampInt(v, cap int) int {
-	if cap > 0 && (v <= 0 || v > cap) {
-		return cap
-	}
-	return v
-}
-
-func clampInt64(v, cap int64) int64 {
-	if cap > 0 && (v <= 0 || v > cap) {
-		return cap
-	}
-	return v
+	writeJSON(w, http.StatusAccepted, j.View(false))
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	j := s.store.get(r.PathValue("id"))
+	j := s.eng.Job(r.PathValue("id"))
 	if j == nil {
-		writeError(w, http.StatusNotFound, ErrorBody{Kind: KindNotFound, Message: "unknown job id"})
+		writeError(w, r, http.StatusNotFound, ErrorBody{Kind: KindNotFound, Message: "unknown job id"})
 		return
 	}
-	writeJSON(w, http.StatusOK, s.store.view(j, false))
+	writeJSON(w, http.StatusOK, j.View(false))
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	j := s.store.get(r.PathValue("id"))
+	j := s.eng.Job(r.PathValue("id"))
 	if j == nil {
-		writeError(w, http.StatusNotFound, ErrorBody{Kind: KindNotFound, Message: "unknown job id"})
+		writeError(w, r, http.StatusNotFound, ErrorBody{Kind: KindNotFound, Message: "unknown job id"})
 		return
 	}
-	v := s.store.view(j, true)
+	v := j.View(true)
 	if v.Status == StatusQueued || v.Status == StatusRunning {
-		writeError(w, http.StatusConflict, ErrorBody{
-			Kind: KindNotFinished, Message: fmt.Sprintf("job is %s; poll /v1/jobs/%s", v.Status, j.id),
+		writeError(w, r, http.StatusConflict, ErrorBody{
+			Kind: KindNotFinished, Message: fmt.Sprintf("job is %s; poll /v1/jobs/%s", v.Status, j.ID()),
 		})
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
+}
+
+// handleCachePeek serves the cache-peering protocol: the stamped disk-tier
+// envelope for a key, verbatim (header + payload). The caller validates the
+// checksum and provenance stamp — this node vouches for nothing beyond
+// "these are the bytes I stored". Misses (and memory-only caches) are 404.
+func (s *Server) handleCachePeek(w http.ResponseWriter, r *http.Request) {
+	key, err := qcache.ParseKey(r.PathValue("key"))
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, ErrorBody{Kind: KindInvalidRequest, Message: err.Error()})
+		return
+	}
+	raw, ok := s.eng.CacheRaw(key)
+	if !ok {
+		writeError(w, r, http.StatusNotFound, ErrorBody{Kind: KindNotFound, Message: "no cache entry"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(raw)
 }
 
 func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
@@ -603,25 +285,52 @@ func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
 	}{Name: "qmddd", Info: buildinfo.Read()})
 }
 
+// handleHealthz is the liveness probe: 200 for as long as the process can
+// serve HTTP at all — including while draining, when the node is still
+// finishing accepted jobs and serving polls. Restart-deciders watch this;
+// traffic-routers must watch /readyz instead.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	draining := s.closed
-	s.mu.Unlock()
-	status := http.StatusOK
-	text := "ok"
-	if draining {
-		// Shutting down: tell load balancers to route elsewhere.
-		status = http.StatusServiceUnavailable
-		text = "draining"
+	writeJSON(w, http.StatusOK, struct {
+		Status   string `json:"status"`
+		Draining bool   `json:"draining"`
+	}{"ok", s.eng.Draining()})
+}
+
+// handleReadyz is the readiness probe: 200 only when the node should receive
+// new work — worker pool warm, not draining. The body carries the queue
+// depth and the pool's mean service time so a router can estimate expected
+// wait without a second endpoint.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	type body struct {
+		Status        string  `json:"status"`
+		Workers       int     `json:"workers"`
+		QueueDepth    int     `json:"queue_depth"`
+		QueueCapacity int     `json:"queue_capacity"`
+		AvgServiceMS  float64 `json:"avg_service_ms"`
 	}
-	writeJSON(w, status, struct {
-		Status     string `json:"status"`
-		Workers    int    `json:"workers"`
-		QueueDepth int    `json:"queue_depth"`
-	}{text, s.cfg.Workers, len(s.queue)})
+	b := body{
+		Status:        "ready",
+		Workers:       s.eng.Workers(),
+		QueueDepth:    s.eng.QueueDepth(),
+		QueueCapacity: s.eng.QueueCap(),
+		AvgServiceMS:  s.eng.AvgServiceSeconds() * 1e3,
+	}
+	status := http.StatusOK
+	if !s.eng.Ready() {
+		status = http.StatusServiceUnavailable
+		if s.eng.Draining() {
+			b.Status = "draining"
+		} else {
+			b.Status = "warming"
+		}
+	}
+	writeJSON(w, status, b)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.render(w, len(s.queue), s.cfg.QueueSize, s.cache.Stats())
+	s.eng.RenderMetrics(w)
+	if s.peers != nil {
+		s.peers.renderMetrics(w)
+	}
 }

@@ -164,7 +164,7 @@ func TestNotFoundAndNotFinished(t *testing.T) {
 	cfg := Config{Workers: 1}
 	release := make(chan struct{})
 	entered := make(chan struct{}, 8)
-	cfg.hookRunning = func(*job) { entered <- struct{}{}; <-release }
+	cfg.hookRunning = func(*Job) { entered <- struct{}{}; <-release }
 	_, ts := newTestServer(t, cfg)
 	defer close(release)
 
@@ -204,7 +204,7 @@ func TestQueueFull(t *testing.T) {
 	cfg := Config{Workers: 1, QueueSize: 1}
 	release := make(chan struct{})
 	entered := make(chan struct{}, 8)
-	cfg.hookRunning = func(*job) { entered <- struct{}{}; <-release }
+	cfg.hookRunning = func(*Job) { entered <- struct{}{}; <-release }
 	_, ts := newTestServer(t, cfg)
 	defer close(release)
 
@@ -315,7 +315,7 @@ func TestTimeoutJob(t *testing.T) {
 	// The hook runs after the per-job deadline starts ticking; sleeping past
 	// it guarantees RunCtx sees an expired context at gate 0, making the
 	// outcome deterministic even though the circuit itself is instant.
-	cfg.hookRunning = func(*job) { time.Sleep(30 * time.Millisecond) }
+	cfg.hookRunning = func(*Job) { time.Sleep(30 * time.Millisecond) }
 	_, ts := newTestServer(t, cfg)
 	body := fmt.Sprintf(`{"qasm": %q, "timeout_ms": 1, "wait": true}`, ghzQASM(4))
 	resp, view, eb := postJob(t, ts.URL, body)
@@ -342,14 +342,23 @@ func TestVersionHealthzMetrics(t *testing.T) {
 	}
 
 	var h struct {
-		Status  string `json:"status"`
-		Workers int    `json:"workers"`
+		Status string `json:"status"`
 	}
 	if r := getJSON(t, ts.URL+"/healthz", &h); r.StatusCode != http.StatusOK {
 		t.Fatalf("healthz status = %d", r.StatusCode)
 	}
-	if h.Status != "ok" || h.Workers != 2 {
+	if h.Status != "ok" {
 		t.Fatalf("healthz = %+v", h)
+	}
+	var rb struct {
+		Status  string `json:"status"`
+		Workers int    `json:"workers"`
+	}
+	if r := getJSON(t, ts.URL+"/readyz", &rb); r.StatusCode != http.StatusOK {
+		t.Fatalf("readyz status = %d", r.StatusCode)
+	}
+	if rb.Status != "ready" || rb.Workers != 2 {
+		t.Fatalf("readyz = %+v", rb)
 	}
 
 	// Run one job so worker metrics are populated, then scrape.

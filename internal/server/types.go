@@ -1,0 +1,40 @@
+package server
+
+import "repro/internal/engine"
+
+// The wire vocabulary lives in internal/engine (it is the engine's submit
+// and result surface, shared by the worker transport here, the router, and
+// the load harness). These aliases keep the server package's historical
+// names valid for its callers and tests.
+type (
+	JobRequest = engine.JobRequest
+	JobResult  = engine.JobResult
+	JobView    = engine.JobView
+	Amplitude  = engine.Amplitude
+	ErrorBody  = engine.ErrorBody
+	Job        = engine.Job
+)
+
+// Error kinds.
+const (
+	KindInvalidRequest = engine.KindInvalidRequest
+	KindParseError     = engine.KindParseError
+	KindBudgetExceeded = engine.KindBudgetExceeded
+	KindCancelled      = engine.KindCancelled
+	KindTimeout        = engine.KindTimeout
+	KindQueueFull      = engine.KindQueueFull
+	KindShuttingDown   = engine.KindShuttingDown
+	KindNotFound       = engine.KindNotFound
+	KindNotFinished    = engine.KindNotFinished
+	KindTooLarge       = engine.KindTooLarge
+	KindRunError       = engine.KindRunError
+)
+
+// Job statuses.
+const (
+	StatusQueued    = engine.StatusQueued
+	StatusRunning   = engine.StatusRunning
+	StatusDone      = engine.StatusDone
+	StatusFailed    = engine.StatusFailed
+	StatusCancelled = engine.StatusCancelled
+)
