@@ -62,6 +62,8 @@ func main() {
 		benchJSON   = flag.String("bench-json", "", "single-run implementation benchmark instead of a figure sweep: time each workload under BuildDD+Mul, sequential local apply, and parallel local apply, and write the JSON report to this path")
 		sampleBench = flag.Int("sample-bench", 0, "measurement-sampling micro-benchmark instead of a figure sweep: draw this many samples from each workload's final state, per-call (fresh mass pass per draw) vs hoisted (reusable Sampler), and report both")
 		approxBench = flag.Float64("min-fidelity", 0, "graceful-degradation benchmark instead of a figure sweep: rerun each workload under half its node demand, exact (fail-fast) vs approximated down to this fidelity floor, and report what the floor buys")
+		prefixBench = flag.Int("prefix-bench", 0, "shared-prefix batch benchmark instead of a figure sweep: submit this many Grover variants once through POST /v1/batches (prefix simulated exactly once, variants warm-started from its checkpoint) and once as independent cold jobs, assert byte-identical amplitudes in both representations, and write the JSON report")
+		prefixJSON  = flag.String("prefix-json", "BENCH_prefix.json", "report path for -prefix-bench")
 	)
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -157,6 +159,8 @@ func main() {
 	}
 	var runErr error
 	switch {
+	case *prefixBench > 0:
+		runErr = runPrefixBench(ctx, p, *prefixBench, *prefixJSON)
 	case *approxBench > 0:
 		runErr = runApproxBench(ctx, p, *approxBench)
 	case *sampleBench > 0:

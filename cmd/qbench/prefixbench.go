@@ -1,0 +1,278 @@
+package main
+
+// -prefix-bench: the incremental-simulation acceptance benchmark. One Grover
+// circuit is the shared prefix of N variants (each a distinct Clifford+T
+// phase suffix); the sweep is submitted twice against in-process qmddd
+// servers:
+//
+//   - cold  — N independent POST /v1/jobs submissions with caching and
+//     checkpointing disabled: every variant pays for the full prefix;
+//   - batch — one POST /v1/batches: the prefix simulates exactly once, its
+//     checkpoint lands in the cache, and every variant job warm-starts from
+//     it, paying only for its suffix.
+//
+// Both tiers run the same worker count, and the per-variant amplitude lists
+// must be byte-identical between them — in the exact algebraic and the float
+// representation. The report (wall times, speedup, checkpoint traffic)
+// is written as JSON.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/load"
+	"repro/internal/server"
+)
+
+// prefixBenchWorkers fixes the pool size of both tiers: the speedup compares
+// scheduling strategies, not pool sizes.
+const prefixBenchWorkers = 4
+
+// prefixBenchTopK is the amplitude list length compared byte-for-byte.
+const prefixBenchTopK = 16
+
+type prefixReprResult struct {
+	Representation string  `json:"representation"`
+	Eps            float64 `json:"eps"`
+	ColdSeconds    float64 `json:"cold_seconds"`
+	BatchSeconds   float64 `json:"batch_seconds"`
+	Speedup        float64 `json:"speedup"`
+	// Batch-tier engine counters: PrefixHits must equal the variant count
+	// (every variant warm-started) and JobsStarted must be variants+1 (the
+	// shared prefix simulated exactly once).
+	JobsStarted        uint64 `json:"jobs_started"`
+	PrefixHits         uint64 `json:"prefix_hits"`
+	PrefixGatesSkipped uint64 `json:"prefix_gates_skipped"`
+	CheckpointsStored  uint64 `json:"checkpoints_stored"`
+	CheckpointBytes    uint64 `json:"checkpoint_bytes"`
+	// AmplitudesIdentical is the differential check: every variant's cold
+	// and batch amplitude lists are byte-identical.
+	AmplitudesIdentical bool `json:"amplitudes_identical"`
+}
+
+type prefixReport struct {
+	GeneratedUnix   int64              `json:"generated_unix"`
+	Workload        string             `json:"workload"`
+	Qubits          int                `json:"qubits"`
+	PrefixGates     int                `json:"prefix_gates"`
+	SuffixGates     int                `json:"suffix_gates"`
+	Variants        int                `json:"variants"`
+	Workers         int                `json:"workers"`
+	TopK            int                `json:"top_k"`
+	Representations []prefixReprResult `json:"representations"`
+}
+
+// runPrefixBench runs the sweep in both representations and writes the
+// report to path. A variant whose amplitudes differ between the tiers is a
+// hard failure, not a report line.
+func runPrefixBench(ctx context.Context, p bench.FigureParams, variants int, path string) error {
+	w, err := load.BatchPrograms(p, variants)
+	if err != nil {
+		return err
+	}
+	rep := prefixReport{
+		GeneratedUnix: time.Now().Unix(),
+		Workload:      fmt.Sprintf("grover%d", p.GroverQubits),
+		Qubits:        w.Qubits,
+		PrefixGates:   w.PrefixGates,
+		SuffixGates:   w.SuffixGates,
+		Variants:      variants,
+		Workers:       prefixBenchWorkers,
+		TopK:          prefixBenchTopK,
+	}
+	// ε is 0 in both representations: tolerance-based weight interning is
+	// sensitive to which garbage weights a manager happens to hold, so only
+	// ε=0 promises byte-identical floats between a cold and a resumed run.
+	for _, repr := range []string{"alg", "float"} {
+		r, err := prefixBenchRepr(ctx, w, repr)
+		if err != nil {
+			return fmt.Errorf("prefix-bench %s: %w", repr, err)
+		}
+		rep.Representations = append(rep.Representations, *r)
+		fmt.Printf("prefix-bench %s: cold %.3fs  batch %.3fs  (%.1f× faster; %d prefix hits, %d checkpoints, %d bytes, identical=%t)\n",
+			repr, r.ColdSeconds, r.BatchSeconds, r.Speedup,
+			r.PrefixHits, r.CheckpointsStored, r.CheckpointBytes, r.AmplitudesIdentical)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// prefixBenchRepr runs the cold and batch tiers for one representation and
+// cross-checks the per-variant amplitudes.
+func prefixBenchRepr(ctx context.Context, w *load.BatchWorkload, repr string) (*prefixReprResult, error) {
+	res := &prefixReprResult{Representation: repr}
+
+	// Cold tier: no cache, no checkpoints — every variant simulates in full.
+	coldSrv, err := server.New(server.Config{Workers: prefixBenchWorkers, CheckpointEvery: -1})
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(coldSrv)
+	client := &http.Client{}
+	coldStart := time.Now()
+	coldAmps := make([][]byte, len(w.Variants))
+	errs := make([]error, len(w.Variants))
+	var wg sync.WaitGroup
+	for i := range w.Variants {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(struct {
+				QASM string  `json:"qasm"`
+				Repr string  `json:"representation"`
+				Eps  float64 `json:"eps"`
+				TopK int     `json:"top_k"`
+				Wait bool    `json:"wait"`
+			}{w.Variants[i], repr, 0, prefixBenchTopK, true})
+			coldAmps[i], errs[i] = postJobAmplitudes(ctx, client, ts.URL+"/v1/jobs", body)
+		}(i)
+	}
+	wg.Wait()
+	res.ColdSeconds = time.Since(coldStart).Seconds()
+	coldSrv.Shutdown(time.Minute)
+	ts.Close()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cold variant %d: %w", i, err)
+		}
+	}
+
+	// Batch tier: memory cache + checkpointing at the defaults; one
+	// POST /v1/batches carries the whole sweep.
+	batchSrv, err := server.New(server.Config{Workers: prefixBenchWorkers, CacheBytes: 256 << 20})
+	if err != nil {
+		return nil, err
+	}
+	ts2 := httptest.NewServer(batchSrv)
+	defer ts2.Close()
+	defer batchSrv.Shutdown(time.Minute)
+	body, _ := json.Marshal(struct {
+		Base     string   `json:"base"`
+		Suffixes []string `json:"suffixes"`
+		Repr     string   `json:"representation"`
+		Eps      float64  `json:"eps"`
+		TopK     int      `json:"top_k"`
+		Wait     bool     `json:"wait"`
+	}{w.Base, w.Suffixes, repr, 0, prefixBenchTopK, true})
+	batchStart := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts2.URL+"/v1/batches", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var view struct {
+		Status   string `json:"status"`
+		Variants []struct {
+			Job json.RawMessage `json:"job"`
+		} `json:"variants"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return nil, err
+	}
+	res.BatchSeconds = time.Since(batchStart).Seconds()
+	if resp.StatusCode != http.StatusOK || view.Status != "done" {
+		return nil, fmt.Errorf("batch submission: HTTP %d, status %q", resp.StatusCode, view.Status)
+	}
+	if len(view.Variants) != len(w.Variants) {
+		return nil, fmt.Errorf("batch returned %d variants, want %d", len(view.Variants), len(w.Variants))
+	}
+
+	res.AmplitudesIdentical = true
+	for i, v := range view.Variants {
+		amps, err := amplitudesOf(v.Job)
+		if err != nil {
+			return nil, fmt.Errorf("batch variant %d: %w", i, err)
+		}
+		if !bytes.Equal(amps, coldAmps[i]) {
+			res.AmplitudesIdentical = false
+			return nil, fmt.Errorf("variant %d: batch amplitudes differ from the cold run's", i)
+		}
+	}
+	if res.ColdSeconds > 0 && res.BatchSeconds > 0 {
+		res.Speedup = res.ColdSeconds / res.BatchSeconds
+	}
+	eng := batchSrv.Engine()
+	res.JobsStarted = eng.JobsStarted()
+	res.PrefixHits = eng.PrefixHits()
+	res.PrefixGatesSkipped = eng.PrefixGatesSkipped()
+	res.CheckpointsStored = eng.CheckpointsStored()
+	res.CheckpointBytes = eng.CheckpointBytesStored()
+	if res.PrefixHits != uint64(len(w.Variants)) {
+		return nil, fmt.Errorf("only %d of %d variants warm-started from the prefix checkpoint", res.PrefixHits, len(w.Variants))
+	}
+	return res, nil
+}
+
+// postJobAmplitudes submits one wait:true job and returns its compacted
+// amplitudes JSON.
+func postJobAmplitudes(ctx context.Context, client *http.Client, url string, body []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var raw json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, raw)
+	}
+	return amplitudesOf(raw)
+}
+
+// amplitudesOf extracts and compacts a finished job view's amplitude list —
+// the only result field the differential check compares (timings legitimately
+// differ between tiers).
+func amplitudesOf(jobRaw json.RawMessage) ([]byte, error) {
+	var v struct {
+		Status string `json:"status"`
+		Error  *struct {
+			Message string `json:"message"`
+		} `json:"error"`
+		Result *struct {
+			Amplitudes json.RawMessage `json:"amplitudes"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(jobRaw, &v); err != nil {
+		return nil, err
+	}
+	if v.Status != "done" || v.Result == nil {
+		msg := ""
+		if v.Error != nil {
+			msg = ": " + v.Error.Message
+		}
+		return nil, fmt.Errorf("job finished %q%s", v.Status, msg)
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, v.Result.Amplitudes); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -7,6 +7,8 @@
 // Endpoints:
 //
 //	POST /v1/jobs             submit a circuit ({"qasm": …, "wait": true})
+//	POST /v1/batches          submit N variants sharing one simulated-once prefix
+//	GET  /v1/batches/{id}     poll a batch's aggregate per-variant view
 //	GET  /v1/jobs/{id}        poll job status
 //	GET  /v1/jobs/{id}/result fetch the finished job's result
 //	GET  /v1/cache/{key}      cache peering: the stamped envelope for a key
@@ -75,6 +77,10 @@ func main() {
 		minFidFloor = flag.Float64("min-fidelity-floor", 0, "server-side floor for fidelity-bounded approximation: min_fidelity requests below it are raised to it (0 = no floor)")
 		cacheBytes  = flag.Int64("cache-bytes", 0, "in-memory result-cache byte cap (0 = cache off)")
 		cacheDir    = flag.String("cache-dir", "", "result-cache disk tier; persists across restarts (empty = no disk tier)")
+		cacheMax    = flag.Int64("cache-max-bytes", 0, "disk-tier byte cap with LRU-by-access-time eviction (0 = unbounded)")
+		ckptEvery   = flag.Int("checkpoint-every", 64, "prefix-checkpoint cadence in gates; warm-starts later runs sharing a prefix (negative = off; needs a cache)")
+		ckptBytes   = flag.Int64("checkpoint-bytes", 4<<20, "per-checkpoint serialized size cap; oversized snapshots are skipped (negative = unlimited)")
+		maxVariants = flag.Int("max-batch-variants", 128, "variant-count cap for one POST /v1/batches submission")
 		self        = flag.String("self", "", "this node's advertised base URL for cache peering (e.g. http://10.0.0.3:8080)")
 		peers       = flag.String("peers", "", "comma-separated base URLs of the cluster membership (cache peering off when empty)")
 		peerTimeout = flag.Duration("peer-timeout", 2*time.Second, "per-fetch deadline for peer cache lookups")
@@ -111,6 +117,10 @@ func main() {
 		MinFidelityFloor: *minFidFloor,
 		CacheBytes:       *cacheBytes,
 		CacheDir:         *cacheDir,
+		CacheMaxBytes:    *cacheMax,
+		CheckpointEvery:  *ckptEvery,
+		CheckpointBytes:  *ckptBytes,
+		MaxBatchVariants: *maxVariants,
 		Self:             *self,
 		Peers:            splitCSV(*peers),
 		PeerTimeout:      *peerTimeout,

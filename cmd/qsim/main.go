@@ -29,6 +29,7 @@ import (
 	"repro/internal/ddio"
 	"repro/internal/dense"
 	"repro/internal/num"
+	"repro/internal/prefix"
 	"repro/internal/qasm"
 	"repro/internal/qcache"
 	"repro/internal/sim"
@@ -66,7 +67,10 @@ func main() {
 		verify    = flag.Bool("verify", false, "cross-check against the dense array simulator (n ≤ 16)")
 		expand    = flag.Bool("expand", false, "expand multi-controlled gates over ancillas before simulating")
 		writeQASM = flag.String("writeqasm", "", "write the (possibly expanded) circuit to this OpenQASM file")
-		cacheDir  = flag.String("cache-dir", "", "warm-start directory: the final state is cached here, keyed by circuit fingerprint and representation, so a repeat invocation skips the simulation")
+		cacheDir  = flag.String("cache-dir", "", "warm-start directory: prefix checkpoints and the final state are cached here, keyed by the circuit's prefix-hash chain and representation, so a repeat — or extended — invocation resumes from the longest cached prefix")
+		cacheMax  = flag.Int64("cache-max-bytes", 0, "evict least-recently-used -cache-dir entries when the tier exceeds this many bytes (0 = unbounded)")
+		ckptEvery = flag.Int("checkpoint-every", 64, "with -cache-dir: checkpoint the state every K gates and at node-count doublings (<= 0 disables checkpointing and warm start)")
+		ckptBytes = flag.Int64("checkpoint-bytes", 4<<20, "with -cache-dir: skip any checkpoint whose serialized size exceeds this many bytes (0 = unlimited)")
 	)
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -122,9 +126,8 @@ func main() {
 	// read-out block (and the classical register) so the run — and its
 	// warm-start cache identity — matches the measure-free twin.
 	ampCirc := c
-	if nshots == 0 && (c.Cbits != 0 || !c.IsUnitary()) {
-		p := c.UnitaryPrefix()
-		ampCirc = &circuit.Circuit{Name: p.Name, N: p.N, Gates: p.Gates}
+	if nshots == 0 {
+		ampCirc = c.StripReadout()
 	}
 
 	norm, err := core.ParseNormScheme(*normFlag)
@@ -150,12 +153,13 @@ func main() {
 		defer cancel()
 	}
 
-	var disk *qcache.Disk
+	var cache *qcache.Cache
 	if *cacheDir != "" {
-		if disk, err = qcache.OpenDisk(*cacheDir); err != nil {
+		if cache, err = qcache.NewBounded(0, *cacheDir, *cacheMax); err != nil {
 			fatal(err)
 		}
 	}
+	ckpt := checkpointConfig{every: *ckptEvery, maxBytes: *ckptBytes}
 
 	switch *repr {
 	case "alg":
@@ -166,8 +170,11 @@ func main() {
 			runShots(ctx, m, c, sim.ShotOptions{Shots: nshots, Seed: *seed, Strategy: *strategy, AutoPrune: *prune}, *stats)
 			return
 		}
-		cc := qcache.NewStateCache(disk, ampCirc, "alg", 0, norm, ddio.Codec[alg.Q](ddio.AlgCodec{}))
-		runAndReport(ctx, m, ampCirc, *topK, *stats, true, *verify, *prune, *minFid, cc)
+		var ps *prefix.Store[alg.Q]
+		if ckpt.every > 0 {
+			ps = prefix.NewStore(cache, "alg", 0, norm, ddio.Codec[alg.Q](ddio.AlgCodec{}))
+		}
+		runAndReport(ctx, m, ampCirc, *topK, *stats, true, *verify, *prune, *minFid, ps, ckpt)
 	case "num":
 		m := core.NewManager[complex128](num.NewRing(*eps), norm, core.WithComputeTableSize(*ctSize))
 		m.SetIntraWorkers(*intraW)
@@ -176,11 +183,21 @@ func main() {
 			runShots(ctx, m, c, sim.ShotOptions{Shots: nshots, Seed: *seed, Strategy: *strategy, AutoPrune: *prune}, *stats)
 			return
 		}
-		cc := qcache.NewStateCache(disk, ampCirc, "float", *eps, norm, ddio.Codec[complex128](ddio.NumCodec{}))
-		runAndReport(ctx, m, ampCirc, *topK, *stats, false, *verify, *prune, *minFid, cc)
+		var ps *prefix.Store[complex128]
+		if ckpt.every > 0 {
+			ps = prefix.NewStore(cache, "float", *eps, norm, ddio.Codec[complex128](ddio.NumCodec{}))
+		}
+		runAndReport(ctx, m, ampCirc, *topK, *stats, false, *verify, *prune, *minFid, ps, ckpt)
 	default:
 		fatal(fmt.Errorf("unknown representation %q (want alg or num)", *repr))
 	}
+}
+
+// checkpointConfig carries the -checkpoint-every/-checkpoint-bytes pair into
+// the run loop.
+type checkpointConfig struct {
+	every    int
+	maxBytes int64
 }
 
 // runShots measures the circuit through the sim shots engine and prints
@@ -282,7 +299,7 @@ func buildCircuit(algName, file string, o buildOpts) (*circuit.Circuit, error) {
 	return nil, fmt.Errorf("choose a workload with -alg {grover,bwt,gse,ghz} or -file <qasm>")
 }
 
-func runAndReport[T any](ctx context.Context, m *core.Manager[T], c *circuit.Circuit, topK int, stats, exact, verify bool, prune int, minFid float64, cc *qcache.StateCache[T]) {
+func runAndReport[T any](ctx context.Context, m *core.Manager[T], c *circuit.Circuit, topK int, stats, exact, verify bool, prune int, minFid float64, ps *prefix.Store[T], ckpt checkpointConfig) {
 	s := sim.New(m, c.N)
 	if prune > 0 {
 		s.EnableAutoPrune(prune)
@@ -291,12 +308,41 @@ func runAndReport[T any](ctx context.Context, m *core.Manager[T], c *circuit.Cir
 		s.EnableApproximation(sim.ApproxPolicy{MinFidelity: minFid})
 	}
 	start := time.Now()
-	if e, ok := cc.Load(m, c.N); ok {
-		s.State = e
-		fmt.Printf("warm start: state restored from cache in %v; %d nodes; ‖ψ‖ = %.12f\n",
-			time.Since(start).Round(time.Millisecond), s.State.NodeCount(), m.Norm2(s.State))
+	from := 0
+	var hook func(i int, g circuit.Gate) bool
+	var stored, storedBytes int64
+	if ps != nil {
+		plan := prefix.PlanOf(c)
+		if k, e, ok := ps.Probe(m, plan, c.N); ok {
+			s.State = e
+			from = k
+			fmt.Printf("warm start: checkpoint after gate %d/%d restored in %v; %d nodes\n",
+				k, c.Len(), time.Since(start).Round(time.Millisecond), s.State.NodeCount())
+		}
+		tracker := prefix.Policy{EveryK: ckpt.every, MaxBytes: ckpt.maxBytes}.NewTracker(m.Stats().UniqueNodes)
+		hook = func(i int, _ circuit.Gate) bool {
+			k := i + 1 // the hook fires after gate i: the state is H_{i+1}'s
+			nodes := m.Stats().UniqueNodes
+			if !tracker.Should(k, plan.Boundary, nodes) {
+				return true
+			}
+			if s.Approximation().Events > 0 {
+				// An approximate state is not the prefix's exact result: it
+				// must never warm-start a future exact run.
+				return true
+			}
+			if n, err := ps.Store(m, s.State, plan.Links[k], c.N, ckpt.maxBytes); err == nil && n > 0 {
+				tracker.Stored(nodes)
+				stored++
+				storedBytes += int64(n)
+			}
+			return true
+		}
+	}
+	if from == c.Len() {
+		fmt.Printf("warm start is the full circuit: simulation skipped; ‖ψ‖ = %.12f\n", m.Norm2(s.State))
 	} else {
-		if err := s.RunCtx(ctx, c, nil); err != nil {
+		if err := s.RunFromCtx(ctx, c, from, hook); err != nil {
 			if governed(err) {
 				// A refused/interrupted run is a graceful outcome: report the
 				// partial statistics and exit cleanly.
@@ -318,11 +364,9 @@ func runAndReport[T any](ctx context.Context, m *core.Manager[T], c *circuit.Cir
 			}
 			fmt.Printf("approximated under budget pressure: %d events, retained fidelity %.6f (%s)\n",
 				ap.Events, ap.Fidelity, kind)
-			// An approximate state is not the circuit's exact result: it must
-			// never warm-start a future exact run.
-		} else if err := cc.Store(m, s.State, c.N); err != nil {
-			// The cache is an accelerator, not part of the result: warn only.
-			fmt.Fprintln(os.Stderr, "qsim: caching state:", err)
+		}
+		if stored > 0 {
+			fmt.Printf("checkpointed %d prefix states (%d bytes)\n", stored, storedBytes)
 		}
 	}
 	if exact {

@@ -330,6 +330,19 @@ func (c *Circuit) UnitaryPrefix() *Circuit {
 	return &Circuit{Name: c.Name, N: c.N, Cbits: c.Cbits, Gates: c.Gates[:t]}
 }
 
+// StripReadout returns the measure-free twin an amplitude-mode run
+// simulates: the trailing read-out block and the classical register are
+// dropped, so the result — and every cache/checkpoint key derived from the
+// circuit — matches the circuit that never declared them. Circuits that
+// are already unitary and register-free are returned unchanged.
+func (c *Circuit) StripReadout() *Circuit {
+	if c.Cbits == 0 && c.IsUnitary() {
+		return c
+	}
+	p := c.UnitaryPrefix()
+	return &Circuit{Name: p.Name, N: p.N, Gates: p.Gates}
+}
+
 // Inverse returns the adjoint circuit (gates reversed and inverted).
 // It panics on gates whose inverse it does not know.
 func (c *Circuit) Inverse() *Circuit {

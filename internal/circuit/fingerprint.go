@@ -7,73 +7,191 @@ import (
 	"sort"
 )
 
-// Fingerprint returns a SHA-256 digest of the circuit's semantic content:
-// the qubit count and the ordered gate list (base-operation name, target,
-// controls, exact parameter bits). Everything presentational is excluded —
-// the circuit name, how the source was formatted, what the registers were
-// called — so two parses of semantically identical programs collide and the
-// digest can serve as a content address for cached simulation results.
+// Digest is a prefix-chain link / circuit fingerprint: a SHA-256 value.
+type Digest = [sha256.Size]byte
+
+// PrefixHasher computes the incremental prefix-hash chain of a circuit:
 //
-// Controls are order-insensitive (a gate fires when all of them are
-// satisfied, regardless of listing order), so they are hashed in sorted
-// order. Parameters are hashed via their IEEE-754 bit patterns: exact
-// equality, no tolerance — a cache built on this key never conflates two
-// circuits that could simulate differently.
+//	H₀ = hash(domain ‖ qubits ‖ cbits)          — the header link
+//	Hᵢ = hash-state after absorbing ops 1…i      — one link per gate
 //
-// Non-unitary structure — the classical bit count, measurement
-// destinations, and classical conditions — is part of the digest: a circuit
-// with a mid-circuit measurement must never collide with its measure-free
-// twin, since the two have different output distributions. The v2 schema
-// tag covers these added fields.
-func Fingerprint(c *Circuit) [sha256.Size]byte {
-	h := sha256.New()
-	var buf [8]byte
-	writeInt := func(v int) {
-		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
-		h.Write(buf[:])
+// Each link is a content address for "the first i ops of any circuit over
+// these registers": two circuits that agree on their first i ops — however
+// they were formatted, whatever their registers were called, and regardless
+// of how many MORE ops either goes on to apply — produce the same Hᵢ. That
+// last property is what makes the chain usable for prefix-state
+// checkpointing: a state cached under Hᵢ by one circuit warm-starts every
+// other circuit that extends the same prefix.
+//
+// The encoding is self-delimiting (length-prefixed strings and lists,
+// fixed-width integers), so dropping the explicit gate count from the v2
+// schema loses no injectivity: no op-sequence boundary is ambiguous, hence
+// no two distinct prefixes collide except by SHA-256 collision.
+//
+// The final link — after absorbing every op — IS the whole-circuit
+// Fingerprint. Every existing qcache identity therefore remains a chain
+// key: a full-circuit state cached under Fingerprint(c) is exactly the
+// prefix checkpoint H_len(c) for any extension of c.
+type PrefixHasher struct {
+	h     hasher
+	k     int
+	buf   [8]byte
+	ctrls []Control
+}
+
+// hasher is the subset of hash.Hash the chain needs. sha256's Sum appends
+// to its argument without mutating internal state, which is what lets Link
+// snapshot every intermediate chain link from one running hash.
+type hasher interface {
+	Write(p []byte) (int, error)
+	Sum(b []byte) []byte
+}
+
+// NewPrefixHasher starts a chain for circuits over `qubits` qubits and
+// `cbits` classical bits. The returned hasher is positioned at H₀.
+func NewPrefixHasher(qubits, cbits int) *PrefixHasher {
+	p := &PrefixHasher{h: sha256.New()}
+	p.writeStr("qmdd-circuit-v3") // domain separator / schema version
+	p.writeInt(qubits)
+	p.writeInt(cbits)
+	return p
+}
+
+func (p *PrefixHasher) writeInt(v int) {
+	binary.LittleEndian.PutUint64(p.buf[:], uint64(int64(v)))
+	p.h.Write(p.buf[:])
+}
+
+func (p *PrefixHasher) writeStr(s string) {
+	p.writeInt(len(s))
+	p.h.Write([]byte(s))
+}
+
+// Absorb folds one op into the chain, advancing Hᵢ to Hᵢ₊₁. The encoding
+// is the canonical semantic form shared with Fingerprint: base-op name,
+// target, controls in sorted order (a gate fires when all controls are
+// satisfied, regardless of listing order), exact IEEE-754 parameter bits
+// (no tolerance — two circuits that could simulate differently never
+// collide), the measurement destination for measure ops, and the classical
+// condition if present.
+func (p *PrefixHasher) Absorb(g Gate) {
+	p.writeStr(g.Name)
+	p.writeInt(g.Target)
+	p.ctrls = append(p.ctrls[:0], g.Controls...)
+	sort.Slice(p.ctrls, func(i, j int) bool { return p.ctrls[i].Qubit < p.ctrls[j].Qubit })
+	p.writeInt(len(p.ctrls))
+	for _, ct := range p.ctrls {
+		p.writeInt(ct.Qubit)
+		if ct.Neg {
+			p.writeInt(1)
+		} else {
+			p.writeInt(0)
+		}
 	}
-	writeStr := func(s string) {
-		writeInt(len(s))
-		h.Write([]byte(s))
+	p.writeInt(len(g.Params))
+	for _, prm := range g.Params {
+		binary.LittleEndian.PutUint64(p.buf[:], math.Float64bits(prm))
+		p.h.Write(p.buf[:])
 	}
-	writeStr("qmdd-circuit-v2") // domain separator / schema version
-	writeInt(c.N)
-	writeInt(c.Cbits)
-	writeInt(len(c.Gates))
-	ctrls := make([]Control, 0, 4)
+	if g.IsMeasure() {
+		p.writeInt(g.Clbit)
+	}
+	if g.Cond != nil {
+		p.writeInt(1)
+		p.writeInt(g.Cond.Offset)
+		p.writeInt(g.Cond.Width)
+		binary.LittleEndian.PutUint64(p.buf[:], g.Cond.Value)
+		p.h.Write(p.buf[:])
+	} else {
+		p.writeInt(0)
+	}
+	p.k++
+}
+
+// Len returns the number of ops absorbed so far — the chain position i.
+func (p *PrefixHasher) Len() int { return p.k }
+
+// Link returns the current chain link Hᵢ without disturbing the chain:
+// further Absorb calls continue from the same position.
+func (p *PrefixHasher) Link() Digest {
+	var out Digest
+	p.h.Sum(out[:0])
+	return out
+}
+
+// Chain returns all n+1 links H₀ … Hₙ of the circuit's prefix-hash chain.
+// Chain(c)[i] keys the state after the first i ops; Chain(c)[len(c.Gates)]
+// equals Fingerprint(c).
+func Chain(c *Circuit) []Digest {
+	links := make([]Digest, 0, len(c.Gates)+1)
+	p := NewPrefixHasher(c.N, c.Cbits)
+	links = append(links, p.Link())
 	for _, g := range c.Gates {
-		writeStr(g.Name)
-		writeInt(g.Target)
-		ctrls = append(ctrls[:0], g.Controls...)
-		sort.Slice(ctrls, func(i, j int) bool { return ctrls[i].Qubit < ctrls[j].Qubit })
-		writeInt(len(ctrls))
-		for _, ct := range ctrls {
-			writeInt(ct.Qubit)
-			if ct.Neg {
-				writeInt(1)
-			} else {
-				writeInt(0)
+		p.Absorb(g)
+		links = append(links, p.Link())
+	}
+	return links
+}
+
+// SharedPrefixLen returns the length of the longest common gate prefix of
+// the given circuits (0 when they disagree on register shape). It compares
+// chain links, so it is exactly the "how far do these variants share
+// checkpoint keys" question.
+func SharedPrefixLen(circs ...*Circuit) int {
+	if len(circs) == 0 {
+		return 0
+	}
+	chains := make([][]Digest, len(circs))
+	k := len(circs[0].Gates)
+	for i, c := range circs {
+		chains[i] = Chain(c)
+		if len(c.Gates) < k {
+			k = len(c.Gates)
+		}
+	}
+	for ; k > 0; k-- {
+		same := true
+		for _, ch := range chains[1:] {
+			if ch[k] != chains[0][k] {
+				same = false
+				break
 			}
 		}
-		writeInt(len(g.Params))
-		for _, p := range g.Params {
-			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p))
-			h.Write(buf[:])
-		}
-		if g.IsMeasure() {
-			writeInt(g.Clbit)
-		}
-		if g.Cond != nil {
-			writeInt(1)
-			writeInt(g.Cond.Offset)
-			writeInt(g.Cond.Width)
-			binary.LittleEndian.PutUint64(buf[:], g.Cond.Value)
-			h.Write(buf[:])
-		} else {
-			writeInt(0)
+		if same {
+			break
 		}
 	}
-	var out [sha256.Size]byte
-	h.Sum(out[:0])
-	return out
+	return k
+}
+
+// UnitaryPrefixLen returns the number of leading unconditional unitary ops:
+// the longest prefix whose state is reached without measurement, reset or
+// classical control. Only links H₀ … H_UnitaryPrefixLen are sound
+// checkpoint keys — a state captured past that point depends on random
+// outcomes and must never be stored or resumed.
+func (c *Circuit) UnitaryPrefixLen() int {
+	for i, g := range c.Gates {
+		if !g.IsUnitary() {
+			return i
+		}
+	}
+	return len(c.Gates)
+}
+
+// Fingerprint returns a SHA-256 digest of the circuit's semantic content:
+// the register shape and the ordered op list (base-operation name, target,
+// sorted controls, exact parameter bits, measure destinations, classical
+// conditions). Everything presentational is excluded — the circuit name,
+// how the source was formatted, what the registers were called — so two
+// parses of semantically identical programs collide and the digest can
+// serve as a content address for cached simulation results.
+//
+// Fingerprint(c) is definitionally the final link of c's prefix-hash
+// chain (see PrefixHasher): Chain(c)[c.Len()] == Fingerprint(c).
+func Fingerprint(c *Circuit) Digest {
+	p := NewPrefixHasher(c.N, c.Cbits)
+	for _, g := range c.Gates {
+		p.Absorb(g)
+	}
+	return p.Link()
 }

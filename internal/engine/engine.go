@@ -84,6 +84,33 @@ type Config struct {
 	// concurrent identical submissions stays on — it costs nothing).
 	CacheBytes int64
 	CacheDir   string
+	// CacheMaxBytes, when positive, bounds the disk tier: after every store
+	// the least-recently-used entries are evicted until the tier fits.
+	// Without it a long-running checkpoint-heavy worker fills the disk.
+	CacheMaxBytes int64
+
+	// CheckpointEvery is the prefix-checkpoint cadence: during an exact
+	// amplitude-mode run the state QMDD is snapshotted into the cache every
+	// K gates (and at peak-node high-water marks, and at the end of the
+	// unitary prefix), keyed by the circuit's prefix-hash chain link, so
+	// later runs of any circuit extending the same prefix warm-start from
+	// gate k instead of gate 0. Zero selects the default (64); negative
+	// disables checkpointing. It is inert without a cache.
+	CheckpointEvery int
+	// CheckpointBytes caps one checkpoint's serialized size; oversized
+	// snapshots are skipped, not truncated. Zero selects the default
+	// (4 MiB); negative means unlimited.
+	CheckpointBytes int64
+
+	// MaxBatchVariants caps the variant count of one POST /v1/batches
+	// submission (default 128).
+	MaxBatchVariants int
+
+	// HookBatchChild, when set, is invoked as each child job of a batch is
+	// submitted (index -1 for the shared-prefix job). The server uses it to
+	// emit one access-log line per child, so logs reconstruct a batch end
+	// to end through the derived request ids.
+	HookBatchChild func(b *Batch, index int, j *Job)
 
 	// PeerLookup, when set, is consulted on a local cache miss before the
 	// job is queued for simulation: it should fetch the stamped envelope for
@@ -125,6 +152,15 @@ func (c Config) withDefaults() Config {
 	if c.IntraWorkers <= 0 {
 		c.IntraWorkers = 1
 	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 64
+	}
+	if c.CheckpointBytes == 0 {
+		c.CheckpointBytes = 4 << 20
+	}
+	if c.MaxBatchVariants <= 0 {
+		c.MaxBatchVariants = 128
+	}
 	return c
 }
 
@@ -153,12 +189,13 @@ func (e *SubmitError) Error() string { return e.Body.Message }
 // Engine is the worker pool plus its queue, store, cache and metrics.
 // Create with New, submit with Submit, and call Shutdown to drain.
 type Engine struct {
-	cfg    Config
-	store  *jobStore
-	met    *metrics
-	queue  chan *Job
-	cache  *qcache.Cache // nil when both tiers are disabled (nil-safe API)
-	flight *qcache.Flight[flightOutcome]
+	cfg     Config
+	store   *jobStore
+	met     *metrics
+	queue   chan *Job
+	cache   *qcache.Cache // nil when both tiers are disabled (nil-safe API)
+	flight  *qcache.Flight[flightOutcome]
+	batches *batchStore
 
 	mu     sync.Mutex // guards closed + queue sends vs. close(queue)
 	closed bool
@@ -174,17 +211,18 @@ type Engine struct {
 // configured cache directory cannot be created.
 func New(cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
-	cache, err := qcache.New(cfg.CacheBytes, cfg.CacheDir)
+	cache, err := qcache.NewBounded(cfg.CacheBytes, cfg.CacheDir, cfg.CacheMaxBytes)
 	if err != nil {
 		return nil, fmt.Errorf("opening result cache: %w", err)
 	}
 	e := &Engine{
-		cfg:    cfg,
-		store:  newJobStore(cfg.MaxJobs),
-		met:    newMetrics(cfg.Workers),
-		queue:  make(chan *Job, cfg.QueueSize),
-		cache:  cache,
-		flight: qcache.NewFlight[flightOutcome](),
+		cfg:     cfg,
+		store:   newJobStore(cfg.MaxJobs),
+		met:     newMetrics(cfg.Workers),
+		queue:   make(chan *Job, cfg.QueueSize),
+		cache:   cache,
+		flight:  qcache.NewFlight[flightOutcome](),
+		batches: newBatchStore(256),
 	}
 	e.runCtx, e.cancelRun = context.WithCancel(context.Background())
 	var started sync.WaitGroup
@@ -269,9 +307,21 @@ func (e *Engine) CacheStats() qcache.Stats { return e.cache.Stats() }
 // cache or peer hit returns a Job born finished with Cached set in its view.
 // A refusal returns a *SubmitError with the transport-mappable reason.
 func (e *Engine) Submit(req JobRequest) (*Job, *SubmitError) {
-	circ, errBody := e.validate(&req)
-	if errBody != nil {
-		return nil, &SubmitError{Reason: RejectInvalid, Body: *errBody}
+	return e.submit(req, nil, "")
+}
+
+// submit is Submit with the internal hooks the batch scheduler needs: a
+// pre-validated circuit (pre non-nil skips parsing — the caller has already
+// run normalizeRequest and checkCircuit) and a request id recorded on the
+// job so access logs can attribute batch children.
+func (e *Engine) submit(req JobRequest, pre *circuit.Circuit, rid string) (*Job, *SubmitError) {
+	circ := pre
+	if circ == nil {
+		var errBody *ErrorBody
+		circ, errBody = e.validate(&req)
+		if errBody != nil {
+			return nil, &SubmitError{Reason: RejectInvalid, Body: *errBody}
+		}
 	}
 
 	// A seeded shots job is a pure function of its request, so it caches
@@ -325,7 +375,7 @@ func (e *Engine) Submit(req JobRequest) (*Job, *SubmitError) {
 		}
 		if payload, ok := e.cache.Get(k.key, stamp); ok {
 			if res, err := decodeResult(payload); err == nil {
-				return e.cachedJob(req, res), nil
+				return e.cachedJob(req, res, rid), nil
 			}
 			// Undecodable payload (should be impossible past the checksums):
 			// treat as a miss and recompute.
@@ -360,20 +410,21 @@ func (e *Engine) Submit(req JobRequest) (*Job, *SubmitError) {
 					e.cache.Put(k.key, payload, stamp)
 					e.met.peerHits.Add(1)
 					call.Complete(flightOutcome{status: StatusDone, payload: payload}, true)
-					return e.cachedJob(req, res), nil
+					return e.cachedJob(req, res, rid), nil
 				}
 			}
 		}
 	}
 
 	j := &Job{
-		id:       newJobID(),
-		req:      req,
-		circ:     circ,
-		done:     make(chan struct{}),
-		store:    e.store,
-		status:   StatusQueued,
-		queuedAt: time.Now(),
+		id:        newJobID(),
+		req:       req,
+		circ:      circ,
+		requestID: rid,
+		done:      make(chan struct{}),
+		store:     e.store,
+		status:    StatusQueued,
+		queuedAt:  time.Now(),
 	}
 	if leader {
 		j.cacheKey = cacheKey
@@ -442,11 +493,12 @@ func decodeResult(payload []byte) (*JobResult, error) {
 // synthetic job record born finished, flagged cached, retained for polling
 // on a best-effort basis (a full store or a draining engine still serves the
 // job handle, it just isn't pollable afterwards).
-func (e *Engine) cachedJob(req JobRequest, res *JobResult) *Job {
+func (e *Engine) cachedJob(req JobRequest, res *JobResult, rid string) *Job {
 	now := time.Now()
 	j := &Job{
 		id:         newJobID(),
 		req:        req,
+		requestID:  rid,
 		done:       make(chan struct{}),
 		store:      e.store,
 		status:     StatusDone,
@@ -486,11 +538,31 @@ func (e *Engine) mirror(j *Job, call *qcache.Call[flightOutcome]) {
 
 // validate normalizes and checks a request, returning the parsed circuit.
 func (e *Engine) validate(req *JobRequest) (*circuit.Circuit, *ErrorBody) {
+	if strings.TrimSpace(req.QASM) == "" {
+		return nil, &ErrorBody{Kind: KindInvalidRequest, Message: "qasm is required"}
+	}
+	if errBody := e.normalizeRequest(req); errBody != nil {
+		return nil, errBody
+	}
+	circ, err := qasm.Parse(req.QASM, "request")
+	if err != nil {
+		body := &ErrorBody{Kind: KindParseError, Message: err.Error()}
+		var pe *qasm.ParseError
+		if errors.As(err, &pe) {
+			body.Line = pe.Line
+		}
+		return nil, body
+	}
+	return e.checkCircuit(req, circ)
+}
+
+// normalizeRequest is the parse-free half of validation: representation,
+// tolerance, norm, output shape, budgets and fidelity floor are checked and
+// canonicalized in place. The batch path runs it once on the shared request
+// template; Submit runs it per job through validate.
+func (e *Engine) normalizeRequest(req *JobRequest) *ErrorBody {
 	invalid := func(format string, args ...any) *ErrorBody {
 		return &ErrorBody{Kind: KindInvalidRequest, Message: fmt.Sprintf(format, args...)}
-	}
-	if strings.TrimSpace(req.QASM) == "" {
-		return nil, invalid("qasm is required")
 	}
 	switch req.Representation {
 	case "", "alg":
@@ -498,21 +570,21 @@ func (e *Engine) validate(req *JobRequest) (*circuit.Circuit, *ErrorBody) {
 	case "float", "num":
 		req.Representation = "float"
 	default:
-		return nil, invalid("unknown representation %q (want alg or float)", req.Representation)
+		return invalid("unknown representation %q (want alg or float)", req.Representation)
 	}
 	if req.Eps < 0 {
-		return nil, invalid("eps must be non-negative")
+		return invalid("eps must be non-negative")
 	}
 	norm, err := core.ParseNormScheme(req.Norm)
 	if err != nil {
-		return nil, invalid("%v", err)
+		return invalid("%v", err)
 	}
 	req.Norm = norm.String() // canonical name ("" → "left") keys the cache
 	if req.Shots < 0 {
-		return nil, invalid("shots must be non-negative")
+		return invalid("shots must be non-negative")
 	}
 	if req.Shots > e.cfg.MaxShots {
-		return nil, invalid("shots %d exceeds the server cap %d", req.Shots, e.cfg.MaxShots)
+		return invalid("shots %d exceeds the server cap %d", req.Shots, e.cfg.MaxShots)
 	}
 	if req.Shots > 0 {
 		// Shots mode: the histogram is the only envelope, and TopK plays no
@@ -522,7 +594,7 @@ func (e *Engine) validate(req *JobRequest) (*circuit.Circuit, *ErrorBody) {
 		case "", "histogram":
 			req.Output = "histogram"
 		default:
-			return nil, invalid("output %q is incompatible with shots; a shots job returns a histogram", req.Output)
+			return invalid("output %q is incompatible with shots; a shots job returns a histogram", req.Output)
 		}
 		req.TopK = 0
 	} else {
@@ -531,12 +603,12 @@ func (e *Engine) validate(req *JobRequest) (*circuit.Circuit, *ErrorBody) {
 			req.Output = "amplitudes"
 		case "stats", "ddio":
 		case "histogram":
-			return nil, invalid("output histogram requires shots > 0")
+			return invalid("output histogram requires shots > 0")
 		default:
-			return nil, invalid("unknown output %q (want amplitudes, stats, ddio or histogram)", req.Output)
+			return invalid("unknown output %q (want amplitudes, stats, ddio or histogram)", req.Output)
 		}
 		if req.TopK < 0 {
-			return nil, invalid("top_k must be non-negative")
+			return invalid("top_k must be non-negative")
 		}
 		if req.TopK == 0 {
 			req.TopK = 16
@@ -546,10 +618,10 @@ func (e *Engine) validate(req *JobRequest) (*circuit.Circuit, *ErrorBody) {
 		}
 	}
 	if req.MaxNodes < 0 || req.MaxWeights < 0 || req.MaxBytes < 0 || req.TimeoutMS < 0 {
-		return nil, invalid("budget fields must be non-negative")
+		return invalid("budget fields must be non-negative")
 	}
 	if req.MinFidelity < 0 || req.MinFidelity > 1 {
-		return nil, invalid("min_fidelity must be in [0, 1]")
+		return invalid("min_fidelity must be in [0, 1]")
 	}
 	if req.MinFidelity == 1 {
 		// A floor of 1 permits shedding nothing: exact semantics, and the
@@ -558,7 +630,7 @@ func (e *Engine) validate(req *JobRequest) (*circuit.Circuit, *ErrorBody) {
 	}
 	if req.MinFidelity > 0 {
 		if req.Shots > 0 {
-			return nil, invalid("min_fidelity is incompatible with shots: a histogram drawn from an approximated state is silently biased")
+			return invalid("min_fidelity is incompatible with shots: a histogram drawn from an approximated state is silently biased")
 		}
 		if f := e.cfg.MinFidelityFloor; f > 0 && req.MinFidelity < f {
 			req.MinFidelity = f
@@ -573,15 +645,16 @@ func (e *Engine) validate(req *JobRequest) (*circuit.Circuit, *ErrorBody) {
 			req.TimeoutMS = capMS
 		}
 	}
+	return nil
+}
 
-	circ, err := qasm.Parse(req.QASM, "request")
-	if err != nil {
-		body := &ErrorBody{Kind: KindParseError, Message: err.Error()}
-		var pe *qasm.ParseError
-		if errors.As(err, &pe) {
-			body.Line = pe.Line
-		}
-		return nil, body
+// checkCircuit applies the engine's circuit-level checks to an
+// already-normalized request: the width cap, the static-circuit requirement
+// of amplitude mode, and the read-out strip that keys the job by its
+// measure-free twin. The returned circuit is the one the job runs.
+func (e *Engine) checkCircuit(req *JobRequest, circ *circuit.Circuit) (*circuit.Circuit, *ErrorBody) {
+	invalid := func(format string, args ...any) *ErrorBody {
+		return &ErrorBody{Kind: KindInvalidRequest, Message: fmt.Sprintf(format, args...)}
 	}
 	if circ.N > e.cfg.MaxQubits {
 		return nil, invalid("circuit has %d qubits, server cap is %d", circ.N, e.cfg.MaxQubits)
@@ -590,14 +663,10 @@ func (e *Engine) validate(req *JobRequest) (*circuit.Circuit, *ErrorBody) {
 		if circ.Dynamic() {
 			return nil, invalid("circuit contains mid-circuit measurement, reset or classical control; submit with shots > 0 to run it")
 		}
-		if circ.Cbits != 0 || !circ.IsUnitary() {
-			// Amplitude/stats/ddio outputs describe the pre-measurement
-			// state: strip the trailing read-out block and the classical
-			// register so the job shares a cache key with its measure-free
-			// twin.
-			p := circ.UnitaryPrefix()
-			circ = &circuit.Circuit{Name: p.Name, N: p.N, Gates: p.Gates}
-		}
+		// Amplitude/stats/ddio outputs describe the pre-measurement state:
+		// strip the trailing read-out block and the classical register so
+		// the job shares a cache key with its measure-free twin.
+		circ = circ.StripReadout()
 	} else if circ.Cbits > 64 {
 		return nil, invalid("circuit uses %d classical bits; the histogram key is capped at 64", circ.Cbits)
 	}

@@ -159,6 +159,7 @@ const (
 // singleflight layer.
 type JobView struct {
 	ID         string     `json:"id"`
+	RequestID  string     `json:"request_id,omitempty"`
 	Status     string     `json:"status"`
 	Cached     bool       `json:"cached,omitempty"`
 	QueuedAt   time.Time  `json:"queued_at"`
@@ -184,11 +185,16 @@ type flightOutcome struct {
 // View. Mutable fields are guarded by the store's mutex; done is closed
 // exactly once when the job reaches a terminal status.
 type Job struct {
-	id    string
-	req   JobRequest
-	circ  *circuit.Circuit
-	done  chan struct{}
-	store *jobStore
+	id   string
+	req  JobRequest
+	circ *circuit.Circuit
+	// requestID is the transport request id the job was submitted under
+	// ("" when the transport sent none). Batch children carry derived ids
+	// (<parent>-/v<i>), so a variant's engine-side record is traceable to
+	// the batch submission that spawned it.
+	requestID string
+	done      chan struct{}
+	store     *jobStore
 
 	// Cache/singleflight wiring, set at submit time: cacheKey addresses the
 	// exact result envelope; approxKey (set only for min_fidelity jobs)
@@ -323,7 +329,7 @@ func (st *jobStore) finish(j *Job, status string, res *JobResult, errBody *Error
 func (st *jobStore) view(j *Job, withResult bool) JobView {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	v := JobView{ID: j.id, Status: j.status, Cached: j.cached, QueuedAt: j.queuedAt, Error: j.errBody}
+	v := JobView{ID: j.id, RequestID: j.requestID, Status: j.status, Cached: j.cached, QueuedAt: j.queuedAt, Error: j.errBody}
 	if !j.startedAt.IsZero() {
 		t := j.startedAt
 		v.StartedAt = &t

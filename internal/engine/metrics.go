@@ -31,6 +31,13 @@ type metrics struct {
 	approxEvents    atomic.Uint64 // approximation events across all jobs
 	fidelityGivenUp floatCounter  // Σ (1 − retained fidelity) over approximate jobs
 
+	prefixHits         atomic.Uint64 // jobs warm-started from a prefix checkpoint
+	prefixGatesSkipped atomic.Uint64 // gates skipped by warm starts (Σ resume positions)
+	checkpointsStored  atomic.Uint64 // prefix-state checkpoints written to the cache
+	checkpointBytes    atomic.Uint64 // serialized bytes across stored checkpoints
+	batches            atomic.Uint64 // batch submissions accepted
+	batchVariants      atomic.Uint64 // variant jobs across accepted batches
+
 	queueLatency histogram // submit → worker pickup, seconds
 
 	mu      sync.Mutex
@@ -153,6 +160,18 @@ func (e *Engine) JobsStarted() uint64 { return e.met.started.Load() }
 // Deduped reports submissions collapsed onto an identical in-flight job.
 func (e *Engine) Deduped() uint64 { return e.met.deduped.Load() }
 
+// PrefixHits reports jobs warm-started from a prefix-state checkpoint.
+func (e *Engine) PrefixHits() uint64 { return e.met.prefixHits.Load() }
+
+// PrefixGatesSkipped reports gate applications skipped by warm starts.
+func (e *Engine) PrefixGatesSkipped() uint64 { return e.met.prefixGatesSkipped.Load() }
+
+// CheckpointsStored reports prefix-state checkpoints written to the cache.
+func (e *Engine) CheckpointsStored() uint64 { return e.met.checkpointsStored.Load() }
+
+// CheckpointBytesStored reports serialized bytes across stored checkpoints.
+func (e *Engine) CheckpointBytesStored() uint64 { return e.met.checkpointBytes.Load() }
+
 // RenderMetrics writes the engine's Prometheus text exposition. The
 // transport may append its own families (peer-client errors, HTTP-level
 // counters) after this call — text format concatenates cleanly.
@@ -182,6 +201,13 @@ func (m *metrics) render(w io.Writer, queueDepth, queueCap int, cs qcache.Stats)
 	counter("qmddd_cache_misses_total", "Result-cache misses.", cs.Misses)
 	counter("qmddd_cache_stores_total", "Result envelopes stored in the cache.", cs.Stores)
 	counter("qmddd_cache_evictions_total", "Memory-tier entries evicted under the byte cap.", cs.Evictions)
+	counter("qmddd_cache_disk_evictions_total", "Disk-tier entries evicted under -cache-max-bytes (LRU by access time).", cs.DiskEvictions)
+	counter("qmddd_prefix_hits_total", "Jobs warm-started from a prefix-state checkpoint.", m.prefixHits.Load())
+	counter("qmddd_prefix_gates_skipped_total", "Gate applications skipped by prefix warm starts.", m.prefixGatesSkipped.Load())
+	counter("qmddd_checkpoints_stored_total", "Prefix-state checkpoints written to the cache.", m.checkpointsStored.Load())
+	counter("qmddd_checkpoint_bytes_total", "Serialized bytes across stored prefix checkpoints.", m.checkpointBytes.Load())
+	counter("qmddd_batches_total", "Batch submissions accepted (POST /v1/batches).", m.batches.Load())
+	counter("qmddd_batch_variants_total", "Variant jobs across accepted batches.", m.batchVariants.Load())
 	counter("qmddd_cache_peer_hits_total", "Local cache misses answered by a ring peer's cache.", m.peerHits.Load())
 	gauge("qmddd_cache_bytes", "Bytes held by the in-memory cache tier (payload + overhead).", cs.Bytes)
 	gauge("qmddd_cache_entries", "Entries in the in-memory cache tier.", int64(cs.Entries))

@@ -10,9 +10,11 @@ import (
 	"time"
 
 	"repro/internal/alg"
+	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/ddio"
 	"repro/internal/num"
+	"repro/internal/prefix"
 	"repro/internal/sim"
 )
 
@@ -124,11 +126,11 @@ func (e *Engine) runJob(workerID int, ws *workerState, j *Job) {
 	switch j.req.Representation {
 	case "alg":
 		m := ws.algManager(j.norm(), e.cfg.CTSize, e.cfg.IntraWorkers)
-		res, errBody, snap = runTyped(ctx, m, ddio.AlgCodec{}, j, budget)
+		res, errBody, snap = runTyped(ctx, e, m, ddio.AlgCodec{}, j, budget)
 		scrub(m)
 	default: // "float", validated at submit
 		m := ws.floatManager(j.req.Eps, j.norm(), e.cfg.CTSize, e.cfg.IntraWorkers)
-		res, errBody, snap = runTyped(ctx, m, ddio.NumCodec{}, j, budget)
+		res, errBody, snap = runTyped(ctx, e, m, ddio.NumCodec{}, j, budget)
 		scrub(m)
 	}
 	busy := time.Since(start)
@@ -199,10 +201,21 @@ func scrub[T any](m *core.Manager[T]) {
 	m.ResetPeaks()
 }
 
+// prefixStore builds the per-job checkpoint store, or nil when the
+// subsystem is off: no cache, or checkpointing disabled by a negative
+// -checkpoint-every. The store is a cheap value — binding it per job keeps
+// the worker free of per-(repr, ε, norm) bookkeeping.
+func prefixStore[T any](e *Engine, codec ddio.Codec[T], j *Job) *prefix.Store[T] {
+	if e.cfg.CheckpointEvery <= 0 || !e.cache.Enabled() {
+		return nil
+	}
+	return prefix.NewStore(e.cache, j.req.Representation, j.req.Eps, j.norm(), codec)
+}
+
 // runTyped runs one job on a concrete representation. It returns the result
 // or a classified error body, plus the manager snapshot observed right after
 // the run (before the scrub) for worker metrics.
-func runTyped[T any](ctx context.Context, m *core.Manager[T], codec ddio.Codec[T], j *Job, budget core.Budget) (*JobResult, *ErrorBody, core.Snapshot) {
+func runTyped[T any](ctx context.Context, e *Engine, m *core.Manager[T], codec ddio.Codec[T], j *Job, budget core.Budget) (*JobResult, *ErrorBody, core.Snapshot) {
 	m.SetBudget(budget)
 	m.ResetPeaks()
 	if j.req.Shots > 0 {
@@ -212,8 +225,52 @@ func runTyped[T any](ctx context.Context, m *core.Manager[T], codec ddio.Codec[T
 	if j.req.MinFidelity > 0 {
 		simr.EnableApproximation(sim.ApproxPolicy{MinFidelity: j.req.MinFidelity})
 	}
+
+	// Prefix checkpointing: resume from the longest cached prefix of this
+	// circuit, and snapshot the state at policy-chosen prefixes during the
+	// run so future extensions warm-start too. Warm and cold runs produce
+	// byte-identical results — a checkpoint is the exact state, decoded into
+	// canonical diagrams.
+	from := 0
+	var hook func(i int, g circuit.Gate) bool
+	if ps := prefixStore(e, codec, j); ps != nil {
+		plan := prefix.PlanOf(j.circ)
+		if k, st, ok := ps.Probe(m, plan, j.circ.N); ok {
+			simr.State = st
+			from = k
+			e.met.prefixHits.Add(1)
+			e.met.prefixGatesSkipped.Add(uint64(k))
+		}
+		// The unique-table occupancy stands in for the state's node count in
+		// the high-water rule: it is O(1) to read where an exact count walks
+		// the state, and within one run it over-approximates only by
+		// garbage — at worst a few extra snapshots, never a missed boundary.
+		tracker := prefix.Policy{
+			EveryK:   e.cfg.CheckpointEvery,
+			MaxBytes: e.cfg.CheckpointBytes,
+		}.NewTracker(m.Stats().UniqueNodes)
+		hook = func(i int, g circuit.Gate) bool {
+			k := i + 1 // the hook fires after gate i: the state is H_{i+1}'s
+			nodes := m.Stats().UniqueNodes
+			if !tracker.Should(k, plan.Boundary, nodes) {
+				return true
+			}
+			if simr.Approximation().Events > 0 {
+				// Past the first shed the state is no longer the exact
+				// function of its prefix key; stop checkpointing this run.
+				return true
+			}
+			if n, err := ps.Store(m, simr.State, plan.Links[k], j.circ.N, e.cfg.CheckpointBytes); err == nil && n > 0 {
+				tracker.Stored(nodes)
+				e.met.checkpointsStored.Add(1)
+				e.met.checkpointBytes.Add(uint64(n))
+			}
+			return true
+		}
+	}
+
 	start := time.Now()
-	err := simr.RunCtx(ctx, j.circ, nil)
+	err := simr.RunFromCtx(ctx, j.circ, from, hook)
 	elapsed := time.Since(start)
 	snap := m.Snapshot()
 	if err != nil {

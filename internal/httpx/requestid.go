@@ -84,6 +84,19 @@ func (sr *statusRecorder) Write(p []byte) (int, error) {
 // interleaved partial lines are worse than a cheap lock.
 var accessLogMu sync.Mutex
 
+// Logf writes one formatted line to logw under the shared access-log lock,
+// so transport-level events (batch fan-out, for one) interleave cleanly with
+// the per-exchange lines. No-op when logw is nil.
+func Logf(logw io.Writer, format string, args ...any) {
+	if logw == nil {
+		return
+	}
+	line := fmt.Sprintf(format, args...)
+	accessLogMu.Lock()
+	_, _ = io.WriteString(logw, line)
+	accessLogMu.Unlock()
+}
+
 // WithRequestID wraps next with the request-id and access-log middleware:
 // adopt or mint the id, expose it via context and response header, and (when
 // logw is non-nil) emit one logfmt line per exchange.

@@ -1,0 +1,84 @@
+package qasm
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// TestChainTextualInvariance is the prefix-subsystem analogue of
+// TestFingerprintCanonicalization: presentational variants of a program must
+// share EVERY link of the prefix-hash chain, not just the final fingerprint
+// — that is what lets a checkpoint stored by one formatting of a circuit
+// warm-start every other formatting of the same circuit.
+func TestChainTextualInvariance(t *testing.T) {
+	base := "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0],q[1];\nt q[1];\n"
+
+	equivalent := []struct {
+		name, src string
+	}{
+		{"comments", "OPENQASM 2.0;\n// three gates\ninclude \"qelib1.inc\";\nqreg q[2]; // two qubits\nh q[0];\ncx q[0],q[1]; // entangle\nt q[1];\n"},
+		{"whitespace", "OPENQASM 2.0;include \"qelib1.inc\";\n\n\n  qreg q[2] ;\n\th  q[0]\t;\r\n   cx q[0] , q[1];\nt q[1] ;"},
+		{"register rename", "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg data[2];\nh data[0];\ncx data[0],data[1];\nt data[1];\n"},
+		{"split registers", "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg a[1];\nqreg b[1];\nh a[0];\ncx a[0],b[0];\nt b[0];\n"},
+		{"no include", "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\nt q[1];\n"},
+	}
+
+	bc, err := Parse(base, "base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := circuit.Chain(bc)
+	for _, tc := range equivalent {
+		vc, err := Parse(tc.src, tc.name)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		got := circuit.Chain(vc)
+		if len(got) != len(want) {
+			t.Errorf("%s: chain has %d links, want %d", tc.name, len(got), len(want))
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: chain link %d differs from the base program's", tc.name, i)
+			}
+		}
+		if got[len(got)-1] != circuit.Fingerprint(vc) {
+			t.Errorf("%s: final chain link is not the fingerprint", tc.name)
+		}
+	}
+}
+
+// TestChainEditInvalidatesOnlySuffix pins the invalidation granularity at
+// the source level: editing one gate of a program leaves every link up to
+// the edit — and therefore every checkpoint stored under those links —
+// valid, and invalidates every link past it.
+func TestChainEditInvalidatesOnlySuffix(t *testing.T) {
+	base := "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\ns q[1];\nh q[1];\n"
+	edited := "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\nt q[1];\nh q[1];\n"
+	const editAt = 2 // the s→t swap is gate index 2
+
+	bc, err := Parse(base, "base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, err := Parse(edited, "edited")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := circuit.Chain(bc), circuit.Chain(ec)
+	for i := 0; i <= editAt; i++ {
+		if a[i] != b[i] {
+			t.Errorf("link %d before the edit differs", i)
+		}
+	}
+	for i := editAt + 1; i < len(a); i++ {
+		if a[i] == b[i] {
+			t.Errorf("link %d after the edit did not change", i)
+		}
+	}
+	if got := circuit.SharedPrefixLen(bc, ec); got != editAt {
+		t.Errorf("SharedPrefixLen = %d, want %d", got, editAt)
+	}
+}

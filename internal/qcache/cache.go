@@ -20,6 +20,13 @@ type Cache struct {
 // and a disk tier rooted at dir ("" disables tier 2). Returns nil when both
 // tiers are disabled.
 func New(memBytes int64, dir string) (*Cache, error) {
+	return NewBounded(memBytes, dir, 0)
+}
+
+// NewBounded is New with a byte cap on the disk tier: when diskMaxBytes is
+// positive, the least-recently-accessed disk entries are evicted after
+// every store that pushes the tier over the cap.
+func NewBounded(memBytes int64, dir string, diskMaxBytes int64) (*Cache, error) {
 	if memBytes <= 0 && dir == "" {
 		return nil, nil
 	}
@@ -28,7 +35,7 @@ func New(memBytes int64, dir string) (*Cache, error) {
 		c.mem = NewMemory(memBytes)
 	}
 	if dir != "" {
-		d, err := OpenDisk(dir)
+		d, err := OpenDiskBounded(dir, diskMaxBytes)
 		if err != nil {
 			return nil, err
 		}
@@ -109,8 +116,12 @@ type Stats struct {
 	Misses    uint64
 	Stores    uint64
 	Evictions uint64
-	Bytes     int64
-	Entries   int
+	// DiskEvictions counts entries removed by the disk tier's byte cap —
+	// typed separately from memory-tier Evictions because disk evictions
+	// destroy the only durable copy.
+	DiskEvictions uint64
+	Bytes         int64
+	Entries       int
 }
 
 // Stats snapshots the cache counters (all zero for a nil cache).
@@ -128,6 +139,9 @@ func (c *Cache) Stats() Stats {
 		s.Evictions = c.mem.Evictions()
 		s.Bytes = c.mem.Bytes()
 		s.Entries = c.mem.Len()
+	}
+	if c.disk != nil {
+		s.DiskEvictions = c.disk.Evictions()
 	}
 	return s
 }

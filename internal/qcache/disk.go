@@ -5,7 +5,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Disk is tier 2: one stamped envelope (see EncodeEntry) per entry under a
@@ -17,6 +21,13 @@ import (
 // nobody, after corruption).
 type Disk struct {
 	dir string
+	// maxBytes, when positive, bounds the total size of .qc entries:
+	// after every Put the least-recently-used entries (by the access time
+	// Get maintains via Chtimes) are evicted until the tier fits again.
+	// Without it a long-running checkpoint-heavy worker fills the disk.
+	maxBytes  int64
+	evictMu   sync.Mutex
+	evictions atomic.Uint64
 }
 
 // DiskEntryError reports a disk entry that exists but cannot be served:
@@ -40,8 +51,76 @@ func OpenDisk(dir string) (*Disk, error) {
 	return &Disk{dir: dir}, nil
 }
 
+// OpenDiskBounded is OpenDisk with an LRU byte cap: when the .qc entries
+// exceed maxBytes after a Put, the least-recently-accessed entries are
+// removed until the tier fits. maxBytes <= 0 means unbounded.
+func OpenDiskBounded(dir string, maxBytes int64) (*Disk, error) {
+	d, err := OpenDisk(dir)
+	if err != nil {
+		return nil, err
+	}
+	d.maxBytes = maxBytes
+	return d, nil
+}
+
 // Dir returns the cache directory.
 func (d *Disk) Dir() string { return d.dir }
+
+// Evictions returns how many entries the byte cap has removed.
+func (d *Disk) Evictions() uint64 { return d.evictions.Load() }
+
+// touch refreshes an entry's recency. True atimes are unreliable
+// (noatime/relatime mounts), so recency is mtime maintained by hand: Put
+// stamps it on write, touch on every successful read. Best-effort — a
+// failed touch only ages the entry.
+func (d *Disk) touch(path string) {
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
+}
+
+// evict enforces the byte cap: scan the tier, and while it exceeds
+// maxBytes remove entries oldest-access-first. Concurrent Puts serialize
+// on evictMu so two writers don't race over the same victims; readers are
+// unaffected (a concurrently evicted entry just becomes a miss).
+func (d *Disk) evict() {
+	d.evictMu.Lock()
+	defer d.evictMu.Unlock()
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return
+	}
+	type fileInfo struct {
+		path  string
+		size  int64
+		atime time.Time
+	}
+	var files []fileInfo
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".qc") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, fileInfo{filepath.Join(d.dir, e.Name()), info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+	if total <= d.maxBytes {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].atime.Before(files[j].atime) })
+	for _, f := range files {
+		if total <= d.maxBytes {
+			break
+		}
+		if os.Remove(f.path) == nil {
+			total -= f.size
+			d.evictions.Add(1)
+		}
+	}
+}
 
 func (d *Disk) path(k Key) string { return filepath.Join(d.dir, k.String()+".qc") }
 
@@ -61,7 +140,13 @@ func (d *Disk) Put(k Key, payload []byte, st Stamp) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), d.path(k))
+	if err := os.Rename(tmp.Name(), d.path(k)); err != nil {
+		return err
+	}
+	if d.maxBytes > 0 {
+		d.evict()
+	}
+	return nil
 }
 
 // Get loads the entry under k. A missing file is (nil, false, nil); an
@@ -84,6 +169,9 @@ func (d *Disk) Get(k Key, want Stamp) ([]byte, bool, error) {
 		}
 		return nil, false, &DiskEntryError{Path: path, Reason: reason}
 	}
+	if d.maxBytes > 0 {
+		d.touch(path)
+	}
 	return payload, true, nil
 }
 
@@ -100,6 +188,9 @@ func (d *Disk) GetRaw(k Key) ([]byte, bool, error) {
 	}
 	if err != nil {
 		return nil, false, err
+	}
+	if d.maxBytes > 0 {
+		d.touch(d.path(k))
 	}
 	return raw, true, nil
 }

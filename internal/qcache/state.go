@@ -27,8 +27,14 @@ type StateCache[T any] struct {
 // NewStateCache keys d by the circuit's fingerprint plus the representation
 // parameters. repr follows the wire names: "alg" or "float" (ε is folded in
 // only for "float"). Returns nil when d is nil.
+//
+// Circuits containing any measure, reset or classically conditioned op are
+// refused (nil cache): their final state depends on random outcomes, so a
+// captured state is not a function of the cache key and must never be
+// stored or resumed. Callers cache the measure-free twin instead — strip
+// read-out with UnitaryPrefix and key the stripped circuit.
 func NewStateCache[T any](d *Disk, c *circuit.Circuit, repr string, eps float64, norm core.NormScheme, codec ddio.Codec[T]) *StateCache[T] {
-	if d == nil {
+	if d == nil || !c.IsUnitary() {
 		return nil
 	}
 	id := Identity{

@@ -1,0 +1,123 @@
+package qcache
+
+import (
+	"testing"
+
+	"repro/internal/alg"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/ddio"
+	"repro/internal/qasm"
+	"repro/internal/sim"
+)
+
+func algCodec() ddio.Codec[alg.Q] { return ddio.AlgCodec{} }
+
+// TestStateCacheRefusesDynamicCircuits is the teleportation regression: a
+// circuit whose final state depends on random measurement outcomes must
+// never be checkpointed or warm-started — its state is not a function of
+// the cache key. NewStateCache returns a nil (disabled) cache for every
+// dynamic shape, and the nil cache is safe to use.
+func TestStateCacheRefusesDynamicCircuits(t *testing.T) {
+	d, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Measurement-based teleportation: mid-circuit measures feed classically
+	// controlled corrections, so the final state of q[2] is only defined
+	// relative to the random outcomes — the canonical must-not-cache circuit.
+	const teleportSrc = `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[2];
+h q[1];
+cx q[1],q[2];
+cx q[0],q[1];
+h q[0];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+if(c==2) x q[2];
+if(c==1) z q[2];
+if(c==3) x q[2];
+`
+	teleport, err := qasm.Parse(teleportSrc, "teleport")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if teleport.IsUnitary() {
+		t.Fatal("the teleport circuit is supposed to be dynamic")
+	}
+
+	dynamic := map[string]*circuit.Circuit{
+		"teleport": teleport,
+		"measure":  circuit.New("m", 2).H(0).Measure(0, 0).CX(0, 1),
+		"reset":    circuit.New("r", 2).H(0).Reset(0),
+		"conditioned": circuit.New("c", 2).H(0).Measure(0, 0).Append(circuit.Gate{
+			Name: "x", Target: 1, Cond: &circuit.Cond{Offset: 0, Width: 1, Value: 1},
+		}),
+	}
+	for name, c := range dynamic {
+		sc := NewStateCache(d, c, "alg", 0, core.NormLeft, algCodec())
+		if sc != nil {
+			t.Errorf("%s: NewStateCache accepted a dynamic circuit", name)
+			continue
+		}
+		// The nil cache must behave as a disabled one, not crash.
+		m := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
+		if _, ok := sc.Load(m, c.N); ok {
+			t.Errorf("%s: nil state cache reported a hit", name)
+		}
+		if err := sc.Store(m, core.Edge[alg.Q]{}, c.N); err != nil {
+			t.Errorf("%s: nil state cache Store errored: %v", name, err)
+		}
+	}
+
+	// The measure-free twin of a dynamic circuit IS cacheable — that is the
+	// path the engine takes after StripReadout.
+	stripped := circuit.New("bell", 2).H(0).CX(0, 1).Measure(0, 0).Measure(1, 1).StripReadout()
+	if NewStateCache(d, stripped, "alg", 0, core.NormLeft, algCodec()) == nil {
+		t.Error("NewStateCache refused a read-out-stripped unitary circuit")
+	}
+}
+
+// TestStateCacheRoundTrip: a unitary circuit's final state survives the
+// disk round trip into a fresh manager with exact amplitude equality.
+func TestStateCacheRoundTrip(t *testing.T) {
+	d, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.New("ghz", 3).H(0).CX(0, 1).CX(1, 2).T(2)
+	sc := NewStateCache(d, c, "alg", 0, core.NormLeft, algCodec())
+	if sc == nil {
+		t.Fatal("NewStateCache refused a unitary circuit")
+	}
+
+	m := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
+	s := sim.New(m, c.N)
+	if err := s.Run(c, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Store(m, s.State, c.N); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := core.NewManager[alg.Q](alg.Ring{}, core.NormLeft)
+	e, ok := sc.Load(m2, c.N)
+	if !ok {
+		t.Fatal("state cache missed after store")
+	}
+	for i := uint64(0); i < 1<<uint(c.N); i++ {
+		want := m.R.Complex128(m.Amplitude(s.State, c.N, i))
+		got := m2.R.Complex128(m2.Amplitude(e, c.N, i))
+		if want != got {
+			t.Fatalf("amplitude %d: %v != %v", i, got, want)
+		}
+	}
+
+	// A width mismatch is a cold start, not an error.
+	if _, ok := sc.Load(core.NewManager[alg.Q](alg.Ring{}, core.NormLeft), c.N+1); ok {
+		t.Fatal("state cache served a state of the wrong width")
+	}
+}

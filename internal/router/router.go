@@ -187,8 +187,10 @@ func New(cfg Config) (*Router, error) {
 		stop:    make(chan struct{}),
 	}
 	rt.mux.HandleFunc("POST /v1/jobs", rt.handleSubmit)
+	rt.mux.HandleFunc("POST /v1/batches", rt.handleBatchSubmit)
 	rt.mux.HandleFunc("GET /v1/jobs/{id}", rt.handleJobGet)
 	rt.mux.HandleFunc("GET /v1/jobs/{id}/result", rt.handleJobGet)
+	rt.mux.HandleFunc("GET /v1/batches/{id}", rt.handleJobGet)
 	rt.mux.HandleFunc("GET /v1/cluster", rt.handleCluster)
 	rt.mux.HandleFunc("GET /v1/version", rt.handleVersion)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
@@ -347,8 +349,63 @@ func routeKey(body []byte) []byte {
 	return sum[:]
 }
 
+// batchRouteKey derives the ring key for a batch submission: the prefix-hash
+// chain link H_k of the batch's shared prefix, so a batch lands on the worker
+// whose cache holds (or will hold) the prefix checkpoint — and every other
+// batch or solo job extending the same prefix lands there too. Bodies that
+// don't parse hash verbatim, like routeKey.
+func batchRouteKey(body []byte) []byte {
+	var req struct {
+		Base     string   `json:"base"`
+		Variants []string `json:"variants"`
+	}
+	if err := json.Unmarshal(body, &req); err == nil {
+		if strings.TrimSpace(req.Base) != "" {
+			// Base form: the whole base is the shared prefix; its final chain
+			// link is Fingerprint(base), so a solo submission of the base
+			// circuit routes to the same owner.
+			if c, perr := qasm.Parse(req.Base, "route"); perr == nil {
+				c = c.StripReadout()
+				link := circuit.Fingerprint(c)
+				return link[:]
+			}
+		} else if len(req.Variants) > 0 {
+			circs := make([]*circuit.Circuit, 0, len(req.Variants))
+			for _, src := range req.Variants {
+				c, perr := qasm.Parse(src, "route")
+				if perr != nil {
+					circs = nil
+					break
+				}
+				circs = append(circs, c.StripReadout())
+			}
+			if len(circs) > 0 {
+				if k := circuit.SharedPrefixLen(circs...); k > 0 {
+					link := circuit.Chain(circs[0])[k]
+					return link[:]
+				}
+			}
+		}
+	}
+	sum := sha256.Sum256(body)
+	return sum[:]
+}
+
 // handleSubmit is the routed job-submission path.
 func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	rt.routePost(w, r, "/v1/jobs", routeKey)
+}
+
+// handleBatchSubmit routes a batch to the prefix-key ring owner; everything
+// past key derivation is the job-submission path.
+func (rt *Router) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
+	rt.routePost(w, r, "/v1/batches", batchRouteKey)
+}
+
+// routePost is the shared routed-POST path: admission control, ring-ordered
+// candidate selection by the derived key, queue-latency shedding, and the
+// reroute-on-failure forward loop.
+func (rt *Router) routePost(w http.ResponseWriter, r *http.Request, path string, key func([]byte) []byte) {
 	rt.met.requests.Add(1)
 
 	tenant := r.Header.Get(TenantHeader)
@@ -374,7 +431,7 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Ready workers in ring order for this key: the owner first, then the
 	// nodes that would own the key if the owner left — the reroute order
 	// that preserves cache locality as well as a failure allows.
-	owners := rt.ring.Owners(routeKey(body), rt.ring.Len())
+	owners := rt.ring.Owners(key(body), rt.ring.Len())
 	candidates := owners[:0:0]
 	for _, o := range owners {
 		if rt.healthOf(o).Ready {
@@ -404,7 +461,7 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	rerouted := false
 	for _, worker := range candidates {
-		resp, err := rt.forwardSubmit(r, worker, body)
+		resp, err := rt.forwardPost(r, worker, path, body)
 		if err != nil {
 			rt.met.proxyErrors.Add(1)
 			rerouted = true
@@ -432,9 +489,9 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	rt.writeError(w, r, http.StatusBadGateway, KindBadGateway, "every candidate worker failed")
 }
 
-// forwardSubmit proxies one submission attempt to one worker.
-func (rt *Router) forwardSubmit(r *http.Request, worker string, body []byte) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, worker+"/v1/jobs", bytes.NewReader(body))
+// forwardPost proxies one submission attempt to one worker.
+func (rt *Router) forwardPost(r *http.Request, worker string, path string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, worker+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}

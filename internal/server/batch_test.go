@@ -1,0 +1,182 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// batchBody builds a base+suffixes batch over the GHZ base.
+func batchBody(n int, wait bool) string {
+	base := ghzQASM(3)
+	suffixes := make([]string, n)
+	for i := range suffixes {
+		gate := "s"
+		if i%2 == 1 {
+			gate = "t"
+		}
+		suffixes[i] = fmt.Sprintf("OPENQASM 2.0;\nqreg q[3];\n%s q[%d];\n", gate, i%3)
+	}
+	b, _ := json.Marshal(map[string]any{
+		"base": base, "suffixes": suffixes, "top_k": 4, "wait": wait,
+	})
+	return string(b)
+}
+
+func postBatch(t *testing.T, url, body, requestID string) (*http.Response, engine.BatchView) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/batches", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if requestID != "" {
+		req.Header.Set("X-Request-Id", requestID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view engine.BatchView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatalf("decoding batch view (%d): %v", resp.StatusCode, err)
+	}
+	return resp, view
+}
+
+// TestBatchEndToEnd drives POST /v1/batches with wait through the full
+// transport: shared prefix simulated once, request ids propagated from the
+// submission's X-Request-Id to every child, results attached.
+func TestBatchEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, CacheBytes: 1 << 20})
+	const n = 3
+	resp, view := postBatch(t, ts.URL, batchBody(n, true), "e2e-batch")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/batches = %d, want 200", resp.StatusCode)
+	}
+	if view.Status != "done" {
+		t.Fatalf("batch status %q, want done", view.Status)
+	}
+	if view.PrefixGates != 3 {
+		t.Fatalf("prefix gates = %d, want 3", view.PrefixGates)
+	}
+	if view.Prefix == nil || view.Prefix.RequestID != "e2e-batch-/prefix" {
+		t.Fatalf("prefix view = %+v", view.Prefix)
+	}
+	if len(view.Variants) != n {
+		t.Fatalf("%d variants, want %d", len(view.Variants), n)
+	}
+	for i, v := range view.Variants {
+		if want := fmt.Sprintf("e2e-batch-/v%d", i); v.RequestID != want {
+			t.Errorf("variant %d request id %q, want %q", i, v.RequestID, want)
+		}
+		if v.Job == nil || v.Job.Status != "done" || v.Job.Result == nil {
+			t.Fatalf("variant %d unfinished or missing its result: %+v", i, v)
+		}
+	}
+	if hits := s.Engine().PrefixHits(); hits != n {
+		t.Errorf("prefix hits = %d, want %d", hits, n)
+	}
+	if started := s.Engine().JobsStarted(); started != n+1 {
+		t.Errorf("jobs started = %d, want %d (prefix + variants)", started, n+1)
+	}
+
+	// The finished batch stays pollable with results attached.
+	var polled engine.BatchView
+	gresp := getJSON(t, ts.URL+"/v1/batches/"+view.ID, &polled)
+	if gresp.StatusCode != http.StatusOK || polled.Status != "done" {
+		t.Fatalf("poll = %d / %q", gresp.StatusCode, polled.Status)
+	}
+	if polled.Variants[0].Job == nil || polled.Variants[0].Job.Result == nil {
+		t.Error("polled batch lost its results")
+	}
+
+	// The metrics surface exports the batch counters.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	metrics, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{
+		"qmddd_batches_total 1",
+		fmt.Sprintf("qmddd_batch_variants_total %d", n),
+		fmt.Sprintf("qmddd_prefix_hits_total %d", n),
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics is missing %q", want)
+		}
+	}
+}
+
+// TestBatchAsyncPoll: without wait the submission answers 202 immediately
+// and GET /v1/batches/{id} converges to done.
+func TestBatchAsyncPoll(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, CacheBytes: 1 << 20})
+	resp, view := postBatch(t, ts.URL, batchBody(2, false), "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/batches = %d, want 202", resp.StatusCode)
+	}
+	if view.ID == "" {
+		t.Fatal("batch view has no id")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var polled engine.BatchView
+		if resp := getJSON(t, ts.URL+"/v1/batches/"+view.ID, &polled); resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll = %d", resp.StatusCode)
+		}
+		if polled.Status == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("batch still %q after 30s", polled.Status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestBatchRefusals covers the transport-level error mapping.
+func TestBatchRefusals(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	// Unknown batch id → 404.
+	resp, err := http.Get(ts.URL + "/v1/batches/bdeadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown batch = %d, want 404", resp.StatusCode)
+	}
+
+	// Malformed JSON → 400.
+	resp, err = http.Post(ts.URL+"/v1/batches", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body = %d, want 400", resp.StatusCode)
+	}
+
+	// Using both forms at once → 400.
+	body, _ := json.Marshal(map[string]any{
+		"base": ghzQASM(2), "suffixes": []string{ghzQASM(2)}, "variants": []string{ghzQASM(2)},
+	})
+	resp, err = http.Post(ts.URL+"/v1/batches", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("both forms = %d, want 400", resp.StatusCode)
+	}
+}

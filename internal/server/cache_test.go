@@ -54,7 +54,9 @@ func postRaw(t *testing.T, url, body string) (int, []byte, json.RawMessage, JobV
 // from the cache with "cached": true and a result envelope byte-identical to
 // the first run's — the acceptance bar exactness buys us.
 func TestCacheByteIdenticalReplay(t *testing.T) {
-	s, ts := newTestServer(t, Config{Workers: 2, CacheBytes: 1 << 20})
+	// CheckpointEvery -1 keeps prefix checkpoints out of the store/miss
+	// counters this test pins exactly (the subsystem has its own tests).
+	s, ts := newTestServer(t, Config{Workers: 2, CacheBytes: 1 << 20, CheckpointEvery: -1})
 	body := fmt.Sprintf(`{"qasm": %q, "wait": true}`, groverQASM)
 
 	code, _, res1, view1 := postRaw(t, ts.URL, body)
@@ -142,7 +144,7 @@ func TestConcurrentIdenticalSubmissions(t *testing.T) {
 // TestFailedJobsNotCached: a budget refusal must not poison the cache — the
 // same circuit under a workable budget runs and succeeds.
 func TestFailedJobsNotCached(t *testing.T) {
-	s, ts := newTestServer(t, Config{Workers: 1, CacheBytes: 1 << 20})
+	s, ts := newTestServer(t, Config{Workers: 1, CacheBytes: 1 << 20, CheckpointEvery: -1})
 	body := fmt.Sprintf(`{"qasm": %q, "wait": true, "max_nodes": 1}`, ghzQASM(6))
 	_, view, _ := postJob(t, ts.URL, body)
 	if view.Status != StatusFailed || view.Error == nil || view.Error.Kind != KindBudgetExceeded {

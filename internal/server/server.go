@@ -59,9 +59,20 @@ type Config struct {
 	MinFidelityFloor float64
 
 	// CacheBytes / CacheDir configure the two result-cache tiers. See
-	// engine.Config.
-	CacheBytes int64
-	CacheDir   string
+	// engine.Config. CacheMaxBytes, when positive, bounds the disk tier with
+	// LRU-by-access-time eviction.
+	CacheBytes    int64
+	CacheDir      string
+	CacheMaxBytes int64
+
+	// CheckpointEvery / CheckpointBytes tune the prefix-checkpoint
+	// subsystem. See engine.Config.
+	CheckpointEvery int
+	CheckpointBytes int64
+
+	// MaxBatchVariants caps the variant count of one POST /v1/batches
+	// submission (default 128).
+	MaxBatchVariants int
 
 	// Self is this node's advertised base URL (scheme://host:port) and Peers
 	// the full cluster membership (base URLs, self included or not — Self is
@@ -102,6 +113,10 @@ func (c Config) engineConfig() engine.Config {
 		MinFidelityFloor: c.MinFidelityFloor,
 		CacheBytes:       c.CacheBytes,
 		CacheDir:         c.CacheDir,
+		CacheMaxBytes:    c.CacheMaxBytes,
+		CheckpointEvery:  c.CheckpointEvery,
+		CheckpointBytes:  c.CheckpointBytes,
+		MaxBatchVariants: c.MaxBatchVariants,
 		HookRunning:      c.hookRunning,
 	}
 }
@@ -123,6 +138,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	ecfg := cfg.engineConfig()
 	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	ecfg.HookBatchChild = s.logBatchChild
 	if pc, err := newPeerClient(cfg.Self, cfg.Peers, cfg.PeerTimeout); err != nil {
 		return nil, err
 	} else if pc != nil {
@@ -135,6 +151,8 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.eng = eng
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/batches", s.handleBatchSubmit)
+	s.mux.HandleFunc("GET /v1/batches/{id}", s.handleBatchStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCachePeek)
@@ -231,6 +249,81 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j.View(false))
+}
+
+// handleBatchSubmit decodes and submits one batch (POST /v1/batches): a
+// shared prefix simulated exactly once, fanned out into per-variant jobs.
+// "wait": true blocks until every variant is terminal, mirroring /v1/jobs.
+func (s *Server) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req engine.BatchRequest
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, r, http.StatusRequestEntityTooLarge, ErrorBody{
+				Kind: KindTooLarge, Message: fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes),
+			})
+			return
+		}
+		writeError(w, r, http.StatusBadRequest, ErrorBody{Kind: KindInvalidRequest, Message: "decoding request: " + err.Error()})
+		return
+	}
+
+	b, serr := s.eng.SubmitBatch(req, httpx.RequestIDFrom(r))
+	if serr != nil {
+		status := http.StatusBadRequest
+		switch serr.Reason {
+		case engine.RejectDraining:
+			status = http.StatusServiceUnavailable
+		case engine.RejectBusy:
+			status = http.StatusTooManyRequests
+		}
+		writeError(w, r, status, serr.Body)
+		return
+	}
+	if req.Wait {
+		select {
+		case <-b.Done():
+			writeJSON(w, http.StatusOK, b.View(true))
+		case <-r.Context().Done():
+			// Client gave up; the batch keeps running and stays pollable.
+			writeJSON(w, http.StatusAccepted, b.View(false))
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, b.View(false))
+}
+
+// handleBatchStatus serves one batch's aggregate view (GET /v1/batches/{id});
+// per-variant results are attached once the batch is done. The router
+// scatters this route across the cluster the same way it scatters job polls.
+func (s *Server) handleBatchStatus(w http.ResponseWriter, r *http.Request) {
+	b := s.eng.Batch(r.PathValue("id"))
+	if b == nil {
+		writeError(w, r, http.StatusNotFound, ErrorBody{Kind: KindNotFound, Message: "unknown batch id"})
+		return
+	}
+	select {
+	case <-b.Done():
+		writeJSON(w, http.StatusOK, b.View(true))
+	default:
+		writeJSON(w, http.StatusOK, b.View(false))
+	}
+}
+
+// logBatchChild emits one access-log line per batch child job, keyed by the
+// child's derived request id (<parent>-/v<i>, or -/prefix for the shared
+// prefix job), so the access log reconstructs a batch fan-out end to end.
+func (s *Server) logBatchChild(b *engine.Batch, index int, j *engine.Job) {
+	v := j.View(false)
+	role := fmt.Sprintf("variant_%d", index)
+	if index < 0 {
+		role = "prefix"
+	}
+	httpx.Logf(s.cfg.AccessLog, "time=%s request_id=%s event=batch_child batch=%s role=%s job=%s cached=%t\n",
+		time.Now().UTC().Format(time.RFC3339Nano), v.RequestID, b.ID(), role, v.ID, v.Cached)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {

@@ -13,6 +13,10 @@ type (
 	Amplitude  = engine.Amplitude
 	ErrorBody  = engine.ErrorBody
 	Job        = engine.Job
+
+	BatchRequest     = engine.BatchRequest
+	BatchView        = engine.BatchView
+	BatchVariantView = engine.BatchVariantView
 )
 
 // Error kinds.

@@ -247,8 +247,21 @@ func (s *Simulator[T]) Run(c *circuit.Circuit, hook func(i int, g circuit.Gate) 
 // readable. Deadlines carried by ctx are installed into the manager budget
 // for the duration of the run.
 func (s *Simulator[T]) RunCtx(ctx context.Context, c *circuit.Circuit, hook func(i int, g circuit.Gate) bool) error {
+	return s.RunFromCtx(ctx, c, 0, hook)
+}
+
+// RunFromCtx is the warm-start entry point: it applies c.Gates[from:],
+// assuming s.State already holds the state reached by the first `from`
+// gates — typically restored from a prefix checkpoint (internal/prefix)
+// keyed by the circuit's chain link H_from. With from = 0 it is exactly
+// RunCtx. The hook still receives the original gate indices, so checkpoint
+// policies see the same positions a cold run would.
+func (s *Simulator[T]) RunFromCtx(ctx context.Context, c *circuit.Circuit, from int, hook func(i int, g circuit.Gate) bool) error {
 	if c.N != s.N {
 		return fmt.Errorf("sim: circuit has %d qubits, simulator has %d", c.N, s.N)
+	}
+	if from < 0 || from > len(c.Gates) {
+		return fmt.Errorf("sim: warm start at gate %d of %d", from, len(c.Gates))
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -270,8 +283,9 @@ func (s *Simulator[T]) RunCtx(ctx context.Context, c *circuit.Circuit, hook func
 			ctxOwnsDeadline = true
 		}
 	}
-	for i, g := range c.Gates {
-		if i%ctxCheckEvery == 0 {
+	for i := from; i < len(c.Gates); i++ {
+		g := c.Gates[i]
+		if (i-from)%ctxCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("sim: cancelled before gate %d: %w", i, err)
 			}

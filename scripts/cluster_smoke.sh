@@ -11,10 +11,15 @@
 #   3. the same job sent directly to the NON-owning worker is served through
 #      cache peering (peer-hit counter, still no second simulation) and the
 #      envelope is adopted;
-#   4. killing the owning worker mid-stream: the router notices (cluster
+#   4. a 5-variant batch through the router co-locates on the worker that
+#      already holds the prefix checkpoint (the batch's ring key IS the solo
+#      Grover job's), the shared prefix is never re-simulated gate for gate
+#      anywhere in the cluster, and the submission's X-Request-Id reaches
+#      every child job;
+#   5. killing the owning worker mid-stream: the router notices (cluster
 #      view flips unready), keeps answering through the survivor, and the
 #      warm key survives the topology change without re-simulation;
-#   5. a 5-second open-loop qload run against the degraded cluster emits a
+#   6. a 5-second open-loop qload run against the degraded cluster emits a
 #      valid BENCH_serve.json (percentiles, verdict, cache hit rate) and a
 #      seed-pinned replay reproduces the results digest byte for byte.
 set -euo pipefail
@@ -56,14 +61,16 @@ wait_ready() {
 }
 wait_ready "$w1"; wait_ready "$w2"; wait_ready "$router"
 
-started_total() {
-    local total=0 v
+metric_sum() {
+    local name=$1 total=0 v
+    shift
     for base in "$@"; do
-        v=$(curl -fsS "$base/metrics" 2>/dev/null | awk '/^qmddd_jobs_started_total/ {print $2}') || v=0
+        v=$(curl -fsS "$base/metrics" 2>/dev/null | awk -v n="$name" '$1 == n {print $2}') || v=0
         total=$((total + ${v:-0}))
     done
     echo "$total"
 }
+started_total() { metric_sum qmddd_jobs_started_total "$@"; }
 amps_of() { echo "$1" | awk '/"amplitudes": \[/,/\]/'; }
 
 payload='{"qasm":"OPENQASM 2.0;\nqreg q[2];\nh q[0]; h q[1];\ncz q[0],q[1];\nh q[0]; h q[1];\nx q[0]; x q[1];\ncz q[0],q[1];\nx q[0]; x q[1];\nh q[0]; h q[1];","wait":true}'
@@ -99,7 +106,40 @@ curl -fsS "$peer/metrics" | grep >/dev/null '^qmddd_cache_peer_hits_total 1$' \
     || { echo "peer hit not counted on $peer"; exit 1; }
 [ "$(started_total "$w1" "$w2")" = 1 ] || { echo "peer path re-simulated"; exit 1; }
 
-# 4. Kill the owner mid-stream: the router flips it unready and the warm key
+# 4. A 5-variant batch through the router, base = the solo Grover circuit.
+# The batch's ring key is by construction the solo job's, so the router lands
+# it on $owner — the worker whose cache already holds the prefix checkpoint
+# the solo run stored. The prefix job itself warm-starts from that
+# checkpoint, every variant warm-starts from the prefix job, and the
+# cluster-wide gate accounting proves the 12-gate prefix was simulated
+# exactly once in total: 6 new jobs, 6 warm starts, 6 × 12 gates skipped.
+started_before=$(started_total "$w1" "$w2")
+grover='OPENQASM 2.0;\nqreg q[2];\nh q[0]; h q[1];\ncz q[0],q[1];\nh q[0]; h q[1];\nx q[0]; x q[1];\ncz q[0],q[1];\nx q[0]; x q[1];\nh q[0]; h q[1];'
+suffixes='"OPENQASM 2.0;\nqreg q[2];\ns q[0];","OPENQASM 2.0;\nqreg q[2];\nt q[0];","OPENQASM 2.0;\nqreg q[2];\ns q[1];","OPENQASM 2.0;\nqreg q[2];\nt q[1];","OPENQASM 2.0;\nqreg q[2];\nz q[0];"'
+batch='{"base":"'$grover'","suffixes":['$suffixes'],"wait":true}'
+bhdr=$(mktemp "$tmpdir/bhdr.XXXX")
+bres=$(curl -fsS -D "$bhdr" -X POST -H 'Content-Type: application/json' \
+    -H 'X-Request-Id: b-smoke-1' -d "$batch" "$router/v1/batches")
+echo "$bres" | grep >/dev/null '"status": "done"'   || { echo "routed batch did not finish: $bres"; exit 1; }
+echo "$bres" | grep >/dev/null '"prefix_gates": 12' || { echo "wrong batch prefix length: $bres"; exit 1; }
+echo "$bres" | grep >/dev/null '"request_id": "b-smoke-1-/prefix"' \
+    || { echo "prefix job lost the request id: $bres"; exit 1; }
+for i in 0 1 2 3 4; do
+    echo "$bres" | grep >/dev/null "\"request_id\": \"b-smoke-1-/v$i\"" \
+        || { echo "variant $i lost the request id: $bres"; exit 1; }
+done
+batch_worker=$(awk 'tolower($1) == "x-qmddd-worker:" {print $2}' "$bhdr" | tr -d '\r')
+[ "$batch_worker" = "$owner" ] || { echo "batch routed to $batch_worker, the prefix checkpoint lives on $owner"; exit 1; }
+[ "$(started_total "$w1" "$w2")" = $((started_before + 6)) ] \
+    || { echo "batch ran $(( $(started_total "$w1" "$w2") - started_before )) jobs, want 6"; exit 1; }
+[ "$(metric_sum qmddd_prefix_hits_total "$w1" "$w2")" = 6 ] \
+    || { echo "prefix warm starts: $(metric_sum qmddd_prefix_hits_total "$w1" "$w2"), want 6"; exit 1; }
+[ "$(metric_sum qmddd_prefix_gates_skipped_total "$w1" "$w2")" = 72 ] \
+    || { echo "prefix gates skipped: $(metric_sum qmddd_prefix_gates_skipped_total "$w1" "$w2"), want 72"; exit 1; }
+[ "$(metric_sum qmddd_checkpoints_stored_total "$w1" "$w2")" -ge 1 ] \
+    || { echo "no checkpoint stored anywhere in the cluster"; exit 1; }
+
+# 5. Kill the owner mid-stream: the router flips it unready and the warm key
 # survives on the adopted envelope — no re-simulation on the survivor.
 for i in "${!pids[@]}"; do :; done
 if [ "$owner" = "$w1" ]; then kill "${pids[0]}"; else kill "${pids[1]}"; fi
@@ -114,7 +154,7 @@ echo "$rerouted" | grep >/dev/null '"status": "done"' || { echo "post-kill job f
 echo "$rerouted" | grep >/dev/null '"cached": true'   || { echo "warm key lost in the topology change: $rerouted"; exit 1; }
 [ "$(started_total "$peer")" = "$survivor_before" ] || { echo "survivor re-simulated a warm key"; exit 1; }
 
-# 5. Open-loop qload against the degraded cluster: valid report, SLO pass,
+# 6. Open-loop qload against the degraded cluster: valid report, SLO pass,
 # and a seed-pinned replay with a byte-identical results digest.
 "$bindir/qload" -target "$router" -rate 8 -duration 5s -slo-p99 60s -seed 7 \
     -out "$tmpdir/BENCH_serve.json"

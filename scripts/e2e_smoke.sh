@@ -7,7 +7,10 @@
 # a deterministic, representation-independent histogram plus a cache hit on
 # resubmission, then SIGTERM and require a clean drain and exit 0 — and
 # finally reboot over the same cache directory and require the disk tier
-# (including the shots entry) to survive the restart.
+# (including the shots entry) to survive the restart. A final boot on a
+# fresh cache directory drives a 5-variant Grover batch through
+# POST /v1/batches and requires the shared prefix to be simulated exactly
+# once, with the submission's X-Request-Id propagated to every child job.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,8 +21,11 @@ go build -o "$bindir/qmddd" ./cmd/qmddd
 
 port=$(( (RANDOM % 20000) + 20000 ))
 base="http://127.0.0.1:$port"
+# Checkpointing is off for the first two boots: their sections pin exact
+# result-cache counter values, which prefix checkpoints would also bump.
+# The batch section at the end boots with checkpointing on.
 "$bindir/qmddd" -addr "127.0.0.1:$port" -workers 2 -drain 10s \
-    -cache-bytes 1048576 -cache-dir "$cachedir" &
+    -cache-bytes 1048576 -cache-dir "$cachedir" -checkpoint-every -1 &
 pid=$!
 trap 'kill "$pid" 2>/dev/null || true; rm -rf "$bindir" "$cachedir"' EXIT
 
@@ -118,7 +124,7 @@ wait "$pid"   # non-zero exit status fails the script via set -e
 # Reboot over the same cache directory: the disk tier must serve the job
 # without re-simulating.
 "$bindir/qmddd" -addr "127.0.0.1:$port" -workers 2 -drain 10s \
-    -cache-bytes 1048576 -cache-dir "$cachedir" &
+    -cache-bytes 1048576 -cache-dir "$cachedir" -checkpoint-every -1 &
 pid=$!
 wait_healthy
 
@@ -140,5 +146,54 @@ echo "$metrics" | grep >/dev/null '^qmddd_jobs_started_total 0$'    || { echo "s
 
 kill -TERM "$pid"
 wait "$pid"
-trap 'rm -rf "$bindir" "$cachedir"' EXIT
+
+# Prefix-checkpointed batch on a FRESH cache directory (the counter
+# assertions below pin exact values): a 5-variant Grover batch must simulate
+# the shared 12-gate prefix exactly once — six jobs total (prefix + five
+# variants), five prefix warm-starts, at least one checkpoint stored — and
+# every child job must carry a request id derived from the submission's
+# X-Request-Id.
+batchcache=$(mktemp -d)
+"$bindir/qmddd" -addr "127.0.0.1:$port" -workers 2 -drain 10s \
+    -cache-bytes 1048576 -cache-dir "$batchcache" &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$bindir" "$cachedir" "$batchcache"' EXIT
+wait_healthy
+
+grover='OPENQASM 2.0;\nqreg q[2];\nh q[0]; h q[1];\ncz q[0],q[1];\nh q[0]; h q[1];\nx q[0]; x q[1];\ncz q[0],q[1];\nx q[0]; x q[1];\nh q[0]; h q[1];'
+suffixes='"OPENQASM 2.0;\nqreg q[2];\ns q[0];","OPENQASM 2.0;\nqreg q[2];\nt q[0];","OPENQASM 2.0;\nqreg q[2];\ns q[1];","OPENQASM 2.0;\nqreg q[2];\nt q[1];","OPENQASM 2.0;\nqreg q[2];\nz q[0];"'
+batch='{"base":"'$grover'","suffixes":['$suffixes'],"top_k":4,"wait":true}'
+bres=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+    -H 'X-Request-Id: batch-smoke' -d "$batch" "$base/v1/batches")
+echo "$bres" | grep >/dev/null '"status": "done"'      || { echo "batch did not finish: $bres"; exit 1; }
+echo "$bres" | grep >/dev/null '"prefix_gates": 12'    || { echo "wrong prefix length: $bres"; exit 1; }
+echo "$bres" | grep >/dev/null '"prefix_key"'          || { echo "batch has no prefix key: $bres"; exit 1; }
+echo "$bres" | grep >/dev/null '"request_id": "batch-smoke-/prefix"' \
+    || { echo "prefix job lost the request id: $bres"; exit 1; }
+for i in 0 1 2 3 4; do
+    echo "$bres" | grep >/dev/null "\"request_id\": \"batch-smoke-/v$i\"" \
+        || { echo "variant $i lost the request id: $bres"; exit 1; }
+done
+# The suffixes are pure phase gates, so every variant keeps the exact
+# Grover outcome |11⟩ with probability 1.
+[ "$(echo "$bres" | grep -c '"state": "11"')" = 5 ] || { echo "a variant lost the |11> outcome: $bres"; exit 1; }
+[ "$(echo "$bres" | grep -c '"prob": 1')" = 5 ]     || { echo "a variant's probability moved: $bres"; exit 1; }
+
+# The finished batch stays pollable under its id.
+bid=$(echo "$bres" | sed -n 's/.*"id": "\(b[0-9a-f]\{16\}\)".*/\1/p' | head -1)
+[ -n "$bid" ] || { echo "no batch id in: $bres"; exit 1; }
+polled=$(curl -fsS "$base/v1/batches/$bid")
+echo "$polled" | grep >/dev/null '"status": "done"' || { echo "poll lost the batch: $polled"; exit 1; }
+
+# Exactly-once prefix work, counted three ways.
+metrics=$(curl -fsS "$base/metrics")
+echo "$metrics" | grep >/dev/null '^qmddd_jobs_started_total 6$'  || { echo "batch did not run 6 jobs:"; echo "$metrics"; exit 1; }
+echo "$metrics" | grep >/dev/null '^qmddd_prefix_hits_total 5$'   || { echo "not every variant warm-started:"; echo "$metrics"; exit 1; }
+echo "$metrics" | grep -E >/dev/null '^qmddd_checkpoints_stored_total [1-9]' || { echo "no checkpoint stored:"; echo "$metrics"; exit 1; }
+echo "$metrics" | grep >/dev/null '^qmddd_batches_total 1$'       || { echo "batch not counted:"; echo "$metrics"; exit 1; }
+echo "$metrics" | grep >/dev/null '^qmddd_batch_variants_total 5$' || { echo "variants not counted:"; echo "$metrics"; exit 1; }
+
+kill -TERM "$pid"
+wait "$pid"
+trap 'rm -rf "$bindir" "$cachedir" "$batchcache"' EXIT
 echo "e2e smoke OK"
